@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("1K, 2M,3G,512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1 << 10, 2 << 20, 3 << 30, 512}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := parseSizes("abc"); err == nil {
+		t.Fatal("bad size accepted")
+	}
+	if _, err := parseSizes("1X"); err == nil {
+		t.Fatal("bad suffix accepted")
+	}
+}

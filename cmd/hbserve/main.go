@@ -1,0 +1,183 @@
+// Command hbserve exposes an HB+-tree as a tiny line-oriented TCP
+// key-value service — a minimal end-to-end integration of the index into
+// a server, the kind of lookup-intensive deployment (OLAP, decision
+// support) the paper targets.
+//
+// Protocol (one request per line):
+//
+//	GET <key>            -> VALUE <v> | NOTFOUND
+//	RANGE <start> <n>    -> n lines "PAIR <k> <v>", then END
+//	SCAN <start> <n>     -> like RANGE but streamed through a cursor
+//	DESCRIBE             -> multi-line tree report, then END
+//	STATS                -> tree geometry and device counters
+//	QUIT                 -> closes the connection
+//
+// The server bulk-loads a synthetic uniform dataset at startup, or
+// restores a snapshot written by -save via -load.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"hbtree"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		n        = flag.Int("n", 1<<20, "tuples to bulk-load")
+		seed     = flag.Uint64("seed", 42, "dataset seed")
+		once     = flag.Bool("once", false, "serve a single connection and exit (for tests)")
+		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
+		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
+	)
+	flag.Parse()
+
+	var tree *hbtree.Tree[uint64]
+	var err error
+	if *loadPath != "" {
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			log.Fatalf("hbserve: open snapshot: %v", ferr)
+		}
+		tree, err = hbtree.Load[uint64](f, hbtree.Options{})
+		f.Close()
+		if err != nil {
+			log.Fatalf("hbserve: load snapshot: %v", err)
+		}
+		log.Printf("hbserve: restored %d tuples from %s", tree.NumPairs(), *loadPath)
+	} else {
+		log.Printf("hbserve: loading %d tuples...", *n)
+		pairs := hbtree.GeneratePairs[uint64](*n, *seed)
+		tree, err = hbtree.New(pairs, hbtree.Options{})
+		if err != nil {
+			log.Fatalf("hbserve: build: %v", err)
+		}
+	}
+	defer tree.Close()
+	if *savePath != "" {
+		f, ferr := os.Create(*savePath)
+		if ferr != nil {
+			log.Fatalf("hbserve: create snapshot: %v", ferr)
+		}
+		if _, err := tree.WriteTo(f); err != nil {
+			log.Fatalf("hbserve: write snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("hbserve: close snapshot: %v", err)
+		}
+		log.Printf("hbserve: snapshot written to %s", *savePath)
+	}
+	st := tree.Stats()
+	log.Printf("hbserve: height %d, I-segment %d bytes, L-segment %d bytes",
+		st.Height, st.InnerBytes, st.LeafBytes)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hbserve: listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("hbserve: listening on %s", ln.Addr())
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("hbserve: accept: %v", err)
+			return
+		}
+		if *once {
+			serve(conn, tree)
+			return
+		}
+		go serve(conn, tree)
+	}
+}
+
+func serve(conn net.Conn, tree *hbtree.Tree[uint64]) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "GET":
+			if len(fields) != 2 {
+				fmt.Fprintln(w, "ERR usage: GET <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(w, "ERR bad key")
+				break
+			}
+			if v, ok := tree.Lookup(k); ok {
+				fmt.Fprintf(w, "VALUE %d\n", v)
+			} else {
+				fmt.Fprintln(w, "NOTFOUND")
+			}
+		case "RANGE":
+			if len(fields) != 3 {
+				fmt.Fprintln(w, "ERR usage: RANGE <start> <n>")
+				break
+			}
+			start, err1 := strconv.ParseUint(fields[1], 10, 64)
+			count, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || count < 0 || count > 1<<20 {
+				fmt.Fprintln(w, "ERR bad range")
+				break
+			}
+			for _, p := range tree.RangeQuery(start, count, nil) {
+				fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
+			}
+			fmt.Fprintln(w, "END")
+		case "SCAN":
+			if len(fields) != 3 {
+				fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
+				break
+			}
+			start, err1 := strconv.ParseUint(fields[1], 10, 64)
+			count, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || count < 0 || count > 1<<20 {
+				fmt.Fprintln(w, "ERR bad scan")
+				break
+			}
+			cur := tree.Seek(start)
+			for i := 0; i < count; i++ {
+				p, ok := cur.Next()
+				if !ok {
+					break
+				}
+				fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
+			}
+			fmt.Fprintln(w, "END")
+		case "DESCRIBE":
+			fmt.Fprint(w, tree.Describe())
+			fmt.Fprintln(w, "END")
+		case "STATS":
+			st := tree.Stats()
+			c := tree.Device().Counters()
+			fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d\n",
+				st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
+				c.BytesH2D, c.BytesD2H, c.Kernels)
+		case "QUIT":
+			fmt.Fprintln(w, "BYE")
+			return
+		default:
+			fmt.Fprintln(w, "ERR unknown command")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

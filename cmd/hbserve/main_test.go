@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+
+	"hbtree"
+)
+
+// TestServeProtocol drives the TCP protocol end-to-end against an
+// in-process listener.
+func TestServeProtocol(t *testing.T) {
+	pairs := hbtree.GeneratePairs[uint64](1<<12, 42)
+	tree, err := hbtree.New(pairs, hbtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tree.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(conn, tree)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(line string) string {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(resp)
+	}
+
+	// GET of an existing key.
+	want := fmt.Sprintf("VALUE %d", pairs[10].Value)
+	if got := send(fmt.Sprintf("GET %d", pairs[10].Key)); got != want {
+		t.Fatalf("GET = %q, want %q", got, want)
+	}
+	// GET of a missing key.
+	if got := send("GET 1"); got != "NOTFOUND" && !strings.HasPrefix(got, "VALUE") {
+		t.Fatalf("GET missing = %q", got)
+	}
+	// Malformed requests.
+	if got := send("GET"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad GET = %q", got)
+	}
+	if got := send("GET abc"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("non-numeric GET = %q", got)
+	}
+	if got := send("FLY"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("unknown cmd = %q", got)
+	}
+	// RANGE returns count pairs then END.
+	if _, err := fmt.Fprintf(conn, "RANGE %d 3\n", pairs[0].Key); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLine := fmt.Sprintf("PAIR %d %d", pairs[i].Key, pairs[i].Value)
+		if strings.TrimSpace(line) != wantLine {
+			t.Fatalf("RANGE line %d = %q, want %q", i, strings.TrimSpace(line), wantLine)
+		}
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("RANGE terminator = %q", line)
+	}
+	// STATS mentions the pair count.
+	if got := send("STATS"); !strings.Contains(got, fmt.Sprintf("pairs=%d", len(pairs))) {
+		t.Fatalf("STATS = %q", got)
+	}
+	// QUIT closes the session.
+	if got := send("QUIT"); got != "BYE" {
+		t.Fatalf("QUIT = %q", got)
+	}
+}
+
+// TestSnapshotRoundTrip exercises -save/-load semantics through the
+// library calls the flags invoke, plus the SCAN and DESCRIBE commands.
+func TestSnapshotAndScan(t *testing.T) {
+	pairs := hbtree.GeneratePairs[uint64](1<<12, 7)
+	tree, err := hbtree.New(pairs, hbtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot to a temp file and restore.
+	path := t.TempDir() + "/snap.hbt"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tree.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := hbtree.Load[uint64](rf, hbtree.Options{})
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+
+	// Serve SCAN and DESCRIBE against the restored tree.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(conn, restored)
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+
+	fmt.Fprintf(conn, "SCAN %d 5\n", pairs[10].Key)
+	for i := 0; i < 5; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("PAIR %d %d", pairs[10+i].Key, pairs[10+i].Value)
+		if strings.TrimSpace(line) != want {
+			t.Fatalf("SCAN line %d = %q, want %q", i, strings.TrimSpace(line), want)
+		}
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("SCAN terminator %q", line)
+	}
+
+	fmt.Fprintln(conn, "DESCRIBE")
+	sawTree := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(line, "HB+-tree") {
+			sawTree = true
+		}
+		if strings.TrimSpace(line) == "END" {
+			break
+		}
+	}
+	if !sawTree {
+		t.Fatal("DESCRIBE output missing tree header")
+	}
+}

@@ -1,0 +1,72 @@
+// Framework: the paper's future-work direction of "a general leaf-stored
+// tree processing framework using a CPU-GPU hybrid platform" (Section 7).
+//
+// The same generic engine searches two different leaf-stored structures
+// hybrid-style — the HB+-layout implicit B+-tree and a CSS-tree (Rao &
+// Ross), a structure the original system never supported — with nothing
+// but their directory image and leaf-completion function as input. The
+// engine mirrors the directory to (simulated) GPU memory, runs the
+// warp-parallel traversal there, and derives its cost-model parameters
+// from each tree's own geometry.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/csstree"
+	"hbtree/internal/hybrid"
+	"hbtree/internal/workload"
+)
+
+func main() {
+	const n = 1 << 21
+	pairs := workload.Dataset[uint64](workload.Uniform, n, 42)
+	queries := workload.SearchInput(pairs, 1<<18, 7)
+
+	run := func(name string, idx hybrid.Index[uint64]) {
+		engine, err := hybrid.NewEngine(idx, hybrid.Options{})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		defer engine.Close()
+		vals, found, stats, err := engine.LookupBatch(queries)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		for i, q := range queries {
+			if !found[i] || vals[i] != workload.ValueFor(q) {
+				log.Fatalf("%s: query %d wrong", name, i)
+			}
+		}
+		c := engine.Device().Counters()
+		fmt.Printf("%-22s %7.1f MQPS  latency %-10v  GPU transactions %d\n",
+			name, stats.ThroughputQPS/1e6, stats.AvgLatency, c.Transactions)
+	}
+
+	// 1. The HB+-tree's own implicit B+-tree (GPU-safe fanout 8).
+	bplus, err := cpubtree.BuildImplicit(pairs, cpubtree.Config{Fanout: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("implicit B+-tree", hybrid.WrapBPlus(bplus))
+
+	// 2. A CSS-tree: an entirely different index, searched hybrid by the
+	// same engine.
+	css, err := csstree.Build(pairs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("CSS-tree (Rao&Ross)", hybrid.WrapCSS(css))
+
+	// 3. The framework enforces the GPU constraint the paper derives in
+	// Section 5.2: directories wider than the warp team are rejected.
+	wide, err := cpubtree.BuildImplicit(pairs, cpubtree.Config{}) // fanout 9
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := hybrid.NewEngine[uint64](hybrid.WrapBPlus(wide), hybrid.Options{}); err != nil {
+		fmt.Printf("fanout-9 tree rejected as expected: %v\n", err)
+	}
+}

@@ -1,0 +1,73 @@
+// Load balancing: tuning the HB+-tree for a platform whose GPU is not
+// powerful enough to absorb the whole inner traversal (the paper's M2,
+// a laptop with a GeForce 770M; Section 5.5 and Figure 18).
+//
+// The example shows the problem and the cure: without balancing, the
+// hybrid search on M2 runs slower than a plain CPU-optimized tree
+// because the GPU is the bottleneck; the discovery algorithm
+// (Algorithm 1) then finds how many top levels (D) and what bucket
+// fraction (R) the CPU should pre-walk, and the balanced tree wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbtree"
+)
+
+func main() {
+	const n = 1 << 22
+	pairs := hbtree.GeneratePairs[uint64](n, 3)
+	queries := hbtree.ShuffledQueries(pairs, 1<<18, 9)
+
+	m2 := hbtree.MachineM2()
+	fmt.Printf("platform: %s (%s + %s)\n", m2.Name, m2.CPU.Name, m2.GPU.Name)
+
+	// Unbalanced: every inner level goes to the GPU.
+	plain, err := hbtree.New(pairs, hbtree.Options{Machine: m2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, plainStats, err := plain.LookupBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain.Close()
+	fmt.Printf("unbalanced HB+-tree:  %6.1f MQPS (the weak GPU is the bottleneck)\n",
+		plainStats.ThroughputQPS/1e6)
+
+	// Balanced: discovery picks D and R.
+	balanced, err := hbtree.New(pairs, hbtree.Options{Machine: m2, LoadBalance: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer balanced.Close()
+	b := balanced.Discover()
+	fmt.Printf("discovery (Alg. 1):   CPU pre-walks D=%d levels for R=%.2f of each bucket (D+1 for the rest)\n",
+		b.D, b.R)
+	vals, found, balStats, err := balanced.LookupBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, q := range queries {
+		if !found[i] || vals[i] != hbtree.ValueFor(q) {
+			log.Fatalf("balanced lookup %d wrong", i)
+		}
+	}
+	fmt.Printf("balanced HB+-tree:    %6.1f MQPS (%.0f%% over unbalanced)\n",
+		balStats.ThroughputQPS/1e6,
+		(balStats.ThroughputQPS/plainStats.ThroughputQPS-1)*100)
+
+	// Manual parameters are also possible, e.g. forcing maximum GPU load
+	// back on:
+	if err := balanced.SetBalance(hbtree.Balance{D: 0, R: 1}); err != nil {
+		log.Fatal(err)
+	}
+	_, _, forced, err := balanced.LookupBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forced D=0, R=1:      %6.1f MQPS (back to GPU-bound)\n",
+		forced.ThroughputQPS/1e6)
+}

@@ -1,0 +1,150 @@
+// OLAP scenario: the paper's motivating use case — a lookup-intensive
+// data-warehouse index whose updates arrive as periodic batches
+// (Section 1: "lookup intensive applications where tree updates are
+// performed through bulk update processing").
+//
+// The example runs a day of simulated warehouse activity against the
+// regular HB+-tree: heavy point-query traffic interleaved with ETL-style
+// update batches, picking the I-segment synchronisation method per batch
+// size the way Section 5.6 prescribes — synchronized for small trickle
+// batches, asynchronous (with one bulk I-segment transfer) for the large
+// nightly load. It finishes by rebuilding an implicit HB+-tree from the
+// final dataset, the organisation recommended for pure read service.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"hbtree"
+	"hbtree/internal/workload"
+)
+
+func main() {
+	const n = 1 << 20
+	pairs := hbtree.GeneratePairs[uint64](n, 1)
+
+	// The serving index: regular variant with slack in its big leaves
+	// so trickle updates rarely split.
+	tree, err := hbtree.New(pairs, hbtree.Options{
+		Variant:  hbtree.Regular,
+		LeafFill: 0.8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+	fmt.Printf("serving index: %d rows, height %d\n", tree.NumPairs(), tree.Height())
+
+	oracle := make(map[uint64]uint64, n)
+	for _, p := range pairs {
+		oracle[p.Key] = p.Value
+	}
+
+	// --- daytime: query traffic + trickle updates --------------------
+	for hour := 1; hour <= 3; hour++ {
+		queries := hbtree.ShuffledQueries(pairs, 1<<17, uint64(hour))
+		_, _, stats, err := tree.LookupBatch(queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hour %d: %d lookups at %.1f MQPS (simulated)\n",
+			hour, stats.Queries, stats.ThroughputQPS/1e6)
+
+		// A small trickle batch: the synchronized method streams each
+		// modified inner node to the GPU replica, beating a full
+		// I-segment transfer at this size.
+		batch := makeBatch(oracle, 2048, uint64(100+hour))
+		ust, err := tree.Update(batch, hbtree.Synchronized)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("         trickle batch: %d ops, %d structural, %d nodes re-synced, %s\n",
+			ust.Ops, ust.Structural, ust.DirtyNodes, ust.Total())
+	}
+
+	// --- nightly load: one large asynchronous batch -------------------
+	nightly := makeBatch(oracle, 1<<16, 999)
+	ust, err := tree.Update(nightly, hbtree.AsyncParallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nightly load: %d ops in %s (host %s + I-segment transfer %s)\n",
+		ust.Ops, ust.Total(), ust.HostTime, ust.SyncTime)
+
+	// Verify the index against the oracle after all updates.
+	checked := 0
+	for k, v := range oracle {
+		got, ok := tree.Lookup(k)
+		if !ok || got != v {
+			log.Fatalf("audit failed: key %d -> (%d,%v), want %d", k, got, ok, v)
+		}
+		checked++
+		if checked == 50000 {
+			break
+		}
+	}
+	fmt.Printf("audit: %d sampled rows verified against the oracle\n", checked)
+
+	// --- read-only snapshot: rebuild as implicit ---------------------
+	// For the morning's read-only reporting window, materialise an
+	// implicit HB+-tree (higher search throughput, no update support).
+	snapshot := make([]hbtree.Pair[uint64], 0, len(oracle))
+	for k, v := range oracle {
+		snapshot = append(snapshot, hbtree.Pair[uint64]{Key: k, Value: v})
+	}
+	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].Key < snapshot[j].Key })
+	ro, err := hbtree.New(snapshot, hbtree.Options{Variant: hbtree.Implicit})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ro.Close()
+	bs := ro.BuildStats()
+	fmt.Printf("read-only snapshot: %d rows rebuilt in %s (I-segment transfer %s, %.1f%% of total)\n",
+		ro.NumPairs(), bs.Total(), bs.ISegXfer,
+		bs.ISegXfer.Seconds()/bs.Total().Seconds()*100)
+
+	queries := hbtree.ShuffledQueries(snapshot, 1<<17, 77)
+	_, _, stats, err := ro.LookupBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reporting window: %.1f MQPS on the implicit snapshot\n", stats.ThroughputQPS/1e6)
+}
+
+// makeBatch builds an update batch (70% inserts / 30% deletes) and
+// applies it to the oracle.
+func makeBatch(oracle map[uint64]uint64, n int, seed uint64) []hbtree.Op[uint64] {
+	r := workload.NewRNG(seed)
+	keysList := make([]uint64, 0, len(oracle))
+	for k := range oracle {
+		keysList = append(keysList, k)
+		if len(keysList) == 4*n {
+			break
+		}
+	}
+	ops := make([]hbtree.Op[uint64], 0, n)
+	for len(ops) < n {
+		if r.Intn(10) < 3 && len(keysList) > 0 {
+			k := keysList[r.Intn(len(keysList))]
+			if _, ok := oracle[k]; !ok {
+				continue
+			}
+			delete(oracle, k)
+			ops = append(ops, hbtree.Op[uint64]{Key: k, Delete: true})
+			continue
+		}
+		k := r.Uint64()
+		if k == ^uint64(0) {
+			k--
+		}
+		if _, dup := oracle[k]; dup {
+			continue
+		}
+		v := hbtree.ValueFor(k)
+		oracle[k] = v
+		ops = append(ops, hbtree.Op[uint64]{Key: k, Value: v})
+	}
+	return ops
+}

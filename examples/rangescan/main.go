@@ -1,0 +1,92 @@
+// Range scans and skew: exercises the two remaining workload families of
+// the paper's evaluation — range queries of varying selectivity
+// (Figure 17) and skewed point-query distributions (Figure 12) — on one
+// index, and demonstrates the 32-bit key variant.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbtree"
+	"hbtree/internal/workload"
+)
+
+func main() {
+	const n = 1 << 21
+	pairs := hbtree.GeneratePairs[uint64](n, 5)
+	tree, err := hbtree.New(pairs, hbtree.Options{Variant: hbtree.Regular})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree.Close()
+
+	// --- range queries of growing selectivity ------------------------
+	fmt.Println("range queries (regular HB+-tree, big 256-entry leaves):")
+	for _, matches := range []int{1, 8, 32} {
+		rqs := workload.RangeQueries(pairs, 1000, matches, 11)
+		total := 0
+		for _, rq := range rqs {
+			out := tree.RangeQuery(rq.Start, rq.Count, nil)
+			if len(out) != rq.Count {
+				log.Fatalf("range from %d returned %d of %d", rq.Start, len(out), rq.Count)
+			}
+			// Results are sorted and contiguous in the key order.
+			for i := 1; i < len(out); i++ {
+				if out[i-1].Key >= out[i].Key {
+					log.Fatal("range result not sorted")
+				}
+			}
+			total += len(out)
+		}
+		fmt.Printf("  %2d matches/query: %d queries returned %d pairs\n",
+			matches, len(rqs), total)
+	}
+
+	// --- skewed point queries ----------------------------------------
+	// Draws from each distribution pick dataset ranks, so every query
+	// hits; Zipf concentrates on a handful of hot keys, which the tree
+	// serves mostly from cache (the effect behind the paper's Figure 12).
+	fmt.Println("skewed lookups (hybrid path, rank-addressed):")
+	for _, d := range []workload.Distribution{workload.Uniform, workload.Zipf} {
+		raw := workload.SkewedQueries[uint64](d, 1<<17, 13)
+		qs := make([]uint64, len(raw))
+		distinct := make(map[uint64]struct{})
+		for i, r := range raw {
+			k := pairs[int(float64(r)/float64(^uint64(0))*float64(n-1))].Key
+			qs[i] = k
+			distinct[k] = struct{}{}
+		}
+		_, found, stats, err := tree.LookupBatch(qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := range found {
+			if !found[i] {
+				log.Fatalf("rank-addressed query %d missed", i)
+			}
+		}
+		fmt.Printf("  %-8s %.1f MQPS, %d distinct keys across %d queries\n",
+			d, stats.ThroughputQPS/1e6, len(distinct), len(qs))
+	}
+
+	// --- 32-bit key variant -------------------------------------------
+	pairs32 := hbtree.GeneratePairs[uint32](1<<20, 21)
+	tree32, err := hbtree.New(pairs32, hbtree.Options{Variant: hbtree.Implicit})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tree32.Close()
+	qs32 := hbtree.ShuffledQueries(pairs32, 1<<17, 23)
+	vals, found, stats, err := tree32.LookupBatch(qs32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, q := range qs32 {
+		if !found[i] || vals[i] != hbtree.ValueFor(q) {
+			log.Fatalf("32-bit lookup %d wrong", i)
+		}
+	}
+	fmt.Printf("32-bit variant: height %d (fanout 16 inner nodes), %.1f MQPS\n",
+		tree32.Height(), stats.ThroughputQPS/1e6)
+}

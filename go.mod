@@ -1,0 +1,3 @@
+module hbtree
+
+go 1.23

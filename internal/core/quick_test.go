@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/workload"
+)
+
+// TestHybridQuickOracle property-tests the whole hybrid search stack on
+// arbitrary seeds, variants and bucket sizes against a map oracle.
+func TestHybridQuickOracle(t *testing.T) {
+	f := func(seed uint64, variantRaw, bucketRaw uint8, nRaw uint16) bool {
+		variant := Variant(int(variantRaw) % 2)
+		bucket := 64 << (bucketRaw % 6) // 64..2048
+		n := int(nRaw)%20000 + 64
+		pairs := workload.Dataset[uint64](workload.Uniform, n, seed)
+		tr, err := Build(pairs, Options{Variant: variant, BucketSize: bucket})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		oracle := make(map[uint64]uint64, n)
+		for _, p := range pairs {
+			oracle[p.Key] = p.Value
+		}
+		r := workload.NewRNG(seed ^ 0xBEEF)
+		qs := make([]uint64, 512)
+		for i := range qs {
+			if i%2 == 0 {
+				qs[i] = pairs[r.Intn(n)].Key
+			} else {
+				qs[i] = r.Uint64()
+				if qs[i] == ^uint64(0) {
+					qs[i]--
+				}
+			}
+		}
+		vals, fnd, _, err := tr.LookupBatch(qs)
+		if err != nil {
+			return false
+		}
+		for i, q := range qs {
+			wv, wok := oracle[q]
+			if fnd[i] != wok || (wok && vals[i] != wv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateQuickOracle property-tests random update batches across all
+// methods against a map oracle, with the replica audited each round.
+func TestUpdateQuickOracle(t *testing.T) {
+	f := func(seed uint64, methodRaw uint8) bool {
+		method := UpdateMethod(int(methodRaw) % 4)
+		pairs := workload.Dataset[uint64](workload.Uniform, 4000, seed)
+		tr, err := Build(pairs, Options{Variant: Regular, LeafFill: 0.7})
+		if err != nil {
+			return false
+		}
+		defer tr.Close()
+		oracle := make(map[uint64]uint64)
+		for _, p := range pairs {
+			oracle[p.Key] = p.Value
+		}
+		wl := workload.UpdateBatch(pairs, 1500, 0.35, seed+1)
+		ops := make([]cpubtree.Op[uint64], len(wl))
+		for i, op := range wl {
+			ops[i] = cpubtree.Op[uint64]{Key: op.Pair.Key, Value: op.Pair.Value, Delete: op.Delete}
+			if op.Delete {
+				delete(oracle, op.Pair.Key)
+			} else {
+				oracle[op.Pair.Key] = op.Pair.Value
+			}
+		}
+		if _, err := tr.Update(ops, method); err != nil {
+			return false
+		}
+		if err := tr.VerifyReplica(); err != nil {
+			return false
+		}
+		if tr.NumPairs() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			if got, ok := tr.Lookup(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

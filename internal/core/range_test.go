@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"hbtree/internal/workload"
+)
+
+func TestRangeQueryBatchMatchesSingle(t *testing.T) {
+	for _, v := range []Variant{Implicit, Regular} {
+		pairs := workload.Dataset[uint64](workload.Uniform, 60000, 42)
+		tr, err := Build(pairs, Options{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, count := range []int{1, 8, 32} {
+			rqs := workload.RangeQueries(pairs, 3000, count, uint64(count))
+			starts := make([]uint64, len(rqs))
+			for i, rq := range rqs {
+				starts[i] = rq.Start
+			}
+			out, stats, err := tr.RangeQueryBatch(starts, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.ThroughputQPS <= 0 || stats.Matches == 0 {
+				t.Fatalf("%v: bad stats %+v", v, stats)
+			}
+			for i, rq := range rqs {
+				want := tr.RangeQuery(rq.Start, count, nil)
+				if len(out[i]) != len(want) {
+					t.Fatalf("%v count %d: query %d returned %d, want %d", v, count, i, len(out[i]), len(want))
+				}
+				for j := range want {
+					if out[i][j] != want[j] {
+						t.Fatalf("%v count %d: query %d diverges at %d", v, count, i, j)
+					}
+				}
+			}
+		}
+		tr.Close()
+	}
+}
+
+// TestRangeQueryBatchUsesReplica corrupts the host I-segment: the hybrid
+// range path must still resolve correctly from the device replica.
+func TestRangeQueryBatchUsesReplica(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 30000, 7)
+	tr, err := Build(pairs, Options{Variant: Implicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	want := tr.RangeQuery(pairs[100].Key, 8, nil)
+
+	inner, _, _, _ := tr.impl.InnerArray()
+	saved := append([]uint64(nil), inner...)
+	for i := range inner {
+		inner[i] = 0xBAD
+	}
+	out, _, err := tr.RangeQueryBatch([]uint64{pairs[100].Key}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(inner, saved)
+	if len(out[0]) != len(want) {
+		t.Fatalf("replica range returned %d, want %d", len(out[0]), len(want))
+	}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("replica range diverges at %d", i)
+		}
+	}
+}
+
+func TestRangeQueryBatchEmpty(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 1000, 1)
+	tr, err := Build(pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	out, stats, err := tr.RangeQueryBatch(nil, 8)
+	if err != nil || len(out) != 0 || stats.Queries != 0 {
+		t.Fatal("empty batch mishandled")
+	}
+	// Past-the-end starts return empty results, not errors.
+	out, _, err = tr.RangeQueryBatch([]uint64{pairs[len(pairs)-1].Key + 1}, 4)
+	if err != nil || len(out[0]) != 0 {
+		t.Fatalf("past-end range: %v %v", out, err)
+	}
+}

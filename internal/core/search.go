@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/gpusim"
+	"hbtree/internal/keys"
+	"hbtree/internal/model"
+	"hbtree/internal/vclock"
+)
+
+// SearchStats summarises one LookupBatch execution: the simulated
+// makespan, throughput and latency, plus the average per-bucket stage
+// durations T1..T4 of the Section 5.4 cost model, for inspection by the
+// harness and tests.
+type SearchStats struct {
+	Queries    int
+	Buckets    int
+	BucketSize int
+
+	SimTime       vclock.Duration // virtual makespan of the whole batch
+	ThroughputQPS float64         // Queries / SimTime
+	AvgLatency    vclock.Duration // mean bucket completion - admission
+
+	// Latency percentiles over the per-bucket completion latencies.
+	LatencyP50, LatencyP95, LatencyP99 vclock.Duration
+
+	T1, T2, T3, T4 vclock.Duration // average per-bucket stage durations
+}
+
+// setLatencies fills the average and percentile latency fields from the
+// per-bucket completion latencies.
+func (s *SearchStats) setLatencies(lats []vclock.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	var sum vclock.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	s.AvgLatency = sum / vclock.Duration(len(lats))
+	sorted := append([]vclock.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(q float64) vclock.Duration {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	s.LatencyP50 = pick(0.50)
+	s.LatencyP95 = pick(0.95)
+	s.LatencyP99 = pick(0.99)
+}
+
+func (s *SearchStats) finalize(tl *vclock.Timeline) {
+	s.SimTime = tl.Now()
+	if s.SimTime > 0 {
+		s.ThroughputQPS = float64(s.Queries) / s.SimTime.Seconds()
+	}
+}
+
+// LookupBatch resolves the queries with the heterogeneous CPU-GPU search
+// of Section 5.4: queries are split into buckets of M, each bucket flows
+// through H2D copy -> GPU inner traversal -> D2H copy -> CPU leaf
+// search, and buckets are scheduled according to the configured strategy
+// (sequential, pipelined, double-buffered) — or the load-balanced
+// variant when enabled. Results are exact (computed on the device
+// replica and host leaves); timing is virtual.
+func (t *Tree[K]) LookupBatch(queries []K) (values []K, found []bool, stats SearchStats, err error) {
+	if t.opt.LoadBalance {
+		return t.lookupBatchBalanced(queries)
+	}
+	return t.lookupBatchPlain(queries)
+}
+
+func (t *Tree[K]) lookupBatchPlain(queries []K) (values []K, found []bool, stats SearchStats, err error) {
+	n := len(queries)
+	values = make([]K, n)
+	found = make([]bool, n)
+	if n == 0 {
+		return values, found, stats, nil
+	}
+	m := t.opt.BucketSize
+	stats.BucketSize = m
+	stats.Queries = n
+
+	// Device-side staging buffers (functionally reused across buckets;
+	// the timeline's buffer-dependency edges model their reuse).
+	qbuf, err := gpusim.Malloc[K](t.dev, m)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("core: allocating query buffer: %w", err)
+	}
+	defer qbuf.Free()
+	rbuf, err := gpusim.Malloc[int32](t.dev, 2*m)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("core: allocating result buffer: %w", err)
+	}
+	defer rbuf.Free()
+
+	nbuf := t.numBuffers()
+	tl := vclock.NewTimeline()
+	if t.traceOn {
+		tl.SetTrace(true)
+		t.lastTrace = tl
+	}
+	var sumT1, sumT2, sumT3, sumT4 vclock.Duration
+	var lats []vclock.Duration
+	d2hEnd := make(map[int]vclock.Duration)
+
+	buckets := 0
+	for start := 0; start < n; start += m {
+		end := start + m
+		if end > n {
+			end = n
+		}
+		bq := queries[start:end]
+		bn := len(bq)
+		stream := buckets
+		if t.opt.Strategy == Sequential {
+			stream = 0 // one stream: no overlap at all
+		} else if prev, ok := d2hEnd[buckets-nbuf]; ok {
+			// The staging buffer is reused once its previous bucket's
+			// intermediate results have left the device.
+			tl.AdvanceStream(stream, prev)
+		}
+
+		// Step 1: transfer the bucket to GPU memory.
+		d1 := t.copyQueriesToDevice(qbuf, bq)
+		h2dStart, _ := tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
+
+		// Step 2: GPU traversal of all inner levels (functional kernel
+		// on the device replica).
+		d2 := t.runKernel(qbuf, rbuf, bn)
+		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
+
+		// Step 3: transfer intermediate results to CPU memory.
+		d3 := t.dev.CopyDuration(int64(bn) * t.resultSize())
+		_, dEnd := tl.Schedule(stream, vclock.ResPCIeD2H, "D2H", d3)
+		d2hEnd[buckets] = dEnd
+
+		// Step 4: CPU finishes the search in the leaf nodes.
+		d4 := t.cpuLeafStageDuration(bn)
+		t.finishOnCPU(rbuf, bq, values[start:end], found[start:end])
+		_, cEnd := tl.Schedule(stream, vclock.ResCPU, "leaf", d4)
+
+		lats = append(lats, cEnd-h2dStart)
+		sumT1 += d1
+		sumT2 += d2
+		sumT3 += d3
+		sumT4 += d4
+		buckets++
+	}
+
+	stats.Buckets = buckets
+	stats.setLatencies(lats)
+	stats.T1 = sumT1 / vclock.Duration(buckets)
+	stats.T2 = sumT2 / vclock.Duration(buckets)
+	stats.T3 = sumT3 / vclock.Duration(buckets)
+	stats.T4 = sumT4 / vclock.Duration(buckets)
+	stats.finalize(tl)
+	return values, found, stats, nil
+}
+
+// numBuffers returns how many buckets may be in flight: 1 for strictly
+// sequential handling, 2 for the pipelined strategies ("we restrict the
+// number of query buckets in the not-load-balanced version to two"), 3
+// with load balancing (Section 5.5).
+func (t *Tree[K]) numBuffers() int {
+	switch {
+	case t.opt.Strategy == Sequential:
+		return 1
+	case t.opt.LoadBalance:
+		return 3
+	case t.opt.Strategy == Pipelined:
+		return 1 // single staging buffer: next H2D waits for prior D2H (Figure 5)
+	default:
+		return 2 // double buffering (Figure 6)
+	}
+}
+
+// copyQueriesToDevice stages a bucket in device memory, returning T1.
+func (t *Tree[K]) copyQueriesToDevice(qbuf *gpusim.Buffer[K], bq []K) vclock.Duration {
+	d, err := qbuf.CopyFromHost(bq)
+	if err != nil {
+		panic(err) // buffer sized to BucketSize; bq is never larger
+	}
+	return d
+}
+
+// runKernel executes the inner-level traversal on the device replica,
+// writing intermediate results into rbuf, and returns T2.
+func (t *Tree[K]) runKernel(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[int32], bn int) vclock.Duration {
+	switch t.opt.Variant {
+	case Implicit:
+		gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc,
+			qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil)
+		return t.gpuStageDuration(bn, t.implDesc.Height)
+	default:
+		out := rbuf.Data()
+		gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
+			qbuf.Data()[:bn], out[:bn], out[bn:2*bn], 0, nil)
+		return t.gpuStageDuration(bn, t.regDesc.Height)
+	}
+}
+
+// finishOnCPU runs step 4 functionally: the CPU searches the leaf lines
+// named by the device-resident intermediate results.
+func (t *Tree[K]) finishOnCPU(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool) {
+	bn := len(bq)
+	res := make([]int32, 2*bn)
+	if _, err := rbuf.CopyToHost(res); err != nil {
+		panic(err)
+	}
+	if t.opt.Variant == Implicit {
+		t.impl.SearchLeavesBatch(bq, res[:bn], values, found)
+		return
+	}
+	refs := make([]cpubtree.LeafRef, bn)
+	for i := 0; i < bn; i++ {
+		refs[i] = cpubtree.LeafRef{Leaf: res[i], Line: res[bn+i]}
+	}
+	t.reg.SearchLeavesBatch(bq, refs, values, found)
+}
+
+// LookupBatchCPU resolves the queries entirely on the CPU using the
+// HB+-tree's own node layout — the Appendix B.1 comparison (Figure 19),
+// where the implicit HB+-tree pays for its reduced fanout.
+func (t *Tree[K]) LookupBatchCPU(queries []K) (values []K, found []bool, stats SearchStats) {
+	n := len(queries)
+	values = make([]K, n)
+	found = make([]bool, n)
+	stats.Queries = n
+	stats.Buckets = 1
+	stats.BucketSize = n
+	if t.impl != nil {
+		t.impl.LookupBatch(queries, values, found)
+	} else {
+		t.reg.LookupBatch(queries, values, found)
+	}
+	stats.SimTime = t.cpuFullLookupBatch(n, 0)
+	if stats.SimTime > 0 {
+		stats.ThroughputQPS = float64(n) / stats.SimTime.Seconds()
+	}
+	p, searches := t.lookupProfile()
+	stats.AvgLatency = cpuPerQuery(t.opt.Machine.CPU, t.opt.NodeSearch, searches, p, 0,
+		t.opt.PipelineDepth, 0) * vclock.Duration(t.opt.PipelineDepth)
+	return values, found, stats
+}
+
+// RangeStats reports a batch range execution.
+type RangeStats struct {
+	Queries       int
+	Matches       int
+	SimTime       vclock.Duration
+	ThroughputQPS float64
+}
+
+// RangeQueryBatch executes many range queries hybrid-style — the
+// workload of Figure 17: the GPU resolves each range's start leaf over
+// the I-segment replica (steps 1-3 of Section 5.4), then the CPU scans
+// forward through the host-resident leaf chain collecting `count` pairs
+// per query. Results are returned per query in submission order.
+func (t *Tree[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], RangeStats, error) {
+	n := len(starts)
+	out := make([][]keys.Pair[K], n)
+	var stats RangeStats
+	stats.Queries = n
+	if n == 0 {
+		return out, stats, nil
+	}
+	m := t.opt.BucketSize
+	qbuf, err := gpusim.Malloc[K](t.dev, m)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: allocating query buffer: %w", err)
+	}
+	defer qbuf.Free()
+	rbuf, err := gpusim.Malloc[int32](t.dev, 2*m)
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: allocating result buffer: %w", err)
+	}
+	defer rbuf.Free()
+
+	tl := vclock.NewTimeline()
+	ppl := keys.PerLine[K]() / 2
+	leafLines := float64((count + ppl - 1) / ppl)
+	cpu := t.opt.Machine.CPU
+	d2hEnd := make(map[int]vclock.Duration)
+	buckets := 0
+	for start := 0; start < n; start += m {
+		end := start + m
+		if end > n {
+			end = n
+		}
+		bq := starts[start:end]
+		bn := len(bq)
+		stream := buckets
+		if prev, ok := d2hEnd[buckets-2]; ok {
+			tl.AdvanceStream(stream, prev)
+		}
+		d1 := t.copyQueriesToDevice(qbuf, bq)
+		tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
+		d2 := t.runKernel(qbuf, rbuf, bn)
+		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
+		d3 := t.dev.CopyDuration(int64(bn) * t.resultSize())
+		_, dEnd := tl.Schedule(stream, vclock.ResPCIeD2H, "D2H", d3)
+		d2hEnd[buckets] = dEnd
+
+		// CPU stage: scan `count` pairs from each resolved start leaf.
+		res := make([]int32, 2*bn)
+		if _, err := rbuf.CopyToHost(res); err != nil {
+			return nil, stats, err
+		}
+		for i := 0; i < bn; i++ {
+			out[start+i] = t.scanFrom(res, bn, i, bq[i], count)
+			stats.Matches += len(out[start+i])
+		}
+		p := t.leafProfile()
+		scan := model.MissProfile{Hit: leafLines * p.Hit, Miss: leafLines * p.Miss}
+		mem := (vclock.Duration(scan.Miss)*cpu.LatMem + vclock.Duration(scan.Hit)*cpu.LatLLC) /
+			vclock.Duration(cpu.MLPMax)
+		pq := cpu.CostHybridSched + vclock.Duration(leafLines*float64(model.AlgoCost(cpu, t.opt.NodeSearch))) + mem
+		d4 := model.BatchDuration(cpu, bn, pq, scan.MissBytes(), t.opt.Threads)
+		tl.Schedule(stream, vclock.ResCPU, "scan", d4)
+		buckets++
+	}
+	stats.SimTime = tl.Now()
+	if stats.SimTime > 0 {
+		stats.ThroughputQPS = float64(n) / stats.SimTime.Seconds()
+	}
+	return out, stats, nil
+}
+
+// scanFrom collects up to count pairs starting at the GPU-resolved leaf
+// reference for query i — the I-segment is not consulted again.
+func (t *Tree[K]) scanFrom(res []int32, bn, i int, start K, count int) []keys.Pair[K] {
+	if t.impl != nil {
+		return t.impl.RangeFromLine(int(res[i]), start, count, nil)
+	}
+	return t.reg.RangeFromRef(res[i], int(res[bn+i]), start, count, nil)
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"hbtree/internal/workload"
+)
+
+func TestCoreSaveLoadImplicit(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 40000, 42)
+	tr, err := Build(pairs, Options{Variant: Implicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := Load[uint64](&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+	if lt.Options().Variant != Implicit {
+		t.Fatal("variant not restored")
+	}
+	if err := lt.VerifyReplica(); err != nil {
+		t.Fatalf("loaded replica inconsistent: %v", err)
+	}
+	qs := workload.SearchInput(pairs, 20000, 3)
+	vals, fnd, stats, err := lt.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if !fnd[i] || vals[i] != workload.ValueFor(q) {
+			t.Fatalf("loaded hybrid lookup %d failed", i)
+		}
+	}
+	if stats.ThroughputQPS <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestCoreSaveLoadRegularWithUpdates(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 30000, 5)
+	tr, err := Build(pairs, Options{Variant: Regular, LeafFill: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	ops := makeUpdateOps(pairs, 5000, 0.3, 7)
+	if _, err := tr.Update(ops, AsyncParallel); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := Load[uint64](&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lt.Close()
+	if lt.NumPairs() != tr.NumPairs() {
+		t.Fatalf("pairs diverge: %d vs %d", lt.NumPairs(), tr.NumPairs())
+	}
+	// The loaded tree supports further updates with a consistent replica.
+	more := makeUpdateOps(pairs, 2000, 0.5, 11)
+	if _, err := lt.Update(more, Synchronized); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.VerifyReplica(); err != nil {
+		t.Fatal(err)
+	}
+	a := tr.RangeQuery(0, 1000, nil)
+	_ = a // original unaffected by the loaded copy's updates
+}
+
+func TestCoreLoadGarbage(t *testing.T) {
+	if _, err := Load[uint64](bytes.NewReader([]byte{9, 1, 2, 3}), Options{}); err == nil {
+		t.Fatal("garbage variant accepted")
+	}
+	if _, err := Load[uint64](bytes.NewReader(nil), Options{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package cpubtree
+
+import (
+	"hbtree/internal/keys"
+	"hbtree/internal/simd"
+)
+
+// Cursor is a forward iterator over a tree's pairs in key order. Both
+// tree organisations provide one; the HB+-tree and the public API expose
+// them for streaming scans whose extent is not known up front (unlike
+// RangeQuery's fixed count).
+//
+// A cursor is a read-only view: using it concurrently with updates is
+// not supported (the paper's use cases separate lookup and bulk-update
+// phases).
+type Cursor[K keys.Key] interface {
+	// Next returns the next pair, or ok=false when the scan is done.
+	Next() (p keys.Pair[K], ok bool)
+}
+
+// implicitCursor walks the implicit tree's sequential leaf lines.
+type implicitCursor[K keys.Key] struct {
+	t    *ImplicitTree[K]
+	line int
+	idx  int
+}
+
+// Seek returns a cursor positioned at the first key >= start.
+func (t *ImplicitTree[K]) Seek(start K) Cursor[K] {
+	l := t.SearchInner(start)
+	i, _ := simd.SearchPairsLine(t.leafLine(l), start)
+	return &implicitCursor[K]{t: t, line: l, idx: i}
+}
+
+// Next implements Cursor.
+func (c *implicitCursor[K]) Next() (keys.Pair[K], bool) {
+	maxK := keys.Max[K]()
+	for c.line < c.t.numLeaves {
+		line := c.t.leafLine(c.line)
+		for c.idx < c.t.pairsLine {
+			k := line[2*c.idx]
+			if k == maxK {
+				// Padding: the data ends here.
+				c.line = c.t.numLeaves
+				return keys.Pair[K]{}, false
+			}
+			p := keys.Pair[K]{Key: k, Value: line[2*c.idx+1]}
+			c.idx++
+			return p, true
+		}
+		c.line++
+		c.idx = 0
+	}
+	return keys.Pair[K]{}, false
+}
+
+// regularCursor walks the regular tree's big-leaf chain.
+type regularCursor[K keys.Key] struct {
+	t    *RegularTree[K]
+	leaf int32
+	pos  int
+}
+
+// Seek returns a cursor positioned at the first key >= start.
+func (t *RegularTree[K]) Seek(start K) Cursor[K] {
+	b, c := t.SearchToLeaf(start)
+	i, _ := simd.SearchPairsLine(t.leafLine(b, c), start)
+	return &regularCursor[K]{t: t, leaf: b, pos: c*t.ppl + i}
+}
+
+// Next implements Cursor.
+func (c *regularCursor[K]) Next() (keys.Pair[K], bool) {
+	for c.leaf != nilRef {
+		np := int(c.t.leafMeta[c.leaf].npairs)
+		if c.pos < np {
+			data := c.t.leafPairs(c.leaf)
+			p := keys.Pair[K]{Key: data[2*c.pos], Value: data[2*c.pos+1]}
+			c.pos++
+			return p, true
+		}
+		c.leaf = c.t.leafMeta[c.leaf].next
+		c.pos = 0
+	}
+	return keys.Pair[K]{}, false
+}

@@ -1,0 +1,98 @@
+package cpubtree
+
+import (
+	"testing"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/workload"
+)
+
+func drain[K keys.Key](c Cursor[K], limit int) []keys.Pair[K] {
+	var out []keys.Pair[K]
+	for len(out) < limit {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestCursorFullScan(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 10000, 42)
+	impl, err := BuildImplicit(pairs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := BuildRegular(pairs, Config{LeafFill: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range map[string]Cursor[uint64]{
+		"implicit": impl.Seek(0),
+		"regular":  reg.Seek(0),
+	} {
+		got := drain(c, len(pairs)+10)
+		if len(got) != len(pairs) {
+			t.Fatalf("%s: scanned %d of %d", name, len(got), len(pairs))
+		}
+		for i := range got {
+			if got[i] != pairs[i] {
+				t.Fatalf("%s: scan[%d] = %+v, want %+v", name, i, got[i], pairs[i])
+			}
+		}
+		// Exhausted cursor stays exhausted.
+		if _, ok := c.Next(); ok {
+			t.Fatalf("%s: cursor resurrected", name)
+		}
+	}
+}
+
+func TestCursorSeekMidAndBetween(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 5000, 7)
+	impl, _ := BuildImplicit(pairs, Config{})
+	reg, _ := BuildRegular(pairs, Config{})
+	for name, seek := range map[string]func(uint64) Cursor[uint64]{
+		"implicit": impl.Seek,
+		"regular":  reg.Seek,
+	} {
+		// Exact key.
+		got := drain(seek(pairs[1234].Key), 3)
+		if len(got) != 3 || got[0] != pairs[1234] || got[2] != pairs[1236] {
+			t.Fatalf("%s: exact seek wrong: %+v", name, got)
+		}
+		// Between keys: starts at the successor.
+		got = drain(seek(pairs[77].Key+1), 1)
+		if len(got) != 1 || got[0] != pairs[78] {
+			t.Fatalf("%s: between-keys seek wrong: %+v", name, got)
+		}
+		// Past the end: empty.
+		if got := drain(seek(pairs[len(pairs)-1].Key+1), 1); len(got) != 0 {
+			t.Fatalf("%s: past-end seek returned %+v", name, got)
+		}
+	}
+}
+
+func TestCursorAfterUpdates(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 3000, 3)
+	tr, _ := BuildRegular(pairs, Config{LeafFill: 0.6})
+	// Delete every third key, insert a few new ones.
+	expect := make([]keys.Pair[uint64], 0, len(pairs))
+	for i, p := range pairs {
+		if i%3 == 0 {
+			tr.Delete(p.Key)
+			continue
+		}
+		expect = append(expect, p)
+	}
+	got := drain(tr.Seek(0), len(pairs))
+	if len(got) != len(expect) {
+		t.Fatalf("scan %d of %d after deletes", len(got), len(expect))
+	}
+	for i := range got {
+		if got[i] != expect[i] {
+			t.Fatalf("post-update scan diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package cpubtree
+
+import (
+	"math"
+	"testing"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/mem"
+	"hbtree/internal/workload"
+)
+
+// This file checks the paper's analytic space and height equations
+// (Equations 1 and 2, Section 4.1) against the built trees.
+
+// TestEquation1RegularSpace: I_space = N / (P_L (F_I - 1)) * S_I and
+// L_space = N / P_L * S_L for a full tree. Our builder's big leaves make
+// P_L effectively 256 pairs per leaf unit; the last-level inner pool is
+// the dominant I-segment term the equation models.
+func TestEquation1RegularSpace(t *testing.T) {
+	n := 1 << 18 // multiple of 256: full big leaves
+	pairs := workload.Dataset[uint64](workload.Uniform, n, 42)
+	tr, err := BuildRegular(pairs, Config{LeafFill: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+
+	// Leaf space: exactly one big leaf per 256 pairs, 64 lines of data.
+	wantLeaf := int64(n) / 256 * 64 * keys.LineBytes
+	if st.LeafBytes != wantLeaf {
+		t.Fatalf("LeafBytes = %d, want %d", st.LeafBytes, wantLeaf)
+	}
+
+	// Inner space: n/256 last-level nodes of S_I=1088 bytes, plus upper
+	// levels that add at most 1/(F_I-1) on top.
+	lastBytes := int64(n) / 256 * 1088
+	if st.InnerBytes < lastBytes || st.InnerBytes > lastBytes+lastBytes/63+2*1088 {
+		t.Fatalf("InnerBytes = %d outside [%d, %d]", st.InnerBytes, lastBytes, lastBytes+lastBytes/63+2*1088)
+	}
+}
+
+// TestEquation2RegularHeight: the regular tree's height obeys
+// ceil(log_32(N/4+1)) <= H <= floor(log_16((N/2+1)/2)) + 1 in the
+// paper's half-full-to-full range; our bulk load is full (fanout 64,
+// 256-pair leaves), so H <= ceil(log_64(N/256)) + 1.
+func TestEquation2RegularHeight(t *testing.T) {
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, 7)
+		tr, err := BuildRegular(pairs, Config{LeafFill: 1.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		upper := int(math.Ceil(math.Log(float64(n)/256)/math.Log(64))) + 1
+		if upper < 1 {
+			upper = 1
+		}
+		if tr.Height() > upper {
+			t.Fatalf("n=%d: height %d exceeds full-tree bound %d", n, tr.Height(), upper)
+		}
+		// And the paper's lower bound with its P_L=4 line-granularity
+		// accounting.
+		lower := int(math.Ceil(math.Log(float64(n)/4+1) / math.Log(32)))
+		if tr.Height() > lower+2 {
+			t.Fatalf("n=%d: height %d far above Eq.2 lower bound %d", n, tr.Height(), lower)
+		}
+	}
+}
+
+// TestRegular32BitUpdates exercises the full update machinery on the
+// 32-bit variant (fanout 256, 2048-pair big leaves).
+func TestRegular32BitUpdates(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 30000, 3)
+	tr, err := BuildRegular(pairs, Config{LeafFill: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := make(map[uint32]uint32)
+	for _, p := range pairs {
+		oracle[p.Key] = p.Value
+	}
+	r := workload.NewRNG(5)
+	for i := 0; i < 20000; i++ {
+		if r.Intn(3) == 0 {
+			k := pairs[r.Intn(len(pairs))].Key
+			tr.Delete(k)
+			delete(oracle, k)
+		} else {
+			k := r.Uint32()
+			if k == keys.Max[uint32]() {
+				continue
+			}
+			if _, err := tr.Insert(k, k+1); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = k + 1
+		}
+	}
+	if tr.NumPairs() != len(oracle) {
+		t.Fatalf("NumPairs %d != oracle %d", tr.NumPairs(), len(oracle))
+	}
+	for k, v := range oracle {
+		if got, ok := tr.Lookup(k); !ok || got != v {
+			t.Fatalf("Lookup(%d) = (%d,%v), want %d", k, got, ok, v)
+		}
+	}
+}
+
+// TestImplicitInstrumentedLineCount: the instrumented lookup touches
+// exactly LinesPerQuery lines per query — the invariant connecting the
+// functional simulation to the cost model.
+func TestImplicitInstrumentedLineCount(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 50000, 9)
+	tr, err := BuildImplicit(pairs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &countToucher{}
+	qs := workload.SearchInput(pairs, 1000, 3)
+	for _, q := range qs {
+		tr.LookupInstrumented(q, counter)
+	}
+	want := int64(len(qs) * tr.Stats().LinesPerQuery)
+	if counter.n != want {
+		t.Fatalf("touched %d lines, want %d", counter.n, want)
+	}
+}
+
+// TestRegularInstrumentedLineCount: 3 lines per upper node, 2 at the
+// last level, 1 leaf line = 3H lines per query.
+func TestRegularInstrumentedLineCount(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 200000, 9)
+	tr, err := BuildRegular(pairs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &countToucher{}
+	qs := workload.SearchInput(pairs, 1000, 3)
+	for _, q := range qs {
+		tr.LookupInstrumented(q, counter)
+	}
+	want := int64(len(qs) * tr.Stats().LinesPerQuery)
+	if counter.n != want {
+		t.Fatalf("touched %d lines, want %d", counter.n, want)
+	}
+}
+
+type countToucher struct{ n int64 }
+
+func (c *countToucher) Touch(int64, mem.PageKind) { c.n++ }

@@ -1,0 +1,359 @@
+package cpubtree
+
+import (
+	"fmt"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/mem"
+	"hbtree/internal/simd"
+)
+
+// ImplicitTree is the paper's implicit B+-tree (Sections 3 and 4.1):
+// nodes are arranged breadth-first in one array, child locations are
+// computed rather than stored, and every inner and leaf node occupies
+// exactly one 64-byte cache line. The CPU-optimized configuration packs
+// eight 64-bit keys per inner node (fanout 9); the HB+-tree I-segment
+// configuration reduces the fanout to 8 and pins the node's last key to
+// MAX so that one warp of eight GPU threads covers node search and data
+// access with the same shape (Section 5.2).
+//
+// The structure is static: updates rebuild the whole tree (Section 5.6).
+type ImplicitTree[K keys.Key] struct {
+	cfg Config
+
+	kpn        int // key slots per inner node (one line: 8 or 16)
+	fanout     int // children per inner node
+	pairsLine  int // key-value pairs per leaf line (4 or 8)
+	numPairs   int
+	numLeaves  int // leaf lines
+	height     int // H: number of inner levels; leaves at height 0
+	levelNodes []int
+	levelOff   []int // offset (in nodes) of each level, root first
+
+	inner  []K // all inner nodes, breadth first, kpn keys each
+	leaves []K // leaf lines, interleaved [k0 v0 k1 v1 ...]
+
+	iseg mem.Segment
+	lseg mem.Segment
+}
+
+// BuildImplicit bulk-loads an implicit tree from sorted, distinct pairs.
+func BuildImplicit[K keys.Key](pairs []keys.Pair[K], cfg Config) (*ImplicitTree[K], error) {
+	cfg.fillDefaults()
+	kpn := keys.PerLine[K]()
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = kpn + 1 // CPU-optimized default: 9 (64-bit) / 17 (32-bit)
+	}
+	if fanout < 2 || fanout > kpn+1 {
+		return nil, fmt.Errorf("cpubtree: implicit fanout %d out of range [2, %d]", fanout, kpn+1)
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("cpubtree: empty dataset")
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Key >= pairs[i].Key {
+			return nil, fmt.Errorf("cpubtree: pairs not sorted/distinct at %d", i)
+		}
+	}
+	if pairs[len(pairs)-1].Key == keys.Max[K]() {
+		return nil, fmt.Errorf("cpubtree: key MAX is reserved as sentinel")
+	}
+
+	t := &ImplicitTree[K]{
+		cfg:       cfg,
+		kpn:       kpn,
+		fanout:    fanout,
+		pairsLine: kpn / 2,
+		numPairs:  len(pairs),
+	}
+	t.build(pairs)
+	t.iseg = cfg.Alloc.Alloc(int64(len(t.inner))*int64(keys.Size[K]()), cfg.ISegPages)
+	t.lseg = cfg.Alloc.Alloc(int64(len(t.leaves))*int64(keys.Size[K]()), cfg.LSegPages)
+	return t, nil
+}
+
+// build fills the leaf lines and the breadth-first inner levels.
+func (t *ImplicitTree[K]) build(pairs []keys.Pair[K]) {
+	maxK := keys.Max[K]()
+	t.numLeaves = (len(pairs) + t.pairsLine - 1) / t.pairsLine
+
+	// Leaf lines, packed densely and padded with the MAX sentinel.
+	t.leaves = make([]K, t.numLeaves*t.kpn)
+	for i := range t.leaves {
+		t.leaves[i] = maxK
+	}
+	lineMax := make([]K, t.numLeaves)
+	for l := 0; l < t.numLeaves; l++ {
+		start := l * t.pairsLine
+		end := start + t.pairsLine
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		for j, p := range pairs[start:end] {
+			t.leaves[l*t.kpn+2*j] = p.Key
+			t.leaves[l*t.kpn+2*j+1] = p.Value
+		}
+		lineMax[l] = maxKeyOf(pairs[start:end])
+	}
+
+	// Inner levels, bottom-up. Level l has ceil(prev/fanout) nodes; the
+	// keys of node i are the subtree maxima of its children, MAX for
+	// absent children. The loop stops at a single root node; a dataset
+	// small enough to fit one leaf line still gets one inner level so
+	// that search code is uniform.
+	type level struct {
+		nodes []K
+		maxes []K
+	}
+	var levels []level
+	childMax := lineMax
+	for {
+		n := (len(childMax) + t.fanout - 1) / t.fanout
+		if n < 1 {
+			n = 1
+		}
+		lv := level{nodes: make([]K, n*t.kpn), maxes: make([]K, n)}
+		for i := range lv.nodes {
+			lv.nodes[i] = maxK
+		}
+		for i := 0; i < n; i++ {
+			first := i * t.fanout
+			nch := len(childMax) - first
+			if nch > t.fanout {
+				nch = t.fanout
+			}
+			// Slot j holds the separator between children j and j+1 —
+			// the subtree maximum of child j. The last child needs no
+			// separator: with a full fanout-(kpn+1) node it is reached
+			// by exceeding all kpn keys, otherwise its slot stays MAX
+			// (the paper pins trailing slots, including K_8 of the
+			// fanout-8 HB+ nodes, to the maximum value).
+			for j := 0; j < nch-1; j++ {
+				lv.nodes[i*t.kpn+j] = childMax[first+j]
+			}
+			lv.maxes[i] = childMax[first+nch-1]
+		}
+		levels = append(levels, lv)
+		childMax = lv.maxes
+		if n == 1 {
+			break
+		}
+	}
+
+	// Concatenate root-first.
+	t.height = len(levels)
+	t.levelNodes = make([]int, t.height)
+	t.levelOff = make([]int, t.height)
+	total := 0
+	for d := 0; d < t.height; d++ {
+		lv := levels[t.height-1-d] // root first
+		t.levelOff[d] = total
+		t.levelNodes[d] = len(lv.nodes) / t.kpn
+		total += t.levelNodes[d]
+	}
+	t.inner = make([]K, total*t.kpn)
+	for d := 0; d < t.height; d++ {
+		copy(t.inner[t.levelOff[d]*t.kpn:], levels[t.height-1-d].nodes)
+	}
+}
+
+// node returns the key line of node i at level d (root is level 0).
+func (t *ImplicitTree[K]) node(d, i int) []K {
+	off := (t.levelOff[d] + i) * t.kpn
+	return t.inner[off : off+t.kpn]
+}
+
+// leafLine returns leaf line l as interleaved pairs.
+func (t *ImplicitTree[K]) leafLine(l int) []K {
+	return t.leaves[l*t.kpn : (l+1)*t.kpn]
+}
+
+// SearchInner traverses the inner levels only and returns the leaf line
+// index holding the lower bound of q. This is the part of the lookup the
+// HB+-tree offloads to the GPU.
+func (t *ImplicitTree[K]) SearchInner(q K) int {
+	idx := 0
+	for d := 0; d < t.height; d++ {
+		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
+		idx = idx*t.fanout + j
+	}
+	if idx >= t.numLeaves {
+		idx = t.numLeaves - 1
+	}
+	return idx
+}
+
+// SearchInnerFrom resumes inner traversal at (level, nodeIdx); used by
+// the load-balanced HB+-tree where the CPU walks the top D levels and the
+// GPU continues (Section 5.5).
+func (t *ImplicitTree[K]) SearchInnerFrom(q K, level, nodeIdx int) int {
+	idx := nodeIdx
+	for d := level; d < t.height; d++ {
+		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
+		idx = idx*t.fanout + j
+	}
+	if idx >= t.numLeaves {
+		idx = t.numLeaves - 1
+	}
+	return idx
+}
+
+// SearchLeafLine finishes a lookup in leaf line l.
+func (t *ImplicitTree[K]) SearchLeafLine(l int, q K) (K, bool) {
+	line := t.leafLine(l)
+	i, found := simd.SearchPairsLine(line, q)
+	if !found {
+		return 0, false
+	}
+	return line[2*i+1], true
+}
+
+// Lookup finds the value stored under q.
+func (t *ImplicitTree[K]) Lookup(q K) (K, bool) {
+	return t.SearchLeafLine(t.SearchInner(q), q)
+}
+
+// LookupInstrumented performs a lookup while reporting every cache-line
+// touch to the memory-hierarchy simulator (the PAPI-style measurement of
+// Figure 7).
+func (t *ImplicitTree[K]) LookupInstrumented(q K, h mem.Toucher) (K, bool) {
+	sz := int64(keys.Size[K]())
+	idx := 0
+	for d := 0; d < t.height; d++ {
+		h.Touch(t.iseg.Addr(int64(t.levelOff[d]+idx)*int64(t.kpn)*sz), t.iseg.Kind)
+		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
+		idx = idx*t.fanout + j
+	}
+	if idx >= t.numLeaves {
+		idx = t.numLeaves - 1
+	}
+	h.Touch(t.lseg.Addr(int64(idx)*int64(t.kpn)*sz), t.lseg.Kind)
+	return t.SearchLeafLine(idx, q)
+}
+
+// RangeQuery returns up to count pairs with key >= start, in key order.
+// Leaf lines are contiguous, so the scan is sequential (Section 3).
+func (t *ImplicitTree[K]) RangeQuery(start K, count int, out []keys.Pair[K]) []keys.Pair[K] {
+	maxK := keys.Max[K]()
+	l := t.SearchInner(start)
+	line := t.leafLine(l)
+	i, _ := simd.SearchPairsLine(line, start)
+	for len(out) < count {
+		for ; i < t.pairsLine; i++ {
+			k := line[2*i]
+			if k == maxK {
+				return out // padding: end of data
+			}
+			out = append(out, keys.Pair[K]{Key: k, Value: line[2*i+1]})
+			if len(out) == count {
+				return out
+			}
+		}
+		l++
+		if l >= t.numLeaves {
+			return out
+		}
+		line = t.leafLine(l)
+		i = 0
+	}
+	return out
+}
+
+// Rebuild replaces the tree contents with a new sorted dataset — the
+// implicit tree's only update mechanism (Section 5.6). Segments are
+// reallocated, matching the paper's full reconstruction.
+func (t *ImplicitTree[K]) Rebuild(pairs []keys.Pair[K]) error {
+	nt, err := BuildImplicit(pairs, t.cfg)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}
+
+// Stats reports the tree geometry (Equations 1 and 2 inputs).
+func (t *ImplicitTree[K]) Stats() Stats {
+	return Stats{
+		NumPairs:      t.numPairs,
+		Height:        t.height,
+		InnerBytes:    int64(len(t.inner)) * int64(keys.Size[K]()),
+		LeafBytes:     int64(len(t.leaves)) * int64(keys.Size[K]()),
+		LinesPerQuery: t.height + 1,
+	}
+}
+
+// Height returns H, the height of the root (leaves at height zero).
+func (t *ImplicitTree[K]) Height() int { return t.height }
+
+// Fanout returns the inner-node fanout.
+func (t *ImplicitTree[K]) Fanout() int { return t.fanout }
+
+// NumLeafLines returns the number of leaf cache lines.
+func (t *ImplicitTree[K]) NumLeafLines() int { return t.numLeaves }
+
+// LevelNodes returns the node count of level d (root is level 0).
+func (t *ImplicitTree[K]) LevelNodes(d int) int { return t.levelNodes[d] }
+
+// InnerArray exposes the raw breadth-first I-segment together with the
+// per-level node offsets; the HB+-tree mirrors exactly these bytes into
+// GPU memory (Figure 4).
+func (t *ImplicitTree[K]) InnerArray() (inner []K, levelOff []int, kpn, fanout int) {
+	return t.inner, t.levelOff, t.kpn, t.fanout
+}
+
+// Segments returns the simulated address ranges of the I- and L-segment.
+func (t *ImplicitTree[K]) Segments() (iseg, lseg mem.Segment) { return t.iseg, t.lseg }
+
+// Config returns the build configuration.
+func (t *ImplicitTree[K]) Config() Config { return t.cfg }
+
+// WalkToLevel traverses the top `depth` inner levels for q and returns
+// the node index at that level — the intermediate state the
+// load-balanced HB+-tree hands from CPU to GPU (Section 5.5). depth 0
+// returns the root index; depth >= Height returns the leaf line index.
+func (t *ImplicitTree[K]) WalkToLevel(q K, depth int) int {
+	if depth > t.height {
+		depth = t.height
+	}
+	idx := 0
+	for d := 0; d < depth; d++ {
+		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
+		idx = idx*t.fanout + j
+	}
+	if depth == t.height && idx >= t.numLeaves {
+		idx = t.numLeaves - 1
+	}
+	return idx
+}
+
+// RangeFromLine scans up to count pairs with key >= start beginning at
+// leaf line l (as resolved by a GPU inner traversal), without touching
+// the I-segment — the CPU stage of a hybrid range query.
+func (t *ImplicitTree[K]) RangeFromLine(l int, start K, count int, out []keys.Pair[K]) []keys.Pair[K] {
+	maxK := keys.Max[K]()
+	if l < 0 || l >= t.numLeaves {
+		return out
+	}
+	line := t.leafLine(l)
+	i, _ := simd.SearchPairsLine(line, start)
+	for len(out) < count {
+		for ; i < t.pairsLine; i++ {
+			k := line[2*i]
+			if k == maxK {
+				return out
+			}
+			out = append(out, keys.Pair[K]{Key: k, Value: line[2*i+1]})
+			if len(out) == count {
+				return out
+			}
+		}
+		l++
+		if l >= t.numLeaves {
+			return out
+		}
+		line = t.leafLine(l)
+		i = 0
+	}
+	return out
+}

@@ -1,0 +1,373 @@
+package cpubtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hbtree/internal/keys"
+)
+
+// Serialization of built trees: a versioned little-endian binary image
+// so an index bulk-loaded once (the expensive phase of Figure 15) can be
+// persisted and re-opened without reconstruction. The format stores the
+// exact in-memory node pools; loading re-registers the segments with a
+// fresh simulated allocator.
+
+// Format identifiers.
+const (
+	serialMagic    = "HBT1"
+	kindImplicit   = byte(1)
+	kindRegular    = byte(2)
+	serialEndCheck = uint64(0x454E445F48425421) // "END_HBT!"
+)
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeHeader[K keys.Key](w io.Writer, kind byte) error {
+	if _, err := io.WriteString(w, serialMagic); err != nil {
+		return err
+	}
+	bits := byte(keys.Size[K]() * 8)
+	_, err := w.Write([]byte{kind, bits})
+	return err
+}
+
+func readHeader[K keys.Key](r io.Reader, wantKind byte) error {
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("cpubtree: reading header: %w", err)
+	}
+	if string(buf[:4]) != serialMagic {
+		return fmt.Errorf("cpubtree: bad magic %q", buf[:4])
+	}
+	if buf[4] != wantKind {
+		return fmt.Errorf("cpubtree: tree kind %d, want %d", buf[4], wantKind)
+	}
+	if bits := byte(keys.Size[K]() * 8); buf[5] != bits {
+		return fmt.Errorf("cpubtree: key width %d bits, want %d", buf[5], bits)
+	}
+	return nil
+}
+
+func writeInts(w io.Writer, vs ...uint64) error {
+	return binary.Write(w, binary.LittleEndian, vs)
+}
+
+func readInts(r io.Reader, vs ...*uint64) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSliceK[K keys.Key](w io.Writer, s []K) error {
+	if err := writeInts(w, uint64(len(s))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, s)
+}
+
+func readSliceK[K keys.Key](r io.Reader, limit uint64) ([]K, error) {
+	var n uint64
+	if err := readInts(r, &n); err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, fmt.Errorf("cpubtree: slice length %d exceeds limit %d", n, limit)
+	}
+	s := make([]K, n)
+	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sliceLimit bounds on-disk slice lengths to catch corrupt images before
+// huge allocations.
+const sliceLimit = 1 << 34
+
+// WriteTo serialises the implicit tree; it returns the bytes written.
+func (t *ImplicitTree[K]) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if err := writeHeader[K](bw, kindImplicit); err != nil {
+		return cw.n, err
+	}
+	if err := writeInts(bw, uint64(t.fanout), uint64(t.numPairs), uint64(t.numLeaves), uint64(t.height)); err != nil {
+		return cw.n, err
+	}
+	lv := make([]uint64, t.height)
+	for i, n := range t.levelNodes {
+		lv[i] = uint64(n)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, lv); err != nil {
+		return cw.n, err
+	}
+	if err := writeSliceK(bw, t.inner); err != nil {
+		return cw.n, err
+	}
+	if err := writeSliceK(bw, t.leaves); err != nil {
+		return cw.n, err
+	}
+	if err := writeInts(bw, serialEndCheck); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadImplicit deserialises an implicit tree written by WriteTo,
+// registering fresh simulated segments per cfg's page configuration.
+func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error) {
+	cfg.fillDefaults()
+	br := bufio.NewReader(r)
+	if err := readHeader[K](br, kindImplicit); err != nil {
+		return nil, err
+	}
+	var fanout, numPairs, numLeaves, height uint64
+	if err := readInts(br, &fanout, &numPairs, &numLeaves, &height); err != nil {
+		return nil, err
+	}
+	kpn := keys.PerLine[K]()
+	if fanout < 2 || fanout > uint64(kpn+1) || height == 0 || height > 64 {
+		return nil, fmt.Errorf("cpubtree: corrupt implicit geometry (fanout %d, height %d)", fanout, height)
+	}
+	t := &ImplicitTree[K]{
+		cfg:       cfg,
+		kpn:       kpn,
+		fanout:    int(fanout),
+		pairsLine: kpn / 2,
+		numPairs:  int(numPairs),
+		numLeaves: int(numLeaves),
+		height:    int(height),
+	}
+	lv := make([]uint64, height)
+	if err := binary.Read(br, binary.LittleEndian, lv); err != nil {
+		return nil, err
+	}
+	t.levelNodes = make([]int, height)
+	t.levelOff = make([]int, height)
+	total := 0
+	for i, n := range lv {
+		t.levelOff[i] = total
+		t.levelNodes[i] = int(n)
+		total += int(n)
+	}
+	var err error
+	if t.inner, err = readSliceK[K](br, sliceLimit); err != nil {
+		return nil, err
+	}
+	if t.leaves, err = readSliceK[K](br, sliceLimit); err != nil {
+		return nil, err
+	}
+	if len(t.inner) != total*kpn {
+		return nil, fmt.Errorf("cpubtree: inner array %d != %d nodes", len(t.inner), total)
+	}
+	if len(t.leaves) != t.numLeaves*kpn {
+		return nil, fmt.Errorf("cpubtree: leaf array %d != %d lines", len(t.leaves), t.numLeaves)
+	}
+	var end uint64
+	if err := readInts(br, &end); err != nil || end != serialEndCheck {
+		return nil, fmt.Errorf("cpubtree: missing end marker (err %v)", err)
+	}
+	sz := int64(keys.Size[K]())
+	t.iseg = cfg.Alloc.Alloc(int64(len(t.inner))*sz, cfg.ISegPages)
+	t.lseg = cfg.Alloc.Alloc(int64(len(t.leaves))*sz, cfg.LSegPages)
+	return t, nil
+}
+
+// WriteTo serialises the regular tree (node pools, metadata, free lists
+// and the leaf chain); it returns the bytes written.
+func (t *RegularTree[K]) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if err := writeHeader[K](bw, kindRegular); err != nil {
+		return cw.n, err
+	}
+	if err := writeInts(bw,
+		uint64(t.numPairs), uint64(t.height), uint64(uint32(t.root)),
+		uint64(uint32(t.headLeaf)), uint64(uint32(t.tailLeaf))); err != nil {
+		return cw.n, err
+	}
+	if err := writeSliceK(bw, t.upper); err != nil {
+		return cw.n, err
+	}
+	if err := writeSliceK(bw, t.last); err != nil {
+		return cw.n, err
+	}
+	if err := writeSliceK(bw, t.leafData); err != nil {
+		return cw.n, err
+	}
+	writeMeta := func(ms []nodeMeta) error {
+		if err := writeInts(bw, uint64(len(ms))); err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := binary.Write(bw, binary.LittleEndian, []int32{m.nchild, m.parent}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeMeta(t.upperMeta); err != nil {
+		return cw.n, err
+	}
+	if err := writeMeta(t.lastMeta); err != nil {
+		return cw.n, err
+	}
+	if err := writeInts(bw, uint64(len(t.leafMeta))); err != nil {
+		return cw.n, err
+	}
+	for _, m := range t.leafMeta {
+		if err := binary.Write(bw, binary.LittleEndian, []int32{m.npairs, m.next, m.prev}); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.freeUpper))); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.freeUpper); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.freeLast))); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.freeLast); err != nil {
+		return cw.n, err
+	}
+	if err := writeInts(bw, serialEndCheck); err != nil {
+		return cw.n, err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadRegular deserialises a regular tree written by WriteTo.
+func ReadRegular[K keys.Key](r io.Reader, cfg Config) (*RegularTree[K], error) {
+	cfg.fillDefaults()
+	br := bufio.NewReader(r)
+	if err := readHeader[K](br, kindRegular); err != nil {
+		return nil, err
+	}
+	var numPairs, height, root, head, tail uint64
+	if err := readInts(br, &numPairs, &height, &root, &head, &tail); err != nil {
+		return nil, err
+	}
+	if height == 0 || height > 16 {
+		return nil, fmt.Errorf("cpubtree: corrupt regular geometry (height %d)", height)
+	}
+	kpl := keys.PerLine[K]()
+	t := &RegularTree[K]{
+		cfg:       cfg,
+		kpl:       kpl,
+		fanout:    kpl * kpl,
+		ppl:       kpl / 2,
+		nodeSlots: kpl * (1 + 2*kpl),
+		numPairs:  int(numPairs),
+		height:    int(height),
+		root:      int32(uint32(root)),
+		headLeaf:  int32(uint32(head)),
+		tailLeaf:  int32(uint32(tail)),
+	}
+	t.leafCap = t.fanout * t.ppl
+	t.leafSlots = t.fanout * t.kpl
+	var err error
+	if t.upper, err = readSliceK[K](br, sliceLimit); err != nil {
+		return nil, err
+	}
+	if t.last, err = readSliceK[K](br, sliceLimit); err != nil {
+		return nil, err
+	}
+	if t.leafData, err = readSliceK[K](br, sliceLimit); err != nil {
+		return nil, err
+	}
+	readMeta := func() ([]nodeMeta, error) {
+		var n uint64
+		if err := readInts(br, &n); err != nil {
+			return nil, err
+		}
+		if n > sliceLimit {
+			return nil, fmt.Errorf("cpubtree: meta length %d", n)
+		}
+		ms := make([]nodeMeta, n)
+		for i := range ms {
+			var v [2]int32
+			if err := binary.Read(br, binary.LittleEndian, v[:]); err != nil {
+				return nil, err
+			}
+			ms[i] = nodeMeta{nchild: v[0], parent: v[1]}
+		}
+		return ms, nil
+	}
+	if t.upperMeta, err = readMeta(); err != nil {
+		return nil, err
+	}
+	if t.lastMeta, err = readMeta(); err != nil {
+		return nil, err
+	}
+	var nLeafMeta uint64
+	if err := readInts(br, &nLeafMeta); err != nil {
+		return nil, err
+	}
+	if nLeafMeta > sliceLimit {
+		return nil, fmt.Errorf("cpubtree: leaf meta length %d", nLeafMeta)
+	}
+	t.leafMeta = make([]leafMeta, nLeafMeta)
+	for i := range t.leafMeta {
+		var v [3]int32
+		if err := binary.Read(br, binary.LittleEndian, v[:]); err != nil {
+			return nil, err
+		}
+		t.leafMeta[i] = leafMeta{npairs: v[0], next: v[1], prev: v[2]}
+	}
+	readFree := func() ([]int32, error) {
+		var n uint64
+		if err := readInts(br, &n); err != nil {
+			return nil, err
+		}
+		if n > sliceLimit {
+			return nil, fmt.Errorf("cpubtree: free list length %d", n)
+		}
+		fs := make([]int32, n)
+		if err := binary.Read(br, binary.LittleEndian, fs); err != nil {
+			return nil, err
+		}
+		return fs, nil
+	}
+	if t.freeUpper, err = readFree(); err != nil {
+		return nil, err
+	}
+	if t.freeLast, err = readFree(); err != nil {
+		return nil, err
+	}
+	var end uint64
+	if err := readInts(br, &end); err != nil || end != serialEndCheck {
+		return nil, fmt.Errorf("cpubtree: missing end marker (err %v)", err)
+	}
+	// Structural sanity before first use.
+	if len(t.upper)%t.nodeSlots != 0 || len(t.last)%t.nodeSlots != 0 {
+		return nil, fmt.Errorf("cpubtree: pool sizes not node-aligned")
+	}
+	if len(t.lastMeta) != len(t.last)/t.nodeSlots || len(t.leafMeta) != len(t.lastMeta) {
+		return nil, fmt.Errorf("cpubtree: metadata/pool mismatch")
+	}
+	if len(t.leafData) != len(t.leafMeta)*t.leafSlots {
+		return nil, fmt.Errorf("cpubtree: leaf data/meta mismatch")
+	}
+	sz := int64(keys.Size[K]())
+	t.upperSeg = cfg.Alloc.Alloc(int64(len(t.upper))*sz, cfg.ISegPages)
+	t.lastSeg = cfg.Alloc.Alloc(int64(len(t.last))*sz, cfg.ISegPages)
+	t.leafSeg = cfg.Alloc.Alloc(int64(len(t.leafData))*sz, cfg.LSegPages)
+	return t, nil
+}

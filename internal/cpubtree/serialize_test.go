@@ -1,0 +1,169 @@
+package cpubtree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hbtree/internal/workload"
+)
+
+func TestImplicitRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 37, 5000, 100000} {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, 42)
+		tr, err := BuildImplicit(pairs, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		written, err := tr.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written != int64(buf.Len()) {
+			t.Fatalf("WriteTo reported %d bytes, wrote %d", written, buf.Len())
+		}
+		rt, err := ReadImplicit[uint64](&buf, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Height() != tr.Height() || rt.Stats() != tr.Stats() {
+			t.Fatalf("geometry diverges: %+v vs %+v", rt.Stats(), tr.Stats())
+		}
+		for i := 0; i < len(pairs); i += 1 + len(pairs)/500 {
+			p := pairs[i]
+			if v, ok := rt.Lookup(p.Key); !ok || v != p.Value {
+				t.Fatalf("n=%d: loaded tree Lookup(%d) failed", n, p.Key)
+			}
+		}
+	}
+}
+
+func TestImplicitRoundTrip32(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 20000, 7)
+	tr, err := BuildImplicit(pairs, Config{Fanout: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadImplicit[uint32](&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Fanout() != 16 {
+		t.Fatalf("fanout %d", rt.Fanout())
+	}
+	for _, p := range pairs[:500] {
+		if v, ok := rt.Lookup(p.Key); !ok || v != p.Value {
+			t.Fatalf("Lookup(%d) failed", p.Key)
+		}
+	}
+}
+
+func TestRegularRoundTripAfterUpdates(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 30000, 3)
+	tr, err := BuildRegular(pairs, Config{LeafFill: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate so free lists, splits and unlinks are all exercised.
+	r := workload.NewRNG(9)
+	oracle := make(map[uint64]uint64)
+	for _, p := range pairs {
+		oracle[p.Key] = p.Value
+	}
+	for i := 0; i < 20000; i++ {
+		if r.Intn(3) == 0 {
+			k := pairs[r.Intn(len(pairs))].Key
+			tr.Delete(k)
+			delete(oracle, k)
+		} else {
+			k := r.Uint64()
+			if k == ^uint64(0) {
+				continue
+			}
+			tr.Insert(k, k^7)
+			oracle[k] = k ^ 7
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadRegular[uint64](&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.NumPairs() != len(oracle) {
+		t.Fatalf("NumPairs %d != %d", rt.NumPairs(), len(oracle))
+	}
+	for k, v := range oracle {
+		if got, ok := rt.Lookup(k); !ok || got != v {
+			t.Fatalf("loaded Lookup(%d) = (%d,%v), want %d", k, got, ok, v)
+		}
+	}
+	// The loaded tree must remain updatable (free lists intact).
+	if _, err := rt.Insert(12345, 1); err != nil {
+		t.Fatal(err)
+	}
+	if found, _ := rt.Delete(12345); !found {
+		t.Fatal("post-load delete failed")
+	}
+	// Range scans use the restored leaf chain.
+	out := rt.RangeQuery(0, 100, nil)
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Key >= out[i].Key {
+			t.Fatal("restored leaf chain out of order")
+		}
+	}
+}
+
+func TestSerializeErrors(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 1000, 1)
+	impl, _ := BuildImplicit(pairs, Config{})
+	reg, _ := BuildRegular(pairs, Config{})
+	var ibuf, rbuf bytes.Buffer
+	if _, err := impl.WriteTo(&ibuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.WriteTo(&rbuf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong kind.
+	if _, err := ReadRegular[uint64](bytes.NewReader(ibuf.Bytes()), Config{}); err == nil {
+		t.Fatal("implicit image accepted as regular")
+	}
+	if _, err := ReadImplicit[uint64](bytes.NewReader(rbuf.Bytes()), Config{}); err == nil {
+		t.Fatal("regular image accepted as implicit")
+	}
+	// Wrong width.
+	if _, err := ReadImplicit[uint32](bytes.NewReader(ibuf.Bytes()), Config{}); err == nil {
+		t.Fatal("64-bit image accepted as 32-bit")
+	}
+	// Bad magic.
+	bad := append([]byte("NOPE"), ibuf.Bytes()[4:]...)
+	if _, err := ReadImplicit[uint64](bytes.NewReader(bad), Config{}); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+	// Truncations at every strategic boundary.
+	for _, cut := range []int{0, 3, 6, 20, ibuf.Len() / 2, ibuf.Len() - 4} {
+		if _, err := ReadImplicit[uint64](bytes.NewReader(ibuf.Bytes()[:cut]), Config{}); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for _, cut := range []int{6, 40, rbuf.Len() / 2, rbuf.Len() - 4} {
+		if _, err := ReadRegular[uint64](bytes.NewReader(rbuf.Bytes()[:cut]), Config{}); err == nil {
+			t.Fatalf("regular truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt geometry: absurd fanout.
+	img := append([]byte(nil), ibuf.Bytes()...)
+	img[6] = 0xFF // low byte of fanout
+	if _, err := ReadImplicit[uint64](bytes.NewReader(img), Config{}); err == nil {
+		t.Fatal("corrupt fanout accepted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package csstree implements the Cache Sensitive Search Tree of Rao and
+// Ross (VLDB 1999), one of the in-memory index structures the paper
+// surveys (Section 2) and a textbook example of a *leaf-stored* tree: a
+// pointer-free n-ary directory built over a sorted array of key-value
+// pairs, with child positions computed arithmetically.
+//
+// The package exists to exercise the paper's future-work direction of a
+// "general leaf-stored tree processing framework using a CPU-GPU hybrid
+// platform" (Section 7): internal/hybrid plugs this tree — unchanged —
+// into the same bucket-pipelined CPU-GPU search engine the HB+-tree
+// uses, with the directory as the GPU-mirrored I-segment and the sorted
+// array as the host-resident L-segment.
+package csstree
+
+import (
+	"fmt"
+	"sort"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/simd"
+)
+
+// Tree is a CSS-tree over K: an implicit directory of m-key nodes above
+// a sorted pair array. Nodes occupy one cache line each (m = 8 for
+// 64-bit keys, 16 for 32-bit), matching the node geometry of the other
+// trees in this repository so the hybrid engine's cost model applies
+// unchanged.
+type Tree[K keys.Key] struct {
+	kpn    int // keys per directory node (one line)
+	fanout int // children per node = kpn
+	height int
+	levNod []int // nodes per level, root first
+	levOff []int // node offset of each level, root first
+
+	dir   []K // directory, breadth first
+	skeys []K // sorted keys (the leaf array)
+	vals  []K // values aligned with skeys
+
+	// leafBlock is the number of pairs per leaf block; the directory's
+	// bottom level separates leaf blocks.
+	leafBlock int
+}
+
+// Build constructs a CSS-tree from sorted, distinct pairs.
+func Build[K keys.Key](pairs []keys.Pair[K], leafBlock int) (*Tree[K], error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("csstree: empty dataset")
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Key >= pairs[i].Key {
+			return nil, fmt.Errorf("csstree: pairs not sorted/distinct at %d", i)
+		}
+	}
+	if pairs[len(pairs)-1].Key == keys.Max[K]() {
+		return nil, fmt.Errorf("csstree: key MAX is reserved as sentinel")
+	}
+	t := &Tree[K]{kpn: keys.PerLine[K]()}
+	t.fanout = t.kpn
+	if leafBlock <= 0 {
+		leafBlock = t.kpn / 2 // one cache line of pairs
+	}
+	t.leafBlock = leafBlock
+
+	t.skeys = make([]K, len(pairs))
+	t.vals = make([]K, len(pairs))
+	for i, p := range pairs {
+		t.skeys[i] = p.Key
+		t.vals[i] = p.Value
+	}
+
+	// Directory bottom-up: the lowest level has one separator slot per
+	// leaf block; each upper node covers `fanout` children.
+	maxK := keys.Max[K]()
+	nBlocks := (len(pairs) + leafBlock - 1) / leafBlock
+	childMax := make([]K, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		end := (b+1)*leafBlock - 1
+		if end >= len(pairs) {
+			end = len(pairs) - 1
+		}
+		childMax[b] = pairs[end].Key
+	}
+	type level struct {
+		nodes []K
+		maxes []K
+	}
+	var levels []level
+	for {
+		n := (len(childMax) + t.fanout - 1) / t.fanout
+		if n < 1 {
+			n = 1
+		}
+		lv := level{nodes: make([]K, n*t.kpn), maxes: make([]K, n)}
+		for i := range lv.nodes {
+			lv.nodes[i] = maxK
+		}
+		for i := 0; i < n; i++ {
+			first := i * t.fanout
+			nch := len(childMax) - first
+			if nch > t.fanout {
+				nch = t.fanout
+			}
+			for j := 0; j < nch-1; j++ {
+				lv.nodes[i*t.kpn+j] = childMax[first+j]
+			}
+			lv.maxes[i] = childMax[first+nch-1]
+		}
+		levels = append(levels, lv)
+		childMax = lv.maxes
+		if n == 1 {
+			break
+		}
+	}
+	t.height = len(levels)
+	t.levNod = make([]int, t.height)
+	t.levOff = make([]int, t.height)
+	total := 0
+	for d := 0; d < t.height; d++ {
+		lv := levels[t.height-1-d]
+		t.levOff[d] = total
+		t.levNod[d] = len(lv.nodes) / t.kpn
+		total += t.levNod[d]
+	}
+	t.dir = make([]K, total*t.kpn)
+	for d := 0; d < t.height; d++ {
+		copy(t.dir[t.levOff[d]*t.kpn:], levels[t.height-1-d].nodes)
+	}
+	return t, nil
+}
+
+// node returns the key line of node i at level d.
+func (t *Tree[K]) node(d, i int) []K {
+	off := (t.levOff[d] + i) * t.kpn
+	return t.dir[off : off+t.kpn]
+}
+
+// SearchDirectory walks the directory and returns the leaf block index
+// that bounds q — the inner traversal the hybrid engine offloads.
+func (t *Tree[K]) SearchDirectory(q K) int {
+	idx := 0
+	for d := 0; d < t.height; d++ {
+		j := simd.SearchHierarchical(t.node(d, idx), q)
+		if j >= t.kpn {
+			j = t.kpn - 1
+		}
+		idx = idx*t.fanout + j
+	}
+	nBlocks := (len(t.skeys) + t.leafBlock - 1) / t.leafBlock
+	if idx >= nBlocks {
+		idx = nBlocks - 1
+	}
+	return idx
+}
+
+// SearchBlock finishes a lookup inside leaf block b.
+func (t *Tree[K]) SearchBlock(b int, q K) (K, bool) {
+	lo := b * t.leafBlock
+	hi := lo + t.leafBlock
+	if hi > len(t.skeys) {
+		hi = len(t.skeys)
+	}
+	seg := t.skeys[lo:hi]
+	i := sort.Search(len(seg), func(i int) bool { return seg[i] >= q })
+	if i < len(seg) && seg[i] == q {
+		return t.vals[lo+i], true
+	}
+	return 0, false
+}
+
+// Lookup finds the value stored under q.
+func (t *Tree[K]) Lookup(q K) (K, bool) {
+	return t.SearchBlock(t.SearchDirectory(q), q)
+}
+
+// Directory exposes the breadth-first directory array and geometry; the
+// hybrid engine mirrors exactly these elements into GPU memory.
+func (t *Tree[K]) Directory() (dir []K, levelOff []int, kpn, fanout, height int) {
+	return t.dir, t.levOff, t.kpn, t.fanout, t.height
+}
+
+// Stats describes the tree for the cost model.
+type Stats struct {
+	NumPairs  int
+	Height    int
+	DirBytes  int64
+	LeafBytes int64
+	LeafBlock int
+}
+
+// Stats returns the tree geometry.
+func (t *Tree[K]) Stats() Stats {
+	sz := int64(keys.Size[K]())
+	return Stats{
+		NumPairs:  len(t.skeys),
+		Height:    t.height,
+		DirBytes:  int64(len(t.dir)) * sz,
+		LeafBytes: int64(len(t.skeys)+len(t.vals)) * sz,
+		LeafBlock: t.leafBlock,
+	}
+}
+
+// LevelNodes returns the node count at directory level d (root first).
+func (t *Tree[K]) LevelNodes(d int) int { return t.levNod[d] }
+
+// NumBlocks returns the number of leaf blocks.
+func (t *Tree[K]) NumBlocks() int {
+	return (len(t.skeys) + t.leafBlock - 1) / t.leafBlock
+}

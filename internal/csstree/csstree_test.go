@@ -1,0 +1,154 @@
+package csstree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/workload"
+)
+
+func TestCSSLookupAllKeys(t *testing.T) {
+	for _, n := range []int{1, 4, 5, 100, 10000, 100000} {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, 42)
+		tr, err := Build(pairs, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, p := range pairs {
+			v, ok := tr.Lookup(p.Key)
+			if !ok || v != p.Value {
+				t.Fatalf("n=%d: Lookup(%d) = (%d,%v)", n, p.Key, v, ok)
+			}
+		}
+	}
+}
+
+func TestCSSMisses(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 5000, 3)
+	tr, _ := Build(pairs, 0)
+	present := make(map[uint64]bool)
+	for _, p := range pairs {
+		present[p.Key] = true
+	}
+	r := workload.NewRNG(5)
+	for i := 0; i < 5000; i++ {
+		q := r.Uint64()
+		if q == keys.Max[uint64]() || present[q] {
+			continue
+		}
+		if _, ok := tr.Lookup(q); ok {
+			t.Fatalf("found nonexistent key %d", q)
+		}
+	}
+}
+
+func TestCSS32Bit(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 20000, 7)
+	tr, err := Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, kpn, fanout, _ := tr.Directory()
+	if kpn != 16 || fanout != 16 {
+		t.Fatalf("32-bit geometry %d/%d", kpn, fanout)
+	}
+	for i := 0; i < len(pairs); i += 7 {
+		if v, ok := tr.Lookup(pairs[i].Key); !ok || v != pairs[i].Value {
+			t.Fatalf("Lookup(%d) failed", pairs[i].Key)
+		}
+	}
+}
+
+func TestCSSLeafBlockSizes(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 10000, 9)
+	for _, lb := range []int{1, 4, 16, 64} {
+		tr, err := Build(pairs, lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Stats().LeafBlock != lb {
+			t.Fatalf("leaf block %d", tr.Stats().LeafBlock)
+		}
+		for i := 0; i < len(pairs); i += 11 {
+			if v, ok := tr.Lookup(pairs[i].Key); !ok || v != pairs[i].Value {
+				t.Fatalf("lb=%d: Lookup(%d) failed", lb, pairs[i].Key)
+			}
+		}
+	}
+}
+
+func TestCSSDirectoryRouting(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 50000, 11)
+	tr, _ := Build(pairs, 4)
+	// Every key's directory result must be the block that contains it.
+	for i, p := range pairs {
+		b := tr.SearchDirectory(p.Key)
+		if want := i / 4; b != want {
+			t.Fatalf("SearchDirectory(%d) = %d, want block %d", p.Key, b, want)
+		}
+	}
+}
+
+func TestCSSBuildErrors(t *testing.T) {
+	if _, err := Build[uint64](nil, 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Build([]keys.Pair[uint64]{{Key: 2}, {Key: 1}}, 0); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := Build([]keys.Pair[uint64]{{Key: keys.Max[uint64]()}}, 0); err == nil {
+		t.Fatal("sentinel accepted")
+	}
+}
+
+func TestCSSStats(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 65536, 2)
+	tr, _ := Build(pairs, 4)
+	st := tr.Stats()
+	if st.NumPairs != 65536 || st.Height < 1 || st.DirBytes <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.LeafBytes != int64(2*8*65536) {
+		t.Fatalf("leaf bytes %d", st.LeafBytes)
+	}
+	if tr.NumBlocks() != 65536/4 {
+		t.Fatalf("blocks %d", tr.NumBlocks())
+	}
+}
+
+func TestCSSQuickOracle(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		size := int(n)%3000 + 1
+		pairs := workload.Dataset[uint64](workload.Uniform, size, seed)
+		tr, err := Build(pairs, 0)
+		if err != nil {
+			return false
+		}
+		oracle := make(map[uint64]uint64)
+		for _, p := range pairs {
+			oracle[p.Key] = p.Value
+		}
+		r := workload.NewRNG(seed + 9)
+		for i := 0; i < 200; i++ {
+			var q uint64
+			if i%2 == 0 {
+				q = pairs[r.Intn(size)].Key
+			} else {
+				q = r.Uint64()
+				if q == keys.Max[uint64]() {
+					q--
+				}
+			}
+			v, ok := tr.Lookup(q)
+			wv, wok := oracle[q]
+			if ok != wok || (ok && v != wv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

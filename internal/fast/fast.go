@@ -1,0 +1,251 @@
+// Package fast implements FAST (Fast Architecture Sensitive Tree, Kim
+// et al., SIGMOD 2010), the comparison baseline of Figure 9 — "the
+// fastest reported indexing performance of a comparable solution running
+// on a single CPU" at the time of the paper.
+//
+// FAST is a read-only complete binary search tree over the sorted key
+// array whose nodes are rearranged by hierarchical blocking so that each
+// descent step stays within one cache line for several levels:
+//
+//   - SIMD blocking groups depth-2 subtrees (3 keys) so one vector
+//     compare resolves two levels;
+//   - cache-line blocking groups depth-d_L subtrees into one 64-byte
+//     line (d_L = 3 for 64-bit keys: 7 keys + 1 pad; d_L = 4 for 32-bit
+//     keys: 15 keys + 1 pad);
+//   - blocks are laid out in depth-first pre-order, keeping whole
+//     subtrees contiguous — the role page blocking plays in the
+//     original (locality across the paging granularity).
+//
+// The tree depth is padded up to a multiple of d_L (absent slots carry
+// MAX), making every cache-line block full and the block arithmetic
+// uniform. A lookup descends depth/d_L blocks, each one line, then
+// probes the sorted key/value arrays — the line-touch counts the
+// harness's cost model charges for Figure 9.
+package fast
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hbtree/internal/keys"
+)
+
+// Tree is a FAST index over K.
+type Tree[K keys.Key] struct {
+	blocked []K // hierarchically blocked key tree, one block per line-padded group
+	skeys   []K // sorted keys
+	vals    []K // values aligned with skeys
+
+	n          int   // stored pairs
+	depth      int   // conceptual BST depth, a multiple of dl
+	dl         int   // cache-line block depth
+	bf         int   // block fanout: 2^dl
+	blockSlots int   // padded slots per block (keys.PerLine)
+	subBlocks  []int // blocks in a subtree rooted at block-level l (suffix sums)
+	threads    int
+}
+
+// Build constructs a FAST tree from sorted, distinct pairs.
+func Build[K keys.Key](pairs []keys.Pair[K], threads int) (*Tree[K], error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("fast: empty dataset")
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].Key >= pairs[i].Key {
+			return nil, fmt.Errorf("fast: pairs not sorted/distinct at %d", i)
+		}
+	}
+	if pairs[len(pairs)-1].Key == keys.Max[K]() {
+		return nil, fmt.Errorf("fast: key MAX is reserved as sentinel")
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+
+	t := &Tree[K]{n: len(pairs), threads: threads}
+	t.blockSlots = keys.PerLine[K]()
+	switch t.blockSlots {
+	case 8:
+		t.dl = 3 // 7 keys per line
+	default:
+		t.dl = 4 // 15 keys per line
+	}
+	t.bf = 1 << t.dl
+
+	// Depth: smallest multiple of dl such that 2^depth - 1 >= n.
+	d := 1
+	for (1<<d)-1 < len(pairs) {
+		d++
+	}
+	t.depth = (d + t.dl - 1) / t.dl * t.dl
+
+	t.skeys = make([]K, len(pairs))
+	t.vals = make([]K, len(pairs))
+	for i, p := range pairs {
+		t.skeys[i] = p.Key
+		t.vals[i] = p.Value
+	}
+
+	// Blocks per subtree at each block level (there are depth/dl block
+	// levels; a subtree spanning L block levels holds
+	// (bf^L - 1)/(bf - 1) blocks).
+	blockLevels := t.depth / t.dl
+	t.subBlocks = make([]int, blockLevels+1)
+	for l := 1; l <= blockLevels; l++ {
+		t.subBlocks[l] = t.subBlocks[l-1]*t.bf + 1
+	}
+	totalBlocks := t.subBlocks[blockLevels]
+	t.blocked = make([]K, totalBlocks*t.blockSlots)
+	maxK := keys.Max[K]()
+	for i := range t.blocked {
+		t.blocked[i] = maxK
+	}
+	t.fill(0, blockLevels, 0, (1<<t.depth)-1)
+	return t, nil
+}
+
+// keyAt returns the conceptual sorted-array value at pos, MAX beyond the
+// stored keys (the padding of the complete BST).
+func (t *Tree[K]) keyAt(pos int) K {
+	if pos >= t.n {
+		return keys.Max[K]()
+	}
+	return t.skeys[pos]
+}
+
+// fill writes the block rooted at blockIdx, covering the conceptual BST
+// range [lo, lo+sz) with sz = 2^(levels*dl) - 1 remaining slots, then
+// recurses into its bf^? child blocks in depth-first pre-order.
+func (t *Tree[K]) fill(blockIdx, blockLevels, lo, sz int) {
+	base := blockIdx * t.blockSlots
+	// The block stores its depth-dl subtree in breadth-first (heap)
+	// order: node j's range midpoint, children 2j+1 and 2j+2.
+	type st struct{ lo, sz int }
+	nodes := make([]st, (1<<t.dl)-1)
+	nodes[0] = st{lo, sz}
+	for j := 0; j < len(nodes); j++ {
+		half := nodes[j].sz / 2
+		t.blocked[base+j] = t.keyAt(nodes[j].lo + half)
+		if 2*j+2 < len(nodes) {
+			nodes[2*j+1] = st{nodes[j].lo, half}
+			nodes[2*j+2] = st{nodes[j].lo + half + 1, half}
+		}
+	}
+	if blockLevels == 1 {
+		return
+	}
+	// Child blocks: the bf subtrees below this block, each of size
+	// (sz - (bf-1)) / bf = 2^((blockLevels-1)*dl) - 1.
+	childSz := sz / t.bf // sz = bf*childSz + bf - 1
+	per := t.subBlocks[blockLevels-1]
+	for c := 0; c < t.bf; c++ {
+		childLo := lo + c*(childSz+1)
+		t.fill(blockIdx+1+c*per, blockLevels-1, childLo, childSz)
+	}
+}
+
+// Lookup returns the value stored under q.
+func (t *Tree[K]) Lookup(q K) (K, bool) {
+	pos := t.LowerBound(q)
+	if pos < t.n && t.skeys[pos] == q {
+		return t.vals[pos], true
+	}
+	return 0, false
+}
+
+// LowerBound returns the index of the first sorted key >= q, descending
+// the blocked tree: one cache-line block per dl levels, with the in-line
+// SIMD comparisons of the original resolved lane-group-wise.
+func (t *Tree[K]) LowerBound(q K) int {
+	blockIdx := 0
+	blockLevels := t.depth / t.dl
+	lo, sz := 0, (1<<t.depth)-1
+	for l := blockLevels; l >= 1; l-- {
+		base := blockIdx * t.blockSlots
+		// Descend dl levels inside the block (heap order), tracking the
+		// in-block child index; this is the SIMD-block compare cascade.
+		j := 0
+		for step := 0; step < t.dl; step++ {
+			half := sz / 2
+			if t.blocked[base+j] < q {
+				lo += half + 1
+				j = 2*j + 2
+			} else {
+				j = 2*j + 1
+			}
+			sz = half
+		}
+		if l == 1 {
+			break
+		}
+		child := j - (t.bf - 1) // in-block leaf rank after dl steps
+		blockIdx = blockIdx + 1 + child*t.subBlocks[l-1]
+	}
+	return lo
+}
+
+// LookupBatch resolves queries across the tree's worker threads.
+func (t *Tree[K]) LookupBatch(queries []K, values []K, found []bool) {
+	w := t.threads
+	if w <= 1 || len(queries) < 2048 {
+		for i, q := range queries {
+			values[i], found[i] = t.Lookup(q)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(queries) + w - 1) / w
+	for i := 0; i < w; i++ {
+		s := i * chunk
+		if s >= len(queries) {
+			break
+		}
+		e := s + chunk
+		if e > len(queries) {
+			e = len(queries)
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				values[i], found[i] = t.Lookup(queries[i])
+			}
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// Stats describes the tree geometry for the cost model.
+type Stats struct {
+	NumPairs    int
+	Depth       int     // conceptual BST depth (padded)
+	BlockLevels int     // cache-line blocks per descent
+	TreeBytes   int64   // blocked key tree footprint
+	LevelBytes  []int64 // footprint of each block level, root first
+}
+
+// Stats returns the tree geometry. Each descent touches BlockLevels
+// lines in the key tree plus one line in the sorted key/value arrays.
+func (t *Tree[K]) Stats() Stats {
+	blockLevels := t.depth / t.dl
+	lb := make([]int64, blockLevels)
+	at := int64(1)
+	for l := 0; l < blockLevels; l++ {
+		lb[l] = at * keys.LineBytes
+		at *= int64(t.bf)
+	}
+	return Stats{
+		NumPairs:    t.n,
+		Depth:       t.depth,
+		BlockLevels: blockLevels,
+		TreeBytes:   int64(len(t.blocked)) * int64(keys.Size[K]()),
+		LevelBytes:  lb,
+	}
+}
+
+// PairBytes returns the sorted key+value array footprint (the rid table
+// probed after the tree descent).
+func (t *Tree[K]) PairBytes() int64 {
+	return int64(t.n) * 2 * int64(keys.Size[K]())
+}

@@ -1,0 +1,164 @@
+package fast
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/workload"
+)
+
+func TestFASTLookupAllKeys(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 8, 100, 5000, 100000} {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, 42)
+		tr, err := Build(pairs, 2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, p := range pairs {
+			v, ok := tr.Lookup(p.Key)
+			if !ok || v != p.Value {
+				t.Fatalf("n=%d: Lookup(%d) = (%d,%v)", n, p.Key, v, ok)
+			}
+		}
+	}
+}
+
+func TestFASTLowerBound(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 10000, 7)
+	tr, err := Build(pairs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := make([]uint64, len(pairs))
+	for i, p := range pairs {
+		sorted[i] = p.Key
+	}
+	r := workload.NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		q := r.Uint64()
+		want := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= q })
+		if got := tr.LowerBound(q); got != want {
+			t.Fatalf("LowerBound(%d) = %d, want %d", q, got, want)
+		}
+	}
+	// Boundaries.
+	if got := tr.LowerBound(0); got != 0 {
+		t.Fatalf("LowerBound(0) = %d", got)
+	}
+	if got := tr.LowerBound(sorted[len(sorted)-1] + 1); got != len(sorted) {
+		t.Fatalf("LowerBound(max+1) = %d, want %d", got, len(sorted))
+	}
+}
+
+func TestFAST32Bit(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 30000, 9)
+	tr, err := Build(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.Depth%4 != 0 {
+		t.Fatalf("32-bit depth %d not a multiple of d_L=4", st.Depth)
+	}
+	for i := 0; i < len(pairs); i += 5 {
+		if v, ok := tr.Lookup(pairs[i].Key); !ok || v != pairs[i].Value {
+			t.Fatalf("Lookup(%d) failed", pairs[i].Key)
+		}
+	}
+}
+
+func TestFASTMisses(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 5000, 11)
+	tr, _ := Build(pairs, 1)
+	present := make(map[uint64]bool)
+	for _, p := range pairs {
+		present[p.Key] = true
+	}
+	r := workload.NewRNG(5)
+	for i := 0; i < 5000; i++ {
+		q := r.Uint64()
+		if q == keys.Max[uint64]() || present[q] {
+			continue
+		}
+		if _, ok := tr.Lookup(q); ok {
+			t.Fatalf("found nonexistent key %d", q)
+		}
+	}
+}
+
+func TestFASTBatch(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 40000, 13)
+	tr, _ := Build(pairs, 4)
+	qs := workload.SearchInput(pairs, len(pairs), 1)
+	vals := make([]uint64, len(qs))
+	fnd := make([]bool, len(qs))
+	tr.LookupBatch(qs, vals, fnd)
+	for i, q := range qs {
+		if !fnd[i] || vals[i] != workload.ValueFor(q) {
+			t.Fatalf("batch lookup %d wrong", i)
+		}
+	}
+}
+
+func TestFASTStats(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 100000, 2)
+	tr, _ := Build(pairs, 1)
+	st := tr.Stats()
+	if st.Depth%3 != 0 {
+		t.Fatalf("64-bit depth %d not a multiple of d_L=3", st.Depth)
+	}
+	if st.BlockLevels != st.Depth/3 {
+		t.Fatalf("block levels %d", st.BlockLevels)
+	}
+	if len(st.LevelBytes) != st.BlockLevels {
+		t.Fatalf("LevelBytes len %d", len(st.LevelBytes))
+	}
+	if st.LevelBytes[0] != 64 {
+		t.Fatalf("root block bytes %d", st.LevelBytes[0])
+	}
+	if st.TreeBytes <= 0 || tr.PairBytes() != int64(2*8*len(pairs)) {
+		t.Fatal("bad byte accounting")
+	}
+}
+
+func TestFASTBuildErrors(t *testing.T) {
+	if _, err := Build[uint64](nil, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	if _, err := Build([]keys.Pair[uint64]{{Key: 2}, {Key: 1}}, 1); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := Build([]keys.Pair[uint64]{{Key: keys.Max[uint64]()}}, 1); err == nil {
+		t.Fatal("sentinel accepted")
+	}
+}
+
+// TestFASTQuick property-tests LowerBound against sort.Search.
+func TestFASTQuick(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		size := int(n)%3000 + 1
+		pairs := workload.Dataset[uint64](workload.Uniform, size, seed)
+		tr, err := Build(pairs, 1)
+		if err != nil {
+			return false
+		}
+		sorted := make([]uint64, size)
+		for i, p := range pairs {
+			sorted[i] = p.Key
+		}
+		r := workload.NewRNG(seed + 1)
+		for i := 0; i < 100; i++ {
+			q := r.Uint64()
+			want := sort.Search(size, func(i int) bool { return sorted[i] >= q })
+			if tr.LowerBound(q) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package gpusim simulates the discrete CUDA GPU of the paper's
+// evaluation platforms (GeForce GTX 780 / 770M) closely enough to
+// reproduce the HB+-tree's behaviour without GPU hardware.
+//
+// The simulation has two halves:
+//
+//   - Functional: device memory is real storage (capacity-checked
+//     against the card's 3 GiB), host<->device copies move real bytes,
+//     and kernels execute the paper's warp-parallel node-search
+//     algorithm (Snippet 3) on the device-resident replica, computing
+//     real results that tests verify against the host tree.
+//
+//   - Temporal: every operation returns a virtual duration from the
+//     paper's own cost model (Section 5.4): copies cost
+//     T_init + bytes/Bandwidth; kernels cost K_init plus the larger of
+//     the memory-bandwidth bound (coalesced 64-byte transactions, the
+//     transfer size the paper found optimal in Section 5.2) and the
+//     latency bound (dependent accesses per level, hidden across the
+//     resident-warp concurrency). The caller composes these durations
+//     on a vclock.Timeline to reproduce bucket pipelining and double
+//     buffering.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/platform"
+	"hbtree/internal/vclock"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds the device
+// memory capacity — the fundamental limitation that motivates the
+// HB+-tree's hybrid layout (Section 1).
+var ErrOutOfMemory = fmt.Errorf("gpusim: device memory exhausted")
+
+// Device is one simulated GPU.
+type Device struct {
+	cfg platform.GPU
+
+	mu   sync.Mutex
+	used int64
+
+	// Simulated hardware event counters.
+	bytesH2D     atomic.Int64
+	bytesD2H     atomic.Int64
+	transactions atomic.Int64 // coalesced 64 B device-memory transactions
+	kernels      atomic.Int64
+
+	workers int // host goroutines emulating the SM array
+}
+
+// New creates a device from the platform model.
+func New(cfg platform.GPU) *Device {
+	return &Device{cfg: cfg, workers: cfg.SMs}
+}
+
+// Config returns the device's platform model.
+func (d *Device) Config() platform.GPU { return d.cfg }
+
+// MemUsed reports allocated device memory in bytes.
+func (d *Device) MemUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// MemFree reports remaining device memory in bytes.
+func (d *Device) MemFree() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg.MemBytes - d.used
+}
+
+// Counters is a snapshot of the device's simulated hardware counters.
+type Counters struct {
+	BytesH2D     int64
+	BytesD2H     int64
+	Transactions int64
+	Kernels      int64
+}
+
+// Counters returns the current counter snapshot.
+func (d *Device) Counters() Counters {
+	return Counters{
+		BytesH2D:     d.bytesH2D.Load(),
+		BytesD2H:     d.bytesD2H.Load(),
+		Transactions: d.transactions.Load(),
+		Kernels:      d.kernels.Load(),
+	}
+}
+
+// Buffer is a typed device-memory allocation.
+type Buffer[K any] struct {
+	dev  *Device
+	data []K
+	size int64
+}
+
+// Malloc allocates a device buffer of n elements, failing when the
+// card's memory capacity would be exceeded.
+func Malloc[K any](d *Device, n int) (*Buffer[K], error) {
+	var z K
+	size := int64(n) * int64(sizeofAny(z))
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.used+size > d.cfg.MemBytes {
+		return nil, fmt.Errorf("%w: need %d bytes, %d free", ErrOutOfMemory, size, d.cfg.MemBytes-d.used)
+	}
+	d.used += size
+	return &Buffer[K]{dev: d, data: make([]K, n), size: size}, nil
+}
+
+// sizeofAny returns the byte size of supported element types.
+func sizeofAny(v any) int {
+	switch v.(type) {
+	case uint32, int32, float32:
+		return 4
+	case uint64, int64, float64:
+		return 8
+	case uint8, int8, bool:
+		return 1
+	default:
+		return 8
+	}
+}
+
+// Free releases the buffer's device memory. Double frees are no-ops.
+func (b *Buffer[K]) Free() {
+	if b.data == nil {
+		return
+	}
+	b.dev.mu.Lock()
+	b.dev.used -= b.size
+	b.dev.mu.Unlock()
+	b.data = nil
+}
+
+// Data exposes the device-resident storage; kernels read and write it.
+func (b *Buffer[K]) Data() []K { return b.data }
+
+// Len returns the element count.
+func (b *Buffer[K]) Len() int { return len(b.data) }
+
+// CopyFromHost copies src into the buffer (cudaMemcpyHostToDevice) and
+// returns the transfer's virtual duration T_init + bytes/Bandwidth.
+func (b *Buffer[K]) CopyFromHost(src []K) (vclock.Duration, error) {
+	if len(src) > len(b.data) {
+		return 0, fmt.Errorf("gpusim: H2D copy of %d elements into buffer of %d", len(src), len(b.data))
+	}
+	copy(b.data, src)
+	var z K
+	bytes := int64(len(src)) * int64(sizeofAny(z))
+	b.dev.bytesH2D.Add(bytes)
+	return b.dev.CopyDuration(bytes), nil
+}
+
+// CopyRegionFromHost copies src into the buffer at element offset off —
+// the per-node synchronisation primitive of the synchronized update
+// method (Section 5.6). Each call pays the full T_init, which is exactly
+// why that method is "bounded by the communication initialization
+// latency".
+func (b *Buffer[K]) CopyRegionFromHost(off int, src []K) (vclock.Duration, error) {
+	if off < 0 || off+len(src) > len(b.data) {
+		return 0, fmt.Errorf("gpusim: H2D region copy out of range [%d, %d) of %d", off, off+len(src), len(b.data))
+	}
+	copy(b.data[off:], src)
+	var z K
+	bytes := int64(len(src)) * int64(sizeofAny(z))
+	b.dev.bytesH2D.Add(bytes)
+	return b.dev.CopyDuration(bytes), nil
+}
+
+// CopyToHost copies the first len(dst) elements back to the host
+// (cudaMemcpyDeviceToHost) and returns the virtual duration.
+func (b *Buffer[K]) CopyToHost(dst []K) (vclock.Duration, error) {
+	if len(dst) > len(b.data) {
+		return 0, fmt.Errorf("gpusim: D2H copy of %d elements from buffer of %d", len(dst), len(b.data))
+	}
+	copy(dst, b.data)
+	var z K
+	bytes := int64(len(dst)) * int64(sizeofAny(z))
+	b.dev.bytesD2H.Add(bytes)
+	return b.dev.CopyDuration(bytes), nil
+}
+
+// CopyDuration is the paper's transfer cost model:
+// T = T_init + bytes / Bandwidth.
+func (d *Device) CopyDuration(bytes int64) vclock.Duration {
+	return d.cfg.TInit + vclock.Duration(float64(bytes)/d.cfg.PCIeBWBytes*1e9)
+}
+
+// KernelDuration models the execution time of a tree-search kernel over
+// nQueries queries, each traversing `levels` node levels with
+// transPerLevel dependent 64-byte transactions per level, using
+// threadsPerQuery GPU threads (T in Section 5.3: 8 for 64-bit, 16 for
+// 32-bit keys). divergence in (0, 1] derates the sustained bandwidth for
+// kernels with extra warp divergence, such as the three-phase regular
+// node search; pass 1 for the implicit kernel.
+//
+// The model is K_init + max(bandwidth bound, latency bound, compute):
+// with enough resident warps the latency of dependent accesses is hidden
+// and the kernel runs at the memory-bandwidth roofline — the regime the
+// paper identifies as the GPU's advantage; small grids fall back to the
+// latency bound.
+func (d *Device) KernelDuration(nQueries int, levels float64, transPerLevel, threadsPerQuery int, divergence float64) vclock.Duration {
+	if nQueries == 0 {
+		return 0
+	}
+	trans := int64(float64(nQueries) * levels * float64(transPerLevel))
+	d.transactions.Add(trans)
+	d.kernels.Add(1)
+
+	eff := d.cfg.KernelBWEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	if divergence > 0 && divergence <= 1 {
+		eff *= divergence
+	}
+	bw := vclock.Duration(float64(trans*keys.LineBytes) / (d.cfg.MemBWBytes * eff) * 1e9)
+
+	conc := d.cfg.ConcurrentQueries(threadsPerQuery)
+	waves := math.Ceil(float64(nQueries) / float64(conc))
+	lat := vclock.Duration(waves * levels * float64(transPerLevel) * float64(d.cfg.MemLatency))
+
+	compute := vclock.Duration(float64(trans)/float64(d.cfg.SMs)) * d.cfg.CostWarpStep / 32
+
+	t := bw
+	if lat > t {
+		t = lat
+	}
+	if compute > t {
+		t = compute
+	}
+	return d.cfg.KInit + t
+}
+
+// Workers returns the host-goroutine parallelism used to execute kernels
+// functionally.
+func (d *Device) Workers() int { return d.workers }

@@ -1,0 +1,163 @@
+package gpusim
+
+import (
+	"sync"
+
+	"hbtree/internal/keys"
+)
+
+// This file implements the GPU search kernels functionally. Each query
+// is resolved by a "warp team" of T threads (8 for 64-bit keys, 16 for
+// 32-bit keys; Section 5.3) executing the parallel node-search algorithm
+// of Snippet 3: every team thread compares its assigned key, publishes a
+// flag, and the thread whose flag differs from its predecessor's owns
+// the answer. The emulation preserves that structure literally — flags,
+// predecessor test, shared result — and fans warps out across host
+// goroutines standing in for the SM array.
+
+// warpSearch executes the parallel node search of Snippet 3 on one node
+// line. It requires the node's last slot to be reachable (the HB+-tree
+// pins trailing separators to MAX), guaranteeing a valid result for any
+// query.
+func warpSearch[K keys.Key](node []K, q K) int {
+	var flag [17]bool // flag[0] is the implicit predecessor of thread 0
+	for j, k := range node {
+		flag[j+1] = q <= k // each team thread's comparison
+	}
+	res := len(node) - 1
+	for j := range node {
+		// Thread j owns the result iff its flag is set and thread j-1's
+		// is not ("if r_t = 1 and r_{t-1} = 0").
+		if flag[j+1] && !flag[j] {
+			res = j
+			break
+		}
+	}
+	return res
+}
+
+// ImplicitDesc describes the implicit HB+-tree I-segment resident in
+// device memory.
+type ImplicitDesc struct {
+	LevelOff  []int32 // offset of each level in nodes, root first
+	Kpn       int     // key slots per node (threads per query, T)
+	Fanout    int     // children per node (8 / 16 for the HB+ layout)
+	Height    int     // inner levels
+	NumLeaves int     // leaf lines (for final clamping)
+}
+
+// ImplicitSearchKernel traverses the device-resident implicit I-segment
+// for each query, writing the target leaf line index. startLevel and
+// startIdx support the load-balanced mode where the CPU pre-walks the
+// top D levels (Section 5.5); pass startLevel 0 and nil startIdx for the
+// full traversal. It returns the number of device-memory transactions
+// issued (one coalesced 64-byte access per node per query).
+func ImplicitSearchKernel[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, queries []K, out []int32, startLevel int, startIdx []int32) int64 {
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := queries[i]
+			idx := int32(0)
+			if startIdx != nil {
+				idx = startIdx[i]
+			}
+			for lvl := startLevel; lvl < desc.Height; lvl++ {
+				off := (int(desc.LevelOff[lvl]) + int(idx)) * desc.Kpn
+				node := iseg[off : off+desc.Kpn]
+				res := warpSearch(node, q)
+				idx = idx*int32(desc.Fanout) + int32(res)
+			}
+			if int(idx) >= desc.NumLeaves {
+				idx = int32(desc.NumLeaves - 1)
+			}
+			out[i] = idx
+		}
+	}
+	d.fanOut(len(queries), run)
+	levels := desc.Height - startLevel
+	return int64(len(queries)) * int64(levels)
+}
+
+// RegularDesc describes the regular HB+-tree inner segments resident in
+// device memory.
+type RegularDesc struct {
+	Root        int32
+	RootInUpper bool // height >= 2
+	Height      int  // inner levels (last-level nodes at height 1)
+	NodeSlots   int  // K slots per inner node
+	Kpl         int  // keys per line (threads per query)
+}
+
+// RegularSearchKernel traverses the device-resident regular I-segment
+// (upper and last-level pools) for each query, writing the target big
+// leaf and leaf line. Each node costs three dependent accesses: index
+// line, key line, reference slot (Section 5.3). startHeight/startIdx
+// support the load-balanced mode. It returns the number of device-memory
+// transactions issued.
+func RegularSearchKernel[K keys.Key](d *Device, upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, startHeight int, startIdx []int32) int64 {
+	kpl := desc.Kpl
+	searchNode := func(pool []K, idx int32, q K) int {
+		base := int(idx) * desc.NodeSlots
+		s := warpSearch(pool[base:base+kpl], q)                     // index line
+		u := warpSearch(pool[base+kpl+s*kpl:base+kpl+(s+1)*kpl], q) // key line
+		return s*kpl + u
+	}
+	refOf := func(pool []K, idx int32, c int) int32 {
+		base := int(idx)*desc.NodeSlots + kpl + kpl*kpl
+		return int32(pool[base+c]) // reference fetch: third access
+	}
+	run := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := queries[i]
+			idx := desc.Root
+			h := desc.Height
+			if startIdx != nil {
+				idx = startIdx[i]
+				h = startHeight
+			}
+			for ; h >= 2; h-- {
+				c := searchNode(upper, idx, q)
+				idx = refOf(upper, idx, c)
+			}
+			c := searchNode(last, idx, q)
+			outLeaf[i] = idx
+			outLine[i] = int32(c)
+		}
+	}
+	d.fanOut(len(queries), run)
+	h := desc.Height
+	if startIdx != nil {
+		h = startHeight
+	}
+	return int64(len(queries)) * int64(h) * 3
+}
+
+// fanOut spreads the query range across the device's worker goroutines
+// (the SM array stand-in).
+func (d *Device) fanOut(n int, run func(lo, hi int)) {
+	w := d.workers
+	if w <= 1 || n < 1024 {
+		run(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package gpusim
+
+import (
+	"testing"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/workload"
+)
+
+// Tests of the 32-bit kernel paths: 16 threads per query team
+// (Section 5.3's T for 32-bit keys) against the 16-key node lines.
+
+func TestImplicitKernel32(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 60000, 42)
+	tr, err := cpubtree.BuildImplicit(pairs, cpubtree.Config{Fanout: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, levelOff, kpn, fanout := tr.InnerArray()
+	if kpn != 16 || fanout != 16 {
+		t.Fatalf("geometry %d/%d", kpn, fanout)
+	}
+	off32 := make([]int32, len(levelOff))
+	for i, o := range levelOff {
+		off32[i] = int32(o)
+	}
+	desc := ImplicitDesc{LevelOff: off32, Kpn: kpn, Fanout: fanout, Height: tr.Height(), NumLeaves: tr.NumLeafLines()}
+	d := dev()
+	qs := workload.SearchInput(pairs, 5000, 3)
+	out := make([]int32, len(qs))
+	ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil)
+	for i, q := range qs {
+		if int(out[i]) != tr.SearchInner(q) {
+			t.Fatalf("32-bit kernel diverges for key %d: %d vs %d", q, out[i], tr.SearchInner(q))
+		}
+	}
+}
+
+func TestRegularKernel32(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 80000, 7)
+	tr, err := cpubtree.BuildRegular(pairs, cpubtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, last, root, height, nodeSlots, kpl := tr.InnerArrays()
+	desc := RegularDesc{Root: root, RootInUpper: height >= 2, Height: height, NodeSlots: nodeSlots, Kpl: kpl}
+	d := dev()
+	qs := workload.SearchInput(pairs, 5000, 9)
+	outLeaf := make([]int32, len(qs))
+	outLine := make([]int32, len(qs))
+	RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, 0, nil)
+	for i, q := range qs {
+		wl, wc := tr.SearchToLeaf(q)
+		if outLeaf[i] != wl || int(outLine[i]) != wc {
+			t.Fatalf("32-bit regular kernel diverges for key %d", q)
+		}
+	}
+}
+
+func TestRegularKernelResume(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 400000, 5)
+	tr, err := cpubtree.BuildRegular(pairs, cpubtree.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, last, root, height, nodeSlots, kpl := tr.InnerArrays()
+	if height < 3 {
+		t.Skip("tree too shallow for resume test")
+	}
+	desc := RegularDesc{Root: root, RootInUpper: height >= 2, Height: height, NodeSlots: nodeSlots, Kpl: kpl}
+	d := dev()
+	qs := workload.SearchInput(pairs, 2000, 11)
+	for stop := height; stop >= 1; stop-- {
+		starts := make([]int32, len(qs))
+		for i, q := range qs {
+			starts[i] = tr.WalkToHeight(q, stop)
+		}
+		outLeaf := make([]int32, len(qs))
+		outLine := make([]int32, len(qs))
+		RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, stop, starts)
+		for i, q := range qs {
+			wl, wc := tr.SearchToLeaf(q)
+			if outLeaf[i] != wl || int(outLine[i]) != wc {
+				t.Fatalf("resume at height %d diverges for key %d", stop, q)
+			}
+		}
+	}
+}

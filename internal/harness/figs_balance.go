@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+
+	"hbtree/internal/core"
+	"hbtree/internal/platform"
+	"hbtree/internal/workload"
+)
+
+func init() {
+	register("fig18", "Load balancing on a CPU-strong platform, machine M2 (Sec. 6.5, Fig. 18)", runFig18)
+}
+
+func runFig18(cfg Config) ([]Table, error) {
+	m := platform.M2() // the experiment's point is M2's weak GPU
+	t := Table{
+		ID:    "fig18",
+		Title: "load balancing on M2 (MQPS)",
+		Note:  "paper: without balancing HB+ runs ~25% below the CPU-optimized tree; the discovery algorithm recovers +65% over unbalanced, beating the CPU tree",
+		Cols:  []string{"size", "variant", "CPU-opt", "HB+ no-LB", "HB+ LB", "D", "R", "LB vs CPU"},
+	}
+	for _, n := range cfg.Sizes {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, cfg.Seed)
+		qs := workload.SearchInput(pairs, cfg.Queries, cfg.Seed+1)
+		for _, v := range []core.Variant{core.Implicit, core.Regular} {
+			cpuQPS, _, err := cpuOptThroughput(pairs, m.CPU, v == core.Regular, cfg.Queries)
+			if err != nil {
+				return nil, err
+			}
+			noLB, err := core.Build(pairs, core.Options{Machine: m, Variant: v, Strategy: core.DoubleBuffered})
+			if err != nil {
+				return nil, err
+			}
+			_, _, noLBStats, err := noLB.LookupBatch(qs)
+			if err != nil {
+				return nil, err
+			}
+			noLB.Close()
+
+			lb, err := core.Build(pairs, core.Options{Machine: m, Variant: v, Strategy: core.DoubleBuffered, LoadBalance: true})
+			if err != nil {
+				return nil, err
+			}
+			bal := lb.Discover()
+			vals, fnd, lbStats, err := lb.LookupBatch(qs)
+			if err != nil {
+				return nil, err
+			}
+			if err := verifyHits(qs, vals, fnd); err != nil {
+				return nil, fmt.Errorf("fig18 %v: %w", v, err)
+			}
+			lb.Close()
+
+			t.AddRow(fmtSize(n), v.String(),
+				fmtMQPS(cpuQPS),
+				fmtMQPS(noLBStats.ThroughputQPS),
+				fmtMQPS(lbStats.ThroughputQPS),
+				fmt.Sprintf("%d", bal.D), fmtF(bal.R, 2),
+				fmtF((lbStats.ThroughputQPS/cpuQPS-1)*100, 0)+"%")
+		}
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"fmt"
+
+	"hbtree/internal/core"
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/keys"
+	"hbtree/internal/platform"
+	"hbtree/internal/workload"
+)
+
+func init() {
+	register("fig13", "Regular HB+-tree update methods and I-segment sync (Sec. 6.3, Fig. 13)", runFig13)
+	register("fig14", "Update method vs batch size crossover (Sec. 6.3, Fig. 14)", runFig14)
+	register("fig15", "Implicit HB+-tree update cost breakdown (Sec. 6.3, Fig. 15)", runFig15)
+	register("fig21", "Concurrent search/update queries (App. B.3, Fig. 21)", runFig21)
+}
+
+// makeOps converts a workload update batch into tree operations.
+func makeOps(pairs []keys.Pair[uint64], n int, deleteFrac float64, seed uint64) []cpubtree.Op[uint64] {
+	wl := workload.UpdateBatch(pairs, n, deleteFrac, seed)
+	ops := make([]cpubtree.Op[uint64], len(wl))
+	for i, op := range wl {
+		ops[i] = cpubtree.Op[uint64]{Key: op.Pair.Key, Value: op.Pair.Value, Delete: op.Delete}
+	}
+	return ops
+}
+
+func runFig13(cfg Config) ([]Table, error) {
+	m, _ := platform.ByName(cfg.Machine)
+	thr := Table{
+		ID:    "fig13a",
+		Title: "regular HB+-tree update throughput by method (MUPS; async excludes the I-segment transfer, as in the paper)",
+		Note:  "paper: async multi-threaded ~3x async single-threaded; synchronized methods stay transfer-bound, parallelism adds ~30%",
+		Cols:  []string{"size", "async-1T", "async-MT", "sync-1T", "sync-MT"},
+	}
+	sync := Table{
+		ID:    "fig13b",
+		Title: "I-segment synchronisation (full transfer) time by tree size",
+		Cols:  []string{"size", "I-seg bytes", "transfer (ms)"},
+	}
+	batch := 16 * 1024
+	if cfg.Quick {
+		batch = 4 * 1024
+	}
+	for _, n := range cfg.Sizes {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, cfg.Seed)
+		row := []string{fmtSize(n)}
+		for _, method := range []core.UpdateMethod{core.AsyncSingle, core.AsyncParallel, core.Synchronized, core.SynchronizedMT} {
+			tr, err := core.Build(pairs, core.Options{Machine: m, Variant: core.Regular, LeafFill: 0.85})
+			if err != nil {
+				return nil, err
+			}
+			st, err := tr.Update(makeOps(pairs, batch, 0.3, cfg.Seed+9), method)
+			if err != nil {
+				return nil, err
+			}
+			if err := tr.VerifyReplica(); err != nil {
+				return nil, fmt.Errorf("fig13 %v: %w", method, err)
+			}
+			row = append(row, fmtF(st.ThroughputUPS()/1e6, 2))
+			if method == core.AsyncSingle {
+				sync.AddRow(fmtSize(n), fmtSize(int(tr.BuildStats().ISegBytes)),
+					fmtF(tr.BuildStats().ISegXfer.Seconds()*1e3, 3))
+			}
+			tr.Close()
+		}
+		// Reorder: the table lists async-1T, async-MT, sync-1T, sync-MT.
+		thr.AddRow(row[0], row[1], row[2], row[3], row[4])
+	}
+	return []Table{thr, sync}, nil
+}
+
+func runFig14(cfg Config) ([]Table, error) {
+	m, _ := platform.ByName(cfg.Machine)
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	t := Table{
+		ID:    "fig14",
+		Title: fmt.Sprintf("batch update time by method, %s tuples (ms, including I-segment synchronisation)", fmtSize(n)),
+		Note:  "synchronized wins for small batches; asynchronous amortises the full I-segment transfer over large ones (paper's crossover: 64K-128K on a 64M tree)",
+		Cols:  []string{"batch", "sync (ms)", "async (ms)", "winner"},
+	}
+	batches := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	if cfg.Quick {
+		batches = []int{1 << 9, 1 << 12, 1 << 15}
+	}
+	pairs := workload.Dataset[uint64](workload.Uniform, n, cfg.Seed)
+	for _, b := range batches {
+		var times [2]float64
+		for i, method := range []core.UpdateMethod{core.Synchronized, core.AsyncParallel} {
+			tr, err := core.Build(pairs, core.Options{Machine: m, Variant: core.Regular, LeafFill: 0.85})
+			if err != nil {
+				return nil, err
+			}
+			st, err := tr.Update(makeOps(pairs, b, 0.0, cfg.Seed+uint64(b)), method)
+			if err != nil {
+				return nil, err
+			}
+			times[i] = st.Total().Seconds() * 1e3
+			tr.Close()
+		}
+		winner := "sync"
+		if times[1] < times[0] {
+			winner = "async"
+		}
+		t.AddRow(fmtSize(b), fmtF(times[0], 2), fmtF(times[1], 2), winner)
+	}
+	return []Table{t}, nil
+}
+
+func runFig15(cfg Config) ([]Table, error) {
+	m, _ := platform.ByName(cfg.Machine)
+	t := Table{
+		ID:    "fig15",
+		Title: "implicit HB+-tree update: full rebuild phases",
+		Note:  "the I-segment transfer adds only a few percent over pure reconstruction (paper: 3-7%)",
+		Cols:  []string{"size", "L-seg build (ms)", "I-seg build (ms)", "I-seg transfer (ms)", "transfer share"},
+	}
+	for _, n := range cfg.Sizes {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, cfg.Seed)
+		tr, err := core.Build(pairs, core.Options{Machine: m, Variant: core.Implicit})
+		if err != nil {
+			return nil, err
+		}
+		// Rebuild with a refreshed dataset, as a batch update would.
+		pairs2 := workload.Dataset[uint64](workload.Uniform, n, cfg.Seed+1)
+		st, err := tr.Rebuild(pairs2)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.VerifyReplica(); err != nil {
+			return nil, err
+		}
+		share := st.SyncTime.Seconds() / st.Total().Seconds() * 100
+		t.AddRow(fmtSize(n),
+			fmtF(st.LSegBuild.Seconds()*1e3, 2),
+			fmtF(st.ISegBuild.Seconds()*1e3, 2),
+			fmtF(st.SyncTime.Seconds()*1e3, 2),
+			fmtF(share, 1)+"%")
+		tr.Close()
+	}
+	return []Table{t}, nil
+}
+
+func runFig21(cfg Config) ([]Table, error) {
+	m, _ := platform.ByName(cfg.Machine)
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	t := Table{
+		ID:    "fig21",
+		Title: fmt.Sprintf("concurrent search/update batches, %s tuples (MOPS)", fmtSize(n)),
+		Note:  "synchronized throughput decays faster with the update ratio (per-node transfer latency); even pure searches pay the locking overhead",
+		Cols:  []string{"update ratio", "async", "sync"},
+	}
+	batch := 32 * 1024
+	if cfg.Quick {
+		batch = 8 * 1024
+	}
+	for _, ratioPct := range []int{0, 25, 50, 75, 100} {
+		var ops []cpubtree.MixedOp[uint64]
+		row := []string{fmt.Sprintf("%d%%", ratioPct)}
+		for _, method := range []core.UpdateMethod{core.AsyncParallel, core.Synchronized} {
+			pairs := workload.Dataset[uint64](workload.Uniform, n, cfg.Seed)
+			tr, err := core.Build(pairs, core.Options{Machine: m, Variant: core.Regular, LeafFill: 0.85})
+			if err != nil {
+				return nil, err
+			}
+			r := workload.NewRNG(cfg.Seed + uint64(ratioPct))
+			ops = ops[:0]
+			for i := 0; i < batch; i++ {
+				if r.Intn(100) < ratioPct {
+					k := r.Uint64()
+					if k == keys.Max[uint64]() {
+						k--
+					}
+					ops = append(ops, cpubtree.MixedOp[uint64]{Kind: cpubtree.MixedInsert, Key: k, Value: workload.ValueFor(k)})
+				} else {
+					ops = append(ops, cpubtree.MixedOp[uint64]{Kind: cpubtree.MixedSearch, Key: pairs[r.Intn(len(pairs))].Key})
+				}
+			}
+			res, st, err := tr.MixedBatch(ops, method)
+			if err != nil {
+				return nil, err
+			}
+			// Functional spot-check on searches.
+			for i, op := range ops {
+				if op.Kind == cpubtree.MixedSearch && !res.Found[i] {
+					return nil, fmt.Errorf("fig21: search of existing key %d missed", op.Key)
+				}
+			}
+			row = append(row, fmtF(float64(batch)/st.HostTime.Seconds()/1e6, 2))
+			tr.Close()
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}, nil
+}

@@ -1,0 +1,217 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (Figures 7-21, Sections 6 and Appendix B). Each experiment
+// is a registered runner that builds the required trees, executes the
+// workload functionally (verifying results), evaluates the calibrated
+// cost model on the virtual clock, and emits the same rows/series the
+// paper plots. The cmd/hbbench tool and the repository's benchmark suite
+// both drive this package.
+//
+// Dataset sizes are scaled relative to the paper's 8M-1B sweep (the
+// mechanisms — LLC overflow, GPU-memory pressure, bucket pipelining —
+// are triggered by the platform model's capacity constants, which stay
+// at paper-scale values), and every run reports the sizes used.
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Config parameterises an experiment run.
+type Config struct {
+	// Machine selects the platform model: "M1" (default) or "M2".
+	// Individual experiments override it where the paper prescribes a
+	// machine (Figure 8 and 18 use M2).
+	Machine string
+
+	// Sizes are the dataset sizes (tuples) to sweep; nil selects the
+	// default scaled sweep.
+	Sizes []int
+
+	// Queries is the number of search queries issued per measurement;
+	// zero selects a default.
+	Queries int
+
+	// Seed makes the run reproducible.
+	Seed uint64
+
+	// Quick shrinks sizes and query counts for use inside `go test`.
+	Quick bool
+}
+
+func (c Config) fill() Config {
+	if c.Machine == "" {
+		c.Machine = "M1"
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Sizes) == 0 {
+		if c.Quick {
+			c.Sizes = []int{1 << 17, 1 << 19}
+		} else {
+			c.Sizes = []int{1 << 20, 1 << 21, 1 << 22, 1 << 23, 1 << 24}
+		}
+	}
+	if c.Queries == 0 {
+		if c.Quick {
+			c.Queries = 1 << 16
+		} else {
+			c.Queries = 1 << 19
+		}
+	}
+	return c
+}
+
+// Table is one figure's data: named columns and formatted rows.
+type Table struct {
+	ID    string
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "  %s\n", t.Note)
+	}
+	width := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		width[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(width) {
+				w = width[i]
+			}
+			parts[i] = fmt.Sprintf("%*s", w, c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Cols)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner produces the tables of one experiment.
+type Runner func(Config) ([]Table, error)
+
+// experiment couples a runner with its description.
+type experiment struct {
+	id    string
+	title string
+	run   Runner
+}
+
+var registry []experiment
+
+// register adds an experiment; called from the figure files' init.
+func register(id, title string, run Runner) {
+	registry = append(registry, experiment{id: id, title: title, run: run})
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the experiment's title.
+func Describe(id string) (string, bool) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.title, true
+		}
+	}
+	return "", false
+}
+
+// Run executes one experiment by id.
+func Run(id string, cfg Config) ([]Table, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.run(cfg.fill())
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
+}
+
+// RunAll executes every experiment, writing tables to w as they finish.
+func RunAll(cfg Config, w io.Writer) error {
+	ids := IDs()
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for i := range tables {
+			tables[i].Fprint(w)
+		}
+		fmt.Fprintf(w, "  [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// --- formatting helpers ---------------------------------------------
+
+func fmtMQPS(qps float64) string { return fmt.Sprintf("%.1f", qps/1e6) }
+
+func fmtSize(n int) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dG", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// WriteCSV emits the table as RFC-4180 CSV with a leading comment row
+// carrying the id/title, for piping results into plotting tools.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"# " + t.ID, t.Title}); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Cols); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/fast"
+	"hbtree/internal/keys"
+	"hbtree/internal/model"
+	"hbtree/internal/platform"
+	"hbtree/internal/simd"
+	"hbtree/internal/vclock"
+)
+
+// This file models the CPU-optimized baselines' performance: miss
+// profiles derived from tree geometry (the cache-resident prefix of the
+// level footprints) fed into the shared cost model. The HB+-tree's own
+// model lives in internal/core; these cover the standalone CPU trees and
+// FAST, which the core does not wrap.
+
+// implicitProfile returns the per-query miss profile and in-node search
+// count of a CPU-optimized implicit tree.
+func implicitProfile[K keys.Key](t *cpubtree.ImplicitTree[K], cpu platform.CPU) (model.MissProfile, float64) {
+	h := t.Height()
+	st := t.Stats()
+	bytes := make([]int64, h+1)
+	lines := make([]float64, h+1)
+	for d := 0; d < h; d++ {
+		bytes[d] = int64(t.LevelNodes(d)) * keys.LineBytes
+		lines[d] = 1
+	}
+	bytes[h] = st.LeafBytes
+	lines[h] = 1
+	return model.ProfileLevels(bytes, lines, cpu.LLCBytes), float64(h + 1)
+}
+
+// regularProfile returns the per-query miss profile and in-node search
+// count of a CPU-optimized regular tree (3 line touches per upper node,
+// 2 at the last level, 1 in the leaf).
+func regularProfile[K keys.Key](t *cpubtree.RegularTree[K], cpu platform.CPU) (model.MissProfile, float64) {
+	counts := t.LevelNodeCounts()
+	st := t.Stats()
+	nodeBytes := int64((1 + 2*keys.PerLine[K]()) * keys.LineBytes)
+	h := len(counts)
+	bytes := make([]int64, h+1)
+	lines := make([]float64, h+1)
+	for d := 0; d < h; d++ {
+		bytes[d] = int64(counts[d]) * nodeBytes
+		if d == h-1 {
+			lines[d] = 2
+		} else {
+			lines[d] = 3
+		}
+	}
+	bytes[h] = st.LeafBytes
+	lines[h] = 1
+	return model.ProfileLevels(bytes, lines, cpu.LLCBytes), 2*float64(h) - 1
+}
+
+// fastProfile returns the miss profile and per-query block-search count
+// of a FAST tree: one line per cache-line-block level plus the sorted
+// pair-array probe.
+func fastProfile[K keys.Key](t *fast.Tree[K], cpu platform.CPU) (model.MissProfile, float64) {
+	st := t.Stats()
+	bytes := append(append([]int64{}, st.LevelBytes...), t.PairBytes())
+	lines := make([]float64, len(bytes))
+	for i := range lines {
+		lines[i] = 1
+	}
+	return model.ProfileLevels(bytes, lines, cpu.LLCBytes), float64(st.BlockLevels)
+}
+
+// cpuTreeThroughput models the batch lookup throughput of a standalone
+// CPU tree from its profile, with optional TLB-walk overhead per query.
+func cpuTreeThroughput(cpu platform.CPU, algo simd.Algorithm, searches float64, p model.MissProfile, walk vclock.Duration, swDepth, n int) float64 {
+	pq := model.PerQuery(cpu, algo, searches, p, walk, swDepth, 0)
+	d := model.BatchDuration(cpu, n, pq, p.MissBytes(), cpu.Threads)
+	return model.Throughput(n, d)
+}
+
+// rangeThroughput models range-query throughput: an inner traversal
+// (innerSearches node searches over the inner profile) followed by
+// ceil(matches/pairsPerLine) leaf-line touches, all on the CPU; for the
+// HB+-tree the inner traversal runs on the GPU and the caller passes the
+// GPU bucket bound separately.
+func rangeProfile(inner model.MissProfile, leafMissFrac float64, matches, pairsPerLine int) model.MissProfile {
+	leafLines := float64((matches + pairsPerLine - 1) / pairsPerLine)
+	return inner.Add(model.MissProfile{
+		Hit:  leafLines * (1 - leafMissFrac),
+		Miss: leafLines * leafMissFrac,
+	})
+}

@@ -1,0 +1,75 @@
+package hybrid
+
+import (
+	"math"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/csstree"
+	"hbtree/internal/keys"
+)
+
+// BPlus adapts the HB+-layout implicit B+-tree (fanout = warp width) to
+// the generic engine; searching it through the framework is equivalent
+// to the tuned implementation in internal/core.
+type BPlus[K keys.Key] struct {
+	t *cpubtree.ImplicitTree[K]
+}
+
+// WrapBPlus wraps an implicit B+-tree. The tree must have been built
+// with the GPU-safe fanout (keys-per-line, i.e. cpubtree.Config{Fanout:
+// 8} for 64-bit keys); NewEngine rejects wider fanouts.
+func WrapBPlus[K keys.Key](t *cpubtree.ImplicitTree[K]) *BPlus[K] {
+	return &BPlus[K]{t: t}
+}
+
+// DeviceImage implements Index.
+func (b *BPlus[K]) DeviceImage() (image []K, levelOff []int, kpn, fanout, numLeaves int) {
+	inner, off, kpn, fanout := b.t.InnerArray()
+	return inner, off, kpn, fanout, b.t.NumLeafLines()
+}
+
+// SearchLeaf implements Index.
+func (b *BPlus[K]) SearchLeaf(ref int32, q K) (K, bool) {
+	return b.t.SearchLeafLine(int(ref), q)
+}
+
+// LeafBytes implements Index.
+func (b *BPlus[K]) LeafBytes() int64 { return b.t.Stats().LeafBytes }
+
+// LeafSearches implements Index: one leaf-line search per query.
+func (b *BPlus[K]) LeafSearches() float64 { return 1 }
+
+// CSS adapts the Rao & Ross Cache Sensitive Search Tree — a structure
+// the original HB+-tree system never supported — to the hybrid engine,
+// demonstrating the framework generality the paper lists as future work.
+type CSS[K keys.Key] struct {
+	t *csstree.Tree[K]
+}
+
+// WrapCSS wraps a CSS-tree.
+func WrapCSS[K keys.Key](t *csstree.Tree[K]) *CSS[K] { return &CSS[K]{t: t} }
+
+// DeviceImage implements Index: the CSS directory is the I-segment.
+func (c *CSS[K]) DeviceImage() (image []K, levelOff []int, kpn, fanout, numLeaves int) {
+	dir, off, kpn, fanout, _ := c.t.Directory()
+	return dir, off, kpn, fanout, c.t.NumBlocks()
+}
+
+// SearchLeaf implements Index: binary search within the leaf block.
+func (c *CSS[K]) SearchLeaf(ref int32, q K) (K, bool) {
+	return c.t.SearchBlock(int(ref), q)
+}
+
+// LeafBytes implements Index.
+func (c *CSS[K]) LeafBytes() int64 { return c.t.Stats().LeafBytes }
+
+// LeafSearches implements Index: a binary search over the leaf block
+// costs about one node search per cache line it spans.
+func (c *CSS[K]) LeafSearches() float64 {
+	lb := c.t.Stats().LeafBlock
+	lines := float64(lb) * 2 * float64(keys.Size[K]()) / keys.LineBytes
+	if lines < 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(lines + 1))
+}

@@ -1,0 +1,228 @@
+// Package hybrid is the paper's second future-work direction
+// (Section 7): "a general framework which enables the use of a CPU-GPU
+// hybrid platform for any arbitrary leaf-stored tree structure, such
+// that using the node structure and search/update function as input, the
+// framework would determine the parameters for an approach that best
+// utilizes the resources of both CPU and GPU".
+//
+// Any index satisfying Index — an inner directory laid out as a
+// breadth-first implicit array plus a leaf-completion function — plugs
+// into Engine, which mirrors the directory into simulated GPU memory and
+// runs the HB+-tree's double-buffered bucket pipeline over it: H2D copy,
+// warp-parallel directory traversal on the GPU, D2H copy of leaf
+// references, CPU leaf completion. The engine derives the cost-model
+// parameters (bucket bound, CPU stage time) from the index's own
+// geometry, the "determine the parameters" part of the future work.
+//
+// Two adapters ship with the framework: the HB+-tree's implicit B+-tree
+// and the CSS-tree of Rao & Ross — a structure the original system never
+// supported, searched hybrid here without modification.
+package hybrid
+
+import (
+	"fmt"
+
+	"hbtree/internal/gpusim"
+	"hbtree/internal/keys"
+	"hbtree/internal/model"
+	"hbtree/internal/platform"
+	"hbtree/internal/simd"
+	"hbtree/internal/vclock"
+)
+
+// Index is the contract a leaf-stored tree must satisfy to be searched
+// by the hybrid engine.
+type Index[K keys.Key] interface {
+	// DeviceImage returns the inner directory to mirror into GPU
+	// memory: a breadth-first implicit array of fixed-width nodes
+	// (kpn key slots each, one cache line), per-level node offsets
+	// (root first), the fanout, and the number of leaf units the bottom
+	// level addresses. Trailing node slots must hold the MAX sentinel
+	// so the warp-parallel node search always lands on a valid child —
+	// the same constraint that made the paper cap the HB+ fanout at the
+	// warp width (Section 5.2); fanout must therefore not exceed kpn.
+	DeviceImage() (image []K, levelOff []int, kpn, fanout, numLeaves int)
+
+	// SearchLeaf completes a lookup within leaf unit ref.
+	SearchLeaf(ref int32, q K) (K, bool)
+
+	// LeafBytes is the L-segment footprint, input to the CPU-stage cost
+	// model.
+	LeafBytes() int64
+
+	// LeafSearches is the number of in-node searches the leaf
+	// completion performs per query.
+	LeafSearches() float64
+}
+
+// Options configures an engine.
+type Options struct {
+	Machine    platform.Machine
+	BucketSize int
+	NodeSearch simd.Algorithm
+	Threads    int
+}
+
+func (o *Options) fill() {
+	if o.Machine.Name == "" {
+		o.Machine = platform.M1()
+	}
+	if o.BucketSize <= 0 {
+		o.BucketSize = 16 * 1024
+	}
+	if o.Threads <= 0 {
+		o.Threads = o.Machine.CPU.Threads
+	}
+}
+
+// Stats reports one batch's simulated performance.
+type Stats struct {
+	Queries       int
+	Buckets       int
+	SimTime       vclock.Duration
+	ThroughputQPS float64
+	AvgLatency    vclock.Duration
+}
+
+// Engine runs hybrid CPU-GPU lookups over any Index.
+type Engine[K keys.Key] struct {
+	idx  Index[K]
+	opt  Options
+	dev  *gpusim.Device
+	iseg *gpusim.Buffer[K]
+	desc gpusim.ImplicitDesc
+}
+
+// NewEngine validates the index geometry, mirrors its directory into
+// device memory, and returns a ready engine.
+func NewEngine[K keys.Key](idx Index[K], opt Options) (*Engine[K], error) {
+	opt.fill()
+	image, levelOff, kpn, fanout, numLeaves := idx.DeviceImage()
+	if kpn != keys.PerLine[K]() {
+		return nil, fmt.Errorf("hybrid: node width %d does not fill a cache line (%d slots)", kpn, keys.PerLine[K]())
+	}
+	if fanout < 2 || fanout > kpn {
+		return nil, fmt.Errorf("hybrid: fanout %d outside [2, %d]; the warp-parallel node search requires fanout <= warp team size (Section 5.2)", fanout, kpn)
+	}
+	if len(image)%kpn != 0 || len(levelOff) == 0 {
+		return nil, fmt.Errorf("hybrid: malformed directory image")
+	}
+	e := &Engine[K]{idx: idx, opt: opt, dev: gpusim.New(opt.Machine.GPU)}
+	buf, err := gpusim.Malloc[K](e.dev, len(image))
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: directory does not fit in GPU memory: %w", err)
+	}
+	if _, err := buf.CopyFromHost(image); err != nil {
+		buf.Free()
+		return nil, err
+	}
+	e.iseg = buf
+	off32 := make([]int32, len(levelOff))
+	for i, o := range levelOff {
+		off32[i] = int32(o)
+	}
+	e.desc = gpusim.ImplicitDesc{
+		LevelOff:  off32,
+		Kpn:       kpn,
+		Fanout:    fanout,
+		Height:    len(levelOff),
+		NumLeaves: numLeaves,
+	}
+	return e, nil
+}
+
+// Close releases the device-resident directory.
+func (e *Engine[K]) Close() {
+	if e.iseg != nil {
+		e.iseg.Free()
+	}
+}
+
+// Device exposes the engine's simulated GPU.
+func (e *Engine[K]) Device() *gpusim.Device { return e.dev }
+
+// cpuStage models the CPU leaf-completion time for one bucket, from the
+// index's own geometry (the parameter derivation of the future work).
+func (e *Engine[K]) cpuStage(n int) vclock.Duration {
+	cpu := e.opt.Machine.CPU
+	p := model.ProfileLevels([]int64{e.idx.LeafBytes()}, []float64{1}, cpu.LLCBytes)
+	mem := (vclock.Duration(p.Miss)*cpu.LatMem + vclock.Duration(p.Hit)*cpu.LatLLC) / 2
+	pq := cpu.CostHybridSched +
+		vclock.Duration(e.idx.LeafSearches()*float64(model.AlgoCost(cpu, e.opt.NodeSearch))) + mem
+	return model.BatchDuration(cpu, n, pq, p.MissBytes(), e.opt.Threads)
+}
+
+// LookupBatch resolves the queries with the double-buffered hybrid
+// pipeline, functionally traversing the device-resident directory and
+// completing lookups through the index's leaf function.
+func (e *Engine[K]) LookupBatch(queries []K) (values []K, found []bool, stats Stats, err error) {
+	n := len(queries)
+	values = make([]K, n)
+	found = make([]bool, n)
+	stats.Queries = n
+	if n == 0 {
+		return values, found, stats, nil
+	}
+	m := e.opt.BucketSize
+	qbuf, err := gpusim.Malloc[K](e.dev, m)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("hybrid: query buffer: %w", err)
+	}
+	defer qbuf.Free()
+	rbuf, err := gpusim.Malloc[int32](e.dev, m)
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("hybrid: result buffer: %w", err)
+	}
+	defer rbuf.Free()
+
+	tl := vclock.NewTimeline()
+	d2hEnd := make(map[int]vclock.Duration)
+	var sumLat vclock.Duration
+	buckets := 0
+	sz := int64(keys.Size[K]())
+	for start := 0; start < n; start += m {
+		end := start + m
+		if end > n {
+			end = n
+		}
+		bq := queries[start:end]
+		bn := len(bq)
+		stream := buckets
+		if prev, ok := d2hEnd[buckets-2]; ok { // double buffering
+			tl.AdvanceStream(stream, prev)
+		}
+		d1, cErr := qbuf.CopyFromHost(bq)
+		if cErr != nil {
+			return nil, nil, stats, cErr
+		}
+		h2dStart, _ := tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
+
+		gpusim.ImplicitSearchKernel(e.dev, e.iseg.Data(), e.desc, qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil)
+		d2 := e.dev.KernelDuration(bn, float64(e.desc.Height), 1, e.desc.Kpn, 1)
+		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
+
+		d3 := e.dev.CopyDuration(int64(bn) * 4)
+		_, dEnd := tl.Schedule(stream, vclock.ResPCIeD2H, "D2H", d3)
+		d2hEnd[buckets] = dEnd
+
+		refs := make([]int32, bn)
+		if _, err := rbuf.CopyToHost(refs); err != nil {
+			return nil, nil, stats, err
+		}
+		for i := 0; i < bn; i++ {
+			values[start+i], found[start+i] = e.idx.SearchLeaf(refs[i], bq[i])
+		}
+		d4 := e.cpuStage(bn)
+		_, cEnd := tl.Schedule(stream, vclock.ResCPU, "leaf", d4)
+		sumLat += cEnd - h2dStart
+		buckets++
+	}
+	_ = sz
+	stats.Buckets = buckets
+	stats.SimTime = tl.Now()
+	stats.AvgLatency = sumLat / vclock.Duration(buckets)
+	if stats.SimTime > 0 {
+		stats.ThroughputQPS = float64(n) / stats.SimTime.Seconds()
+	}
+	return values, found, stats, nil
+}

@@ -1,0 +1,169 @@
+package hybrid
+
+import (
+	"strings"
+	"testing"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/csstree"
+	"hbtree/internal/keys"
+	"hbtree/internal/platform"
+	"hbtree/internal/workload"
+)
+
+func checkEngine[K keys.Key](t *testing.T, idx Index[K], pairs []keys.Pair[K]) Stats {
+	t.Helper()
+	e, err := NewEngine(idx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	qs := workload.SearchInput(pairs, 40000, 7)
+	vals, found, stats, err := e.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if !found[i] || vals[i] != workload.ValueFor(q) {
+			t.Fatalf("query %d of key %v returned (%v,%v)", i, q, vals[i], found[i])
+		}
+	}
+	if stats.ThroughputQPS <= 0 || stats.Buckets == 0 {
+		t.Fatalf("bad stats %+v", stats)
+	}
+	return stats
+}
+
+func TestEngineWithBPlus(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 60000, 42)
+	tr, err := cpubtree.BuildImplicit(pairs, cpubtree.Config{Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEngine[uint64](t, WrapBPlus(tr), pairs)
+}
+
+func TestEngineWithCSS(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 60000, 42)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEngine[uint64](t, WrapCSS(tr), pairs)
+}
+
+func TestEngineWithCSS32(t *testing.T) {
+	pairs := workload.Dataset[uint32](workload.Uniform, 40000, 5)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEngine[uint32](t, WrapCSS(tr), pairs)
+}
+
+func TestEngineMisses(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 20000, 3)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine[uint64](WrapCSS(tr), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	present := make(map[uint64]bool)
+	for _, p := range pairs {
+		present[p.Key] = true
+	}
+	r := workload.NewRNG(11)
+	qs := make([]uint64, 10000)
+	for i := range qs {
+		qs[i] = r.Uint64()
+		if qs[i] == keys.Max[uint64]() {
+			qs[i]--
+		}
+	}
+	_, found, _, err := e.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if found[i] != present[q] {
+			t.Fatalf("query %d: found=%v want %v", i, found[i], present[q])
+		}
+	}
+}
+
+func TestEngineRejectsWideFanout(t *testing.T) {
+	// The CPU-optimized implicit tree (fanout 9) exceeds the warp team
+	// width and must be rejected, mirroring the paper's Section 5.2
+	// design constraint.
+	pairs := workload.Dataset[uint64](workload.Uniform, 5000, 1)
+	tr, err := cpubtree.BuildImplicit(pairs, cpubtree.Config{}) // default fanout 9
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewEngine[uint64](WrapBPlus(tr), Options{})
+	if err == nil || !strings.Contains(err.Error(), "fanout") {
+		t.Fatalf("wide fanout accepted: %v", err)
+	}
+}
+
+func TestEngineDeviceOOM(t *testing.T) {
+	m := platform.M1()
+	m.GPU.MemBytes = 1 << 10
+	pairs := workload.Dataset[uint64](workload.Uniform, 50000, 2)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine[uint64](WrapCSS(tr), Options{Machine: m}); err == nil {
+		t.Fatal("directory fit in 1 KiB of device memory")
+	}
+}
+
+func TestEngineReadsReplica(t *testing.T) {
+	// Corrupting the host directory after engine construction must not
+	// affect results: the kernel reads the device replica.
+	pairs := workload.Dataset[uint64](workload.Uniform, 30000, 9)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine[uint64](WrapCSS(tr), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	dir, _, _, _, _ := tr.Directory()
+	saved := append([]uint64(nil), dir...)
+	for i := range dir {
+		dir[i] = 0xBAD
+	}
+	qs := workload.SearchInput(pairs, 16384, 4)
+	vals, found, _, err := e.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if !found[i] || vals[i] != workload.ValueFor(q) {
+			t.Fatalf("replica not used: query %d failed", i)
+		}
+	}
+	copy(dir, saved)
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 1000, 6)
+	tr, _ := csstree.Build(pairs, 0)
+	e, err := NewEngine[uint64](WrapCSS(tr), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	vals, found, stats, err := e.LookupBatch(nil)
+	if err != nil || len(vals) != 0 || len(found) != 0 || stats.Queries != 0 {
+		t.Fatal("empty batch mishandled")
+	}
+}

@@ -1,0 +1,53 @@
+// Package keys defines the key/value domain shared by every tree in the
+// repository. The paper develops 64-bit and 32-bit variants of each tree;
+// here both are instantiations of one generic implementation over the Key
+// constraint.
+package keys
+
+// Key is the constraint satisfied by the two key widths evaluated in the
+// paper. Values have the same width as keys (Section 3: S is "the size of
+// a variable (a key or a value)").
+type Key interface {
+	~uint32 | ~uint64
+}
+
+// Max returns the maximum representable value of K (2^n - 1). The paper
+// reserves it as the sentinel stored in empty node slots so node search
+// needs no size field (Section 4.1), which means Max itself is not a
+// legal user key.
+func Max[K Key]() K {
+	var k K
+	k--
+	return k
+}
+
+// Size returns the size of K in bytes (the paper's S).
+func Size[K Key]() int {
+	var k K
+	switch any(k).(type) {
+	case uint32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// PerLine returns how many K values fit in one 64-byte cache line:
+// 8 for 64-bit keys, 16 for 32-bit keys.
+func PerLine[K Key]() int { return LineBytes / Size[K]() }
+
+// LineBytes is the cache-line size assumed throughout the paper.
+const LineBytes = 64
+
+// Pair is one key-value tuple stored in a leaf.
+type Pair[K Key] struct {
+	Key   K
+	Value K
+}
+
+// ByKey implements sorting of pairs by key.
+type ByKey[K Key] []Pair[K]
+
+func (p ByKey[K]) Len() int           { return len(p) }
+func (p ByKey[K]) Less(i, j int) bool { return p[i].Key < p[j].Key }
+func (p ByKey[K]) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }

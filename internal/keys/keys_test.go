@@ -1,0 +1,35 @@
+package keys
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestMax(t *testing.T) {
+	if Max[uint32]() != math.MaxUint32 {
+		t.Fatalf("Max[uint32] = %d", Max[uint32]())
+	}
+	if Max[uint64]() != math.MaxUint64 {
+		t.Fatalf("Max[uint64] = %d", Max[uint64]())
+	}
+}
+
+func TestSizeAndPerLine(t *testing.T) {
+	if Size[uint32]() != 4 || Size[uint64]() != 8 {
+		t.Fatalf("Size = %d/%d", Size[uint32](), Size[uint64]())
+	}
+	if PerLine[uint32]() != 16 || PerLine[uint64]() != 8 {
+		t.Fatalf("PerLine = %d/%d", PerLine[uint32](), PerLine[uint64]())
+	}
+}
+
+func TestByKeySort(t *testing.T) {
+	p := ByKey[uint64]{{Key: 3}, {Key: 1}, {Key: 2}}
+	sort.Sort(p)
+	for i := 0; i < len(p); i++ {
+		if p[i].Key != uint64(i+1) {
+			t.Fatalf("sorted[%d].Key = %d", i, p[i].Key)
+		}
+	}
+}

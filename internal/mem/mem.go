@@ -1,0 +1,245 @@
+// Package mem simulates the host virtual-memory and cache subsystem that
+// the paper manipulates through huge pages and observes through PAPI
+// hardware counters (Sections 4.1 and 6.2).
+//
+// The trees in this repository store their data in ordinary Go slices;
+// what this package adds is an address model on top of them. A Allocator
+// hands out virtual address ranges backed by either 4 KiB or 1 GiB pages
+// (the paper's two configurations), a TLB simulates the translation
+// caches — including the Intel restriction of only four 1 GiB-page
+// entries — and a Cache simulates the set-associative last-level cache.
+// Instrumented tree searches report every cache-line touch to a
+// Hierarchy, whose counters substitute for PAPI and feed the virtual-time
+// cost model.
+package mem
+
+import (
+	"fmt"
+	"hbtree/internal/keys"
+)
+
+// PageKind selects the page size backing a segment.
+type PageKind int
+
+// The two page sizes evaluated in the paper.
+const (
+	Page4K PageKind = iota // regular 4 KiB pages
+	Page1G                 // 1 GiB huge pages
+)
+
+// Bytes returns the page size in bytes.
+func (p PageKind) Bytes() int64 {
+	if p == Page1G {
+		return 1 << 30
+	}
+	return 4 << 10
+}
+
+// String names the page kind.
+func (p PageKind) String() string {
+	if p == Page1G {
+		return "1G"
+	}
+	return "4K"
+}
+
+// Segment is a contiguous virtual address range returned by Alloc.
+type Segment struct {
+	Base int64
+	Size int64
+	Kind PageKind
+}
+
+// Contains reports whether the address falls inside the segment.
+func (s Segment) Contains(addr int64) bool {
+	return addr >= s.Base && addr < s.Base+s.Size
+}
+
+// Addr returns the virtual address of byte offset off within the segment.
+func (s Segment) Addr(off int64) int64 { return s.Base + off }
+
+// Allocator is a bump allocator over a simulated virtual address space.
+// It mirrors the paper's custom memory allocator, "which allows
+// determining whether a node resides on a huge page or not" (Section
+// 4.1): every returned segment knows its page kind, and segments never
+// share a page.
+type Allocator struct {
+	next int64
+}
+
+// NewAllocator returns an allocator whose address space starts above the
+// null page.
+func NewAllocator() *Allocator { return &Allocator{next: 1 << 21} }
+
+// Alloc reserves size bytes on pages of the given kind. The segment is
+// page-aligned so that page-number arithmetic in the TLB model is exact.
+func (a *Allocator) Alloc(size int64, kind PageKind) Segment {
+	if size < 0 {
+		panic(fmt.Sprintf("mem: negative allocation %d", size))
+	}
+	ps := kind.Bytes()
+	base := (a.next + ps - 1) / ps * ps
+	a.next = base + size
+	return Segment{Base: base, Size: size, Kind: kind}
+}
+
+// Counters aggregates the simulated hardware events of an instrumented
+// run. It is the reproduction's stand-in for the PAPI counters used in
+// Section 6.2.
+type Counters struct {
+	Lines     int64 // cache-line touches issued
+	LLCHits   int64 // touches that hit the simulated LLC
+	LLCMisses int64 // touches that went to memory
+	TLBHits   int64 // address translations served by the TLB
+	TLBMiss4K int64 // misses on 4 KiB-page translations
+	TLBMiss1G int64 // misses on 1 GiB-page translations
+}
+
+// TLBMisses returns the total translation misses.
+func (c Counters) TLBMisses() int64 { return c.TLBMiss4K + c.TLBMiss1G }
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Lines += other.Lines
+	c.LLCHits += other.LLCHits
+	c.LLCMisses += other.LLCMisses
+	c.TLBHits += other.TLBHits
+	c.TLBMiss4K += other.TLBMiss4K
+	c.TLBMiss1G += other.TLBMiss1G
+}
+
+// lruSet is a small fully-associative LRU array used for TLB ways and
+// cache sets. Entries are kept in recency order, most recent first.
+type lruSet struct {
+	tags []int64
+	ways int
+}
+
+func newLRUSet(ways int) lruSet { return lruSet{tags: make([]int64, 0, ways), ways: ways} }
+
+// touch looks up the tag, promoting it on hit and inserting with LRU
+// eviction on miss. It reports whether the access hit.
+func (s *lruSet) touch(tag int64) bool {
+	for i, t := range s.tags {
+		if t == tag {
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag
+			return true
+		}
+	}
+	if len(s.tags) < s.ways {
+		s.tags = append(s.tags, 0)
+	}
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = tag
+	return false
+}
+
+// TLB models the translation caches of one hardware thread: a
+// fully-associative LRU array for 4 KiB-page entries and the four-entry
+// array Intel provides for 1 GiB pages (Section 4.1).
+type TLB struct {
+	small lruSet
+	huge  lruSet
+}
+
+// NewTLB builds a TLB with the given entry counts.
+func NewTLB(entries4K, entries1G int) *TLB {
+	return &TLB{small: newLRUSet(entries4K), huge: newLRUSet(entries1G)}
+}
+
+// Translate simulates the translation of addr on a page of the given
+// kind and reports whether it hit the TLB.
+func (t *TLB) Translate(addr int64, kind PageKind) bool {
+	page := addr / kind.Bytes()
+	if kind == Page1G {
+		return t.huge.touch(page)
+	}
+	return t.small.touch(page)
+}
+
+// Cache is a set-associative cache of 64-byte lines with LRU replacement,
+// used to model the last-level cache for the skew experiment (Figure 12)
+// and for the hit-rate input of the CPU cost model.
+type Cache struct {
+	sets     []lruSet
+	setShift uint
+	setMask  int64
+}
+
+// NewCache builds a cache of the given capacity and associativity.
+// Capacity is rounded down to a power-of-two set count.
+func NewCache(capacityBytes int64, ways int) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	nsets := capacityBytes / keys.LineBytes / int64(ways)
+	// Round down to a power of two for masked indexing.
+	p := int64(1)
+	for p*2 <= nsets {
+		p *= 2
+	}
+	if p < 1 {
+		p = 1
+	}
+	c := &Cache{sets: make([]lruSet, p), setMask: p - 1, setShift: 6}
+	for i := range c.sets {
+		c.sets[i] = newLRUSet(ways)
+	}
+	return c
+}
+
+// Touch accesses the line containing addr and reports whether it hit.
+func (c *Cache) Touch(addr int64) bool {
+	line := addr >> c.setShift
+	set := line & c.setMask
+	return c.sets[set].touch(line)
+}
+
+// Hierarchy bundles the TLB and LLC models with counters. A Hierarchy is
+// not safe for concurrent use; instrumented measurement runs are
+// single-threaded, exactly as the paper excluded multi-threading "to
+// obtain more accurate measurement" for the TLB experiment (Section 6.2).
+type Hierarchy struct {
+	TLB   *TLB
+	LLC   *Cache
+	Count Counters
+}
+
+// NewHierarchy builds a hierarchy from entry counts and cache geometry.
+func NewHierarchy(entries4K, entries1G int, llcBytes int64, llcWays int) *Hierarchy {
+	return &Hierarchy{
+		TLB: NewTLB(entries4K, entries1G),
+		LLC: NewCache(llcBytes, llcWays),
+	}
+}
+
+// Touch records one cache-line access at addr on a page of the given
+// kind, updating the TLB, LLC and counters.
+func (h *Hierarchy) Touch(addr int64, kind PageKind) {
+	h.Count.Lines++
+	if h.TLB.Translate(addr, kind) {
+		h.Count.TLBHits++
+	} else if kind == Page1G {
+		h.Count.TLBMiss1G++
+	} else {
+		h.Count.TLBMiss4K++
+	}
+	if h.LLC.Touch(addr) {
+		h.Count.LLCHits++
+	} else {
+		h.Count.LLCMisses++
+	}
+}
+
+// ResetCounters zeroes the counters without disturbing TLB/LLC state,
+// allowing a warm-up phase before measurement.
+func (h *Hierarchy) ResetCounters() { h.Count = Counters{} }
+
+// Toucher is the hook interface trees call on every simulated cache-line
+// access. A nil Toucher disables instrumentation at negligible cost.
+type Toucher interface {
+	Touch(addr int64, kind PageKind)
+}
+
+var _ Toucher = (*Hierarchy)(nil)

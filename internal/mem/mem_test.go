@@ -1,0 +1,169 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageKind(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page1G.Bytes() != 1<<30 {
+		t.Fatal("page sizes wrong")
+	}
+	if Page4K.String() != "4K" || Page1G.String() != "1G" {
+		t.Fatal("page names wrong")
+	}
+}
+
+func TestAllocatorAlignmentAndDisjointness(t *testing.T) {
+	a := NewAllocator()
+	s1 := a.Alloc(1000, Page4K)
+	s2 := a.Alloc(5000, Page1G)
+	s3 := a.Alloc(64, Page4K)
+	for _, s := range []Segment{s1, s2, s3} {
+		if s.Base%s.Kind.Bytes() != 0 {
+			t.Fatalf("segment base %d not aligned to %v page", s.Base, s.Kind)
+		}
+	}
+	if s1.Base+s1.Size > s2.Base || s2.Base+s2.Size > s3.Base {
+		t.Fatal("segments overlap")
+	}
+	if !s1.Contains(s1.Base) || s1.Contains(s1.Base+s1.Size) {
+		t.Fatal("Contains wrong")
+	}
+	if s1.Addr(10) != s1.Base+10 {
+		t.Fatal("Addr wrong")
+	}
+}
+
+func TestAllocatorPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative alloc")
+		}
+	}()
+	NewAllocator().Alloc(-1, Page4K)
+}
+
+func TestTLBHitsAndMisses(t *testing.T) {
+	tlb := NewTLB(4, 2)
+	// First touches miss; repeats hit.
+	if tlb.Translate(0, Page4K) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Translate(100, Page4K) { // same 4K page
+		t.Fatal("same-page miss")
+	}
+	if tlb.Translate(4096, Page4K) {
+		t.Fatal("new page hit")
+	}
+	// Fill beyond capacity: LRU evicts page 0.
+	for p := int64(1); p <= 4; p++ {
+		tlb.Translate(p*4096, Page4K)
+	}
+	if tlb.Translate(0, Page4K) {
+		t.Fatal("evicted page still hit")
+	}
+}
+
+func TestTLB1GSeparateArray(t *testing.T) {
+	tlb := NewTLB(64, 4)
+	// Five distinct 1G pages overflow the 4-entry array.
+	for p := int64(0); p < 5; p++ {
+		if tlb.Translate(p<<30, Page1G) {
+			t.Fatalf("cold 1G page %d hit", p)
+		}
+	}
+	if tlb.Translate(0, Page1G) {
+		t.Fatal("LRU-evicted 1G page hit")
+	}
+	// 4 pages fit exactly.
+	tlb2 := NewTLB(64, 4)
+	for round := 0; round < 3; round++ {
+		for p := int64(0); p < 4; p++ {
+			hit := tlb2.Translate(p<<30, Page1G)
+			if round > 0 && !hit {
+				t.Fatalf("resident 1G page %d missed", p)
+			}
+		}
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	// Tiny cache: 2 sets x 2 ways of 64B lines = 256 B.
+	c := NewCache(256, 2)
+	if c.Touch(0) {
+		t.Fatal("cold hit")
+	}
+	if !c.Touch(0) {
+		t.Fatal("warm miss")
+	}
+	// Lines 0, 128, 256 map to set 0 (2 sets: line>>6 & 1).
+	c.Touch(128)
+	if !c.Touch(0) {
+		t.Fatal("0 evicted too early")
+	}
+	c.Touch(256) // evicts 128 (LRU)
+	if c.Touch(128) {
+		t.Fatal("128 should have been evicted")
+	}
+}
+
+func TestHierarchyCounters(t *testing.T) {
+	h := NewHierarchy(16, 4, 1<<20, 4)
+	for i := 0; i < 10; i++ {
+		h.Touch(int64(i*64), Page4K)
+	}
+	c := h.Count
+	if c.Lines != 10 {
+		t.Fatalf("Lines = %d", c.Lines)
+	}
+	if c.LLCMisses != 10 || c.LLCHits != 0 {
+		t.Fatalf("cold LLC: %d/%d", c.LLCHits, c.LLCMisses)
+	}
+	// All ten lines share one 4K page: 1 miss, 9 hits.
+	if c.TLBMiss4K != 1 || c.TLBHits != 9 {
+		t.Fatalf("TLB: miss=%d hit=%d", c.TLBMiss4K, c.TLBHits)
+	}
+	h.ResetCounters()
+	if h.Count.Lines != 0 {
+		t.Fatal("reset failed")
+	}
+	// Warm re-touch hits everywhere.
+	for i := 0; i < 10; i++ {
+		h.Touch(int64(i*64), Page4K)
+	}
+	if h.Count.LLCHits != 10 || h.Count.TLBMisses() != 0 {
+		t.Fatalf("warm: %+v", h.Count)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Lines: 1, LLCHits: 2, LLCMisses: 3, TLBHits: 4, TLBMiss4K: 5, TLBMiss1G: 6}
+	b := a
+	a.Add(b)
+	if a.Lines != 2 || a.TLBMisses() != 22 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+// TestCacheQuickNoPhantomHits: a cache never reports a hit for a line it
+// has not seen since its last eviction-free window; more simply, the
+// first touch of any distinct line is always a miss.
+func TestCacheQuickNoPhantomHits(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := NewCache(4096, 2)
+		seen := make(map[int64]bool)
+		for _, a := range addrs {
+			line := int64(a) &^ 63
+			hit := c.Touch(line)
+			if hit && !seen[line>>6] {
+				return false
+			}
+			seen[line>>6] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package model is the calibrated CPU cost model shared by the HB+-tree
+// core and the experiment harness. It converts per-query event counts —
+// cache-line touches split into LLC hits and DRAM misses, TLB-walk time,
+// in-node search operations — into virtual durations using the platform
+// constants, reproducing the performance regimes the paper identifies:
+// compute-bound for cache-resident trees, memory-latency-bound without
+// software pipelining, and memory-bandwidth-bound at scale.
+package model
+
+import (
+	"hbtree/internal/platform"
+	"hbtree/internal/simd"
+	"hbtree/internal/vclock"
+)
+
+// MissProfile is the expected per-query cache behaviour: how many
+// cache-line touches hit the LLC and how many go to DRAM.
+type MissProfile struct {
+	Hit  float64
+	Miss float64
+}
+
+// Lines returns the total line touches per query.
+func (m MissProfile) Lines() float64 { return m.Hit + m.Miss }
+
+// Add combines two profiles.
+func (m MissProfile) Add(o MissProfile) MissProfile {
+	return MissProfile{Hit: m.Hit + o.Hit, Miss: m.Miss + o.Miss}
+}
+
+// MissBytes returns the DRAM traffic per query in bytes.
+func (m MissProfile) MissBytes() float64 { return m.Miss * 64 }
+
+// ProfileLevels estimates the miss profile of one lookup from per-level
+// footprints: levels are cached root-first until the LLC budget is
+// spent, with the boundary level partially resident. levelBytes[i] is
+// the level's total footprint; levelLines[i] is how many cache-line
+// touches a query spends there.
+func ProfileLevels(levelBytes []int64, levelLines []float64, llcBytes int64) MissProfile {
+	var p MissProfile
+	remaining := llcBytes
+	for i, b := range levelBytes {
+		lines := levelLines[i]
+		if b <= 0 {
+			p.Hit += lines
+			continue
+		}
+		frac := float64(remaining) / float64(b)
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		p.Hit += lines * frac
+		p.Miss += lines * (1 - frac)
+		remaining -= b
+		if remaining < 0 {
+			remaining = 0
+		}
+	}
+	return p
+}
+
+// AlgoCost returns the per-node compute cost of one in-node search for
+// the chosen kernel (Figure 8's three algorithms).
+func AlgoCost(cpu platform.CPU, a simd.Algorithm) vclock.Duration {
+	switch a {
+	case simd.Linear:
+		return cpu.CostLinearSIMD
+	case simd.Hierarchical:
+		return cpu.CostHierSIMD
+	default:
+		return cpu.CostSeqSearch
+	}
+}
+
+// PerQuery converts a lookup's event counts into a per-query duration on
+// one hardware thread:
+//
+//	compute = common dispatch + nodeSearches * kernel cost + extra
+//	memory  = (Miss*LatMem + Hit*LatLLC + walk) / overlap
+//
+// where overlap is the memory-level parallelism: MLPNoSWP without
+// software pipelining, min(swDepth, MLPMax) with it. This shape yields
+// the paper's software-pipelining gain of roughly 2-2.5x saturating at
+// depth 16 (Figures 8 and 20).
+func PerQuery(cpu platform.CPU, algo simd.Algorithm, nodeSearches float64, p MissProfile, walk vclock.Duration, swDepth int, extra vclock.Duration) vclock.Duration {
+	compute := cpu.CostQuerycommon + vclock.Duration(nodeSearches*float64(AlgoCost(cpu, algo))) + extra
+	overlap := float64(cpu.MLPNoSWP)
+	if swDepth > 1 {
+		overlap = float64(swDepth)
+		if overlap > float64(cpu.MLPMax) {
+			overlap = float64(cpu.MLPMax)
+		}
+	}
+	if overlap < 1 {
+		overlap = 1
+	}
+	mem := (vclock.Duration(p.Miss)*cpu.LatMem + vclock.Duration(p.Hit)*cpu.LatLLC + walk) / vclock.Duration(overlap)
+	return compute + mem
+}
+
+// BatchDuration is the duration of a batch of n lookups across the
+// machine's hardware threads, bounded below by the memory-bandwidth
+// roofline — the paper's "bounded by the memory bandwidth" regime for
+// trees beyond the LLC.
+func BatchDuration(cpu platform.CPU, n int, perQuery vclock.Duration, missBytes float64, threads int) vclock.Duration {
+	if threads <= 0 {
+		threads = cpu.Threads
+	}
+	tThreads := vclock.Duration(float64(n) * float64(perQuery) / float64(threads))
+	tBW := vclock.Duration(float64(n) * missBytes / cpu.MemBWBytes * 1e9)
+	return vclock.Max(tThreads, tBW)
+}
+
+// Throughput converts a batch duration into queries per second.
+func Throughput(n int, d vclock.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hbtree/internal/platform"
+	"hbtree/internal/simd"
+	"hbtree/internal/vclock"
+)
+
+func TestProfileLevelsAllCached(t *testing.T) {
+	p := ProfileLevels([]int64{1024, 2048}, []float64{1, 1}, 1<<20)
+	if p.Miss != 0 || p.Hit != 2 {
+		t.Fatalf("all-cached profile: %+v", p)
+	}
+}
+
+func TestProfileLevelsNothingCached(t *testing.T) {
+	p := ProfileLevels([]int64{1 << 30}, []float64{3}, 0)
+	if p.Hit != 0 || p.Miss != 3 {
+		t.Fatalf("uncached profile: %+v", p)
+	}
+}
+
+func TestProfileLevelsPartialBoundary(t *testing.T) {
+	// LLC covers the first level plus half of the second.
+	p := ProfileLevels([]int64{512, 1024}, []float64{1, 1}, 1024)
+	if p.Hit != 1.5 || p.Miss != 0.5 {
+		t.Fatalf("boundary profile: %+v", p)
+	}
+}
+
+func TestProfileMonotoneInLLC(t *testing.T) {
+	f := func(sizes [4]uint16) bool {
+		lb := make([]int64, 4)
+		ll := make([]float64, 4)
+		for i, s := range sizes {
+			lb[i] = int64(s) + 1
+			ll[i] = 1
+		}
+		prev := -1.0
+		for llc := int64(0); llc < 300000; llc += 30000 {
+			p := ProfileLevels(lb, ll, llc)
+			if prev >= 0 && p.Hit < prev-1e-9 {
+				return false
+			}
+			if p.Hit+p.Miss < 3.999 || p.Hit+p.Miss > 4.001 {
+				return false
+			}
+			prev = p.Hit
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgoCostOrdering(t *testing.T) {
+	cpu := platform.M1().CPU
+	if !(AlgoCost(cpu, simd.Hierarchical) <= AlgoCost(cpu, simd.Linear) &&
+		AlgoCost(cpu, simd.Linear) < AlgoCost(cpu, simd.Sequential)) {
+		t.Fatal("kernel cost ordering violated")
+	}
+}
+
+func TestPerQueryPipeliningGain(t *testing.T) {
+	// Software pipelining must give roughly the paper's 2x-2.5x gain on
+	// a memory-bound profile (Figure 8: 108%-152% improvement).
+	cpu := platform.M1().CPU
+	p := MissProfile{Hit: 5, Miss: 4}
+	noSWP := PerQuery(cpu, simd.Hierarchical, 9, p, 0, 1, 0)
+	swp := PerQuery(cpu, simd.Hierarchical, 9, p, 0, 16, 0)
+	gain := float64(noSWP) / float64(swp)
+	if gain < 1.7 || gain > 4.2 {
+		t.Fatalf("pipelining gain %.2f outside the paper's regime", gain)
+	}
+	// Depth beyond MLPMax must not help further.
+	if PerQuery(cpu, simd.Hierarchical, 9, p, 0, 32, 0) != swp {
+		t.Fatal("pipelining beyond MLPMax changed cost")
+	}
+}
+
+func TestPerQueryWalkAddsCost(t *testing.T) {
+	cpu := platform.M1().CPU
+	p := MissProfile{Hit: 2, Miss: 2}
+	base := PerQuery(cpu, simd.Linear, 4, p, 0, 16, 0)
+	walked := PerQuery(cpu, simd.Linear, 4, p, 300*vclock.Nanosecond, 16, 0)
+	if walked <= base {
+		t.Fatal("TLB walk cost ignored")
+	}
+}
+
+func TestBatchDurationRooflines(t *testing.T) {
+	cpu := platform.M1().CPU
+	// Compute-bound: tiny miss traffic, duration set by threads.
+	d1 := BatchDuration(cpu, 1<<20, 100*vclock.Nanosecond, 0, 16)
+	want := vclock.Duration(float64(1<<20) * 100 / 16)
+	if d1 != want {
+		t.Fatalf("thread bound: %v want %v", d1, want)
+	}
+	// Bandwidth-bound: enormous miss traffic dominates.
+	d2 := BatchDuration(cpu, 1<<20, 1*vclock.Nanosecond, 64*20, cpu.Threads)
+	bw := vclock.Duration(float64(1<<20) * 64 * 20 / cpu.MemBWBytes * 1e9)
+	if d2 != bw {
+		t.Fatalf("bw bound: %v want %v", d2, bw)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if Throughput(1000, vclock.Millisecond) != 1e6 {
+		t.Fatal("throughput conversion wrong")
+	}
+	if Throughput(1000, 0) != 0 {
+		t.Fatal("zero duration should yield zero")
+	}
+}
+
+func TestMissProfileHelpers(t *testing.T) {
+	a := MissProfile{Hit: 1, Miss: 2}
+	b := MissProfile{Hit: 3, Miss: 4}
+	c := a.Add(b)
+	if c.Hit != 4 || c.Miss != 6 || c.Lines() != 10 || c.MissBytes() != 6*64 {
+		t.Fatalf("helpers wrong: %+v", c)
+	}
+}

@@ -1,0 +1,220 @@
+// Package platform defines the calibrated hardware models for the two
+// evaluation machines of the paper:
+//
+//	M1: Intel Xeon E5-2665 + Nvidia GeForce GTX 780   (Section 6.1)
+//	M2: Intel Core i7-4800MQ + Nvidia GeForce GTX 770M
+//
+// The constants come from vendor datasheets and from the paper's own
+// measurements (e.g. the optimal software-pipeline depth of 16, the 16K
+// bucket size). The performance model in internal/core combines these
+// constants with functionally measured event counts (cache-line touches,
+// LLC misses, TLB walks, PCIe bytes, GPU memory transactions) to produce
+// virtual-time throughput and latency figures.
+package platform
+
+import "hbtree/internal/vclock"
+
+// CPU describes the host processor and its memory system.
+type CPU struct {
+	Name       string
+	Cores      int     // physical cores
+	Threads    int     // hardware threads used for batch lookups
+	ClockGHz   float64 // nominal clock
+	HasAVX2    bool    // M1 (Sandy Bridge EP) lacks AVX2; M2 (Haswell) has it
+	SIMDBits   int     // vector register width in bits
+	LLCBytes   int64   // last-level cache capacity
+	LLCWays    int     // LLC associativity (for the cache simulator)
+	MemBWBytes float64 // sustained memory bandwidth, bytes/second
+
+	// Latencies for one 64-byte line access by level of the hierarchy.
+	LatLLC vclock.Duration // hit in LLC
+	LatMem vclock.Duration // miss to DRAM
+
+	// TLB model (per hardware thread).
+	TLB4KEntries int             // 4 KiB-page TLB entries (unified L2 sized)
+	TLB1GEntries int             // 1 GiB-page TLB entries ("only four entries", Sec. 4.1)
+	Walk4K       vclock.Duration // page-walk penalty, 4 KiB page (5 accesses)
+	Walk1G       vclock.Duration // page-walk penalty, 1 GiB page (3 accesses)
+
+	// Per-node compute cost of one in-node search, by algorithm, and the
+	// per-query batch scheduling overhead of the lookup loop. These are
+	// the calibration constants of the CPU cost model (see model.go).
+	CostSeqSearch   vclock.Duration // sequential scan of one 64 B line
+	CostLinearSIMD  vclock.Duration // linear AVX search (Snippet 1)
+	CostHierSIMD    vclock.Duration // hierarchical AVX search (Snippet 2)
+	CostQuerycommon vclock.Duration // per-query dispatch/bookkeeping overhead
+
+	// MLPNoSWP is the memory-level parallelism the out-of-order core
+	// reaches without software pipelining (overlapped misses); MLPMax is
+	// the hardware ceiling (line-fill buffers) that software pipelining
+	// can exploit.
+	MLPNoSWP int
+	MLPMax   int
+
+	// CostHybridSched is the extra per-query CPU overhead of the hybrid
+	// search path: bucket management, intermediate-result handling and
+	// GPU coordination. The paper identifies CPU "scheduling and
+	// searching leaf nodes" as the implicit HB+-tree's bound.
+	CostHybridSched vclock.Duration
+
+	// RebuildPerPair is the CPU cost per key-value pair of bulk tree
+	// (re)construction, covering shuffle/merge/write work beyond raw
+	// memory bandwidth.
+	RebuildPerPair vclock.Duration
+}
+
+// GPU describes the discrete accelerator and its interconnect.
+type GPU struct {
+	Name          string
+	SMs           int     // streaming multiprocessors
+	MaxWarpsPerSM int     // resident warps per SM
+	ClockGHz      float64 // core clock
+	MemBytes      int64   // device memory capacity
+	MemBWBytes    float64 // device memory bandwidth, bytes/second
+	MemLatency    vclock.Duration
+
+	PCIeBWBytes float64         // effective host<->device copy bandwidth
+	TInit       vclock.Duration // per-transfer initialisation cost (T_init, Sec. 5.4)
+	KInit       vclock.Duration // kernel-launch initialisation cost (K_init)
+
+	// CostWarpStep is the compute cost for one warp to execute one
+	// parallel node-search step (compare + flag + vote, Snippet 3).
+	CostWarpStep vclock.Duration
+
+	// TInitAsync is the initiation cost of one queued asynchronous copy
+	// (cudaMemcpyAsync enqueued on a busy stream), much cheaper than the
+	// full T_init of an isolated blocking transfer. The synchronized
+	// update method's per-node transfers pay this cost (Section 5.6).
+	TInitAsync vclock.Duration
+
+	// KernelBWEfficiency is the fraction of peak device-memory bandwidth
+	// a pointer-chasing tree-search kernel sustains (random 64-byte
+	// coalesced accesses never reach peak). Calibrated per card.
+	KernelBWEfficiency float64
+}
+
+// Machine is one complete evaluation platform.
+type Machine struct {
+	Name string
+	CPU  CPU
+	GPU  GPU
+}
+
+// ConcurrentQueries reports how many queries the GPU resolves
+// concurrently for a given number of threads dedicated per query
+// (Section 5.3: GPU_Threads / T).
+func (g GPU) ConcurrentQueries(threadsPerQuery int) int {
+	if threadsPerQuery <= 0 {
+		threadsPerQuery = 1
+	}
+	return g.SMs * g.MaxWarpsPerSM * 32 / threadsPerQuery
+}
+
+// M1 returns the primary evaluation machine: Xeon E5-2665 (8C/16T Sandy
+// Bridge EP, 20 MiB LLC, 4×DDR3-1600) with a GeForce GTX 780 (12 SMX,
+// 3 GiB GDDR5 at 288.4 GB/s) on PCIe 3.0 x16.
+func M1() Machine {
+	return Machine{
+		Name: "M1",
+		CPU: CPU{
+			Name:            "Intel Xeon E5-2665",
+			Cores:           8,
+			Threads:         16,
+			ClockGHz:        2.4,
+			HasAVX2:         false, // Sandy Bridge EP: AVX only
+			SIMDBits:        256,
+			LLCBytes:        20 << 20,
+			LLCWays:         20,
+			MemBWBytes:      51.2e9,
+			LatLLC:          12 * vclock.Nanosecond,
+			LatMem:          85 * vclock.Nanosecond,
+			TLB4KEntries:    64,
+			TLB1GEntries:    4,
+			Walk4K:          60 * vclock.Nanosecond,
+			Walk1G:          25 * vclock.Nanosecond,
+			CostSeqSearch:   14 * vclock.Nanosecond,
+			CostLinearSIMD:  7 * vclock.Nanosecond,
+			CostHierSIMD:    6 * vclock.Nanosecond,
+			CostQuerycommon: 25 * vclock.Nanosecond,
+			MLPNoSWP:        1,
+			MLPMax:          6,
+			CostHybridSched: 20 * vclock.Nanosecond,
+			RebuildPerPair:  2 * vclock.Nanosecond,
+		},
+		GPU: GPU{
+			Name:               "Nvidia GeForce GTX 780",
+			SMs:                12,
+			MaxWarpsPerSM:      64,
+			ClockGHz:           0.863,
+			MemBytes:           3 << 30,
+			MemBWBytes:         288.4e9,
+			MemLatency:         400 * vclock.Nanosecond,
+			PCIeBWBytes:        12.0e9,
+			TInit:              10 * vclock.Microsecond,
+			KInit:              5 * vclock.Microsecond,
+			CostWarpStep:       25 * vclock.Nanosecond,
+			TInitAsync:         320 * vclock.Nanosecond,
+			KernelBWEfficiency: 0.85,
+		},
+	}
+}
+
+// M2 returns the secondary (mobile) machine: Core i7-4800MQ (4C/8T
+// Haswell with AVX2, 6 MiB LLC, 2×DDR3-1600) with a GeForce GTX 770M
+// (5 SMX, 3 GiB at 96.1 GB/s).
+func M2() Machine {
+	return Machine{
+		Name: "M2",
+		CPU: CPU{
+			Name:            "Intel Core i7-4800MQ",
+			Cores:           4,
+			Threads:         8,
+			ClockGHz:        2.7,
+			HasAVX2:         true,
+			SIMDBits:        256,
+			LLCBytes:        6 << 20,
+			LLCWays:         12,
+			MemBWBytes:      25.6e9,
+			LatLLC:          11 * vclock.Nanosecond,
+			LatMem:          80 * vclock.Nanosecond,
+			TLB4KEntries:    64,
+			TLB1GEntries:    4,
+			Walk4K:          55 * vclock.Nanosecond,
+			Walk1G:          22 * vclock.Nanosecond,
+			CostSeqSearch:   12 * vclock.Nanosecond,
+			CostLinearSIMD:  6 * vclock.Nanosecond,
+			CostHierSIMD:    5 * vclock.Nanosecond,
+			CostQuerycommon: 25 * vclock.Nanosecond,
+			MLPNoSWP:        1,
+			MLPMax:          6,
+			CostHybridSched: 24 * vclock.Nanosecond,
+			RebuildPerPair:  2 * vclock.Nanosecond,
+		},
+		GPU: GPU{
+			Name:               "Nvidia GeForce GTX 770M",
+			SMs:                5,
+			MaxWarpsPerSM:      64,
+			ClockGHz:           0.706,
+			MemBytes:           3 << 30,
+			MemBWBytes:         96.1e9,
+			MemLatency:         450 * vclock.Nanosecond,
+			PCIeBWBytes:        10.0e9,
+			TInit:              11 * vclock.Microsecond,
+			KInit:              60 * vclock.Microsecond,
+			CostWarpStep:       32 * vclock.Nanosecond,
+			TInitAsync:         400 * vclock.Nanosecond,
+			KernelBWEfficiency: 0.45,
+		},
+	}
+}
+
+// ByName returns the machine with the given name ("M1" or "M2").
+func ByName(name string) (Machine, bool) {
+	switch name {
+	case "M1", "m1":
+		return M1(), true
+	case "M2", "m2":
+		return M2(), true
+	}
+	return Machine{}, false
+}

@@ -1,0 +1,67 @@
+package platform
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"M1", "m1", "M2", "m2"} {
+		m, ok := ByName(name)
+		if !ok || m.Name == "" {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("M3"); ok {
+		t.Fatal("unknown machine resolved")
+	}
+}
+
+func TestMachineInvariants(t *testing.T) {
+	for _, m := range []Machine{M1(), M2()} {
+		cpu, gpu := m.CPU, m.GPU
+		if cpu.Threads < cpu.Cores || cpu.Cores <= 0 {
+			t.Fatalf("%s: core/thread counts wrong", m.Name)
+		}
+		if cpu.LatMem <= cpu.LatLLC {
+			t.Fatalf("%s: DRAM not slower than LLC", m.Name)
+		}
+		if cpu.Walk4K <= cpu.Walk1G {
+			t.Fatalf("%s: 4K page walk should cost more than 1G (5 vs 3 accesses)", m.Name)
+		}
+		if !(cpu.CostHierSIMD <= cpu.CostLinearSIMD && cpu.CostLinearSIMD < cpu.CostSeqSearch) {
+			t.Fatalf("%s: node-search cost ordering wrong", m.Name)
+		}
+		if cpu.TLB1GEntries != 4 {
+			t.Fatalf("%s: the paper's 4-entry 1G TLB constraint lost", m.Name)
+		}
+		if gpu.MemBWBytes <= cpu.MemBWBytes {
+			t.Fatalf("%s: GPU must out-bandwidth the CPU (the paper's premise)", m.Name)
+		}
+		if gpu.MemBytes != 3<<30 {
+			t.Fatalf("%s: GTX 780/770M carry 3 GiB", m.Name)
+		}
+		if gpu.KernelBWEfficiency <= 0 || gpu.KernelBWEfficiency > 1 {
+			t.Fatalf("%s: kernel efficiency out of range", m.Name)
+		}
+	}
+	m1, m2 := M1(), M2()
+	if m1.GPU.MemBWBytes <= m2.GPU.MemBWBytes {
+		t.Fatal("M1's GTX 780 should out-bandwidth M2's 770M")
+	}
+	if m1.CPU.Threads <= m2.CPU.Threads {
+		t.Fatal("M1's Xeon has more threads than M2's mobile i7")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := M1().GPU
+	// 12 SMX x 64 warps x 32 threads / 8 threads-per-query = 3072
+	// concurrent queries for the 64-bit tree (Section 5.3).
+	if got := g.ConcurrentQueries(8); got != 3072 {
+		t.Fatalf("ConcurrentQueries(8) = %d", got)
+	}
+	if got := g.ConcurrentQueries(16); got != 1536 {
+		t.Fatalf("ConcurrentQueries(16) = %d", got)
+	}
+	if got := g.ConcurrentQueries(0); got != g.SMs*g.MaxWarpsPerSM*32 {
+		t.Fatalf("ConcurrentQueries(0) = %d", got)
+	}
+}

@@ -1,0 +1,88 @@
+package vclock
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Gantt renders a recorded timeline as an ASCII Gantt chart, one row per
+// resource — the format of the paper's pipelining diagrams (Figures 5
+// and 6), where the overlap of bucket stages across the PCIe engines,
+// the GPU and the CPU is the whole argument. Each operation is drawn as
+// a box of '#' labelled with its stream (bucket) number; time flows
+// left to right.
+//
+// Recording must have been enabled with SetTrace(true) before the
+// operations ran.
+type Gantt struct {
+	Width int // total character columns for the time axis (default 100)
+}
+
+// Render writes the chart for the timeline's recorded operations.
+func (g Gantt) Render(w io.Writer, t *Timeline) error {
+	ops := t.Ops()
+	if len(ops) == 0 {
+		_, err := fmt.Fprintln(w, "(no operations recorded; call SetTrace(true) before scheduling)")
+		return err
+	}
+	width := g.Width
+	if width <= 0 {
+		width = 100
+	}
+	var end Duration
+	for _, op := range ops {
+		if op.End > end {
+			end = op.End
+		}
+	}
+	if end <= 0 {
+		end = 1
+	}
+	scale := float64(width) / float64(end)
+
+	// Group by resource, preserving the canonical order.
+	order := []Resource{ResCPU, ResPCIeH2D, ResGPU, ResPCIeD2H}
+	rows := map[Resource][]Op{}
+	for _, op := range ops {
+		rows[op.Resource] = append(rows[op.Resource], op)
+	}
+
+	if _, err := fmt.Fprintf(w, "time -> (full span %v)\n", end); err != nil {
+		return err
+	}
+	for _, r := range order {
+		line := []byte(strings.Repeat(".", width))
+		for _, op := range rows[r] {
+			lo := int(float64(op.Start) * scale)
+			hi := int(float64(op.End) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			label := fmt.Sprintf("%d", op.Stream%10)
+			for i := lo; i < hi && i < width; i++ {
+				line[i] = '#'
+			}
+			// Stamp the stream id at the box start.
+			if lo < width {
+				line[lo] = label[0]
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-8s |%s|\n", r, string(line)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderString renders the chart into a string.
+func (g Gantt) RenderString(t *Timeline) string {
+	var b strings.Builder
+	if err := g.Render(&b, t); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}

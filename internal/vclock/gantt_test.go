@@ -1,0 +1,71 @@
+package vclock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRender(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetTrace(true)
+	tl.Schedule(0, ResPCIeH2D, "h2d", 10)
+	tl.Schedule(0, ResGPU, "k", 30)
+	tl.Schedule(0, ResPCIeD2H, "d2h", 10)
+	tl.Schedule(0, ResCPU, "leaf", 20)
+	tl.Schedule(1, ResPCIeH2D, "h2d", 10)
+
+	out := Gantt{Width: 70}.RenderString(tl)
+	for _, lane := range []string{"CPU", "PCIeH2D", "GPU", "PCIeD2H"} {
+		if !strings.Contains(out, lane) {
+			t.Fatalf("missing lane %s in:\n%s", lane, out)
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no boxes drawn:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Fatalf("stream labels missing:\n%s", out)
+	}
+	// Lane width is constant.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		open := strings.Index(line, "|")
+		end := strings.LastIndex(line, "|")
+		if end-open-1 != 70 {
+			t.Fatalf("lane width %d != 70: %q", end-open-1, line)
+		}
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	tl := NewTimeline()
+	out := Gantt{}.RenderString(tl)
+	if !strings.Contains(out, "no operations recorded") {
+		t.Fatalf("empty timeline message missing: %q", out)
+	}
+}
+
+func TestGanttNoTraceMode(t *testing.T) {
+	tl := NewTimeline()
+	tl.Schedule(0, ResGPU, "k", 10) // trace off: nothing recorded
+	out := Gantt{}.RenderString(tl)
+	if !strings.Contains(out, "no operations recorded") {
+		t.Fatalf("expected no-ops message, got %q", out)
+	}
+}
+
+func TestGanttTinyOpStillVisible(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetTrace(true)
+	tl.Schedule(0, ResGPU, "big", 10000)
+	tl.Schedule(1, ResCPU, "tiny", 1) // far below one column
+	out := Gantt{Width: 50}.RenderString(tl)
+	cpuLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "CPU") {
+			cpuLine = line
+		}
+	}
+	if !strings.Contains(cpuLine, "1") {
+		t.Fatalf("tiny op invisible: %q", cpuLine)
+	}
+}

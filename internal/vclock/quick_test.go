@@ -1,0 +1,60 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestScheduleQuickProperties property-tests the timeline scheduler on
+// random operation sequences:
+//
+//  1. the makespan is at least the busy time of every resource
+//     (resources are exclusive);
+//  2. the makespan is at least every stream's serial duration (streams
+//     are ordered);
+//  3. operations on one resource never overlap.
+func TestScheduleQuickProperties(t *testing.T) {
+	type opSpec struct {
+		Stream uint8
+		Res    uint8
+		Dur    uint16
+	}
+	f := func(specs []opSpec) bool {
+		tl := NewTimeline()
+		tl.SetTrace(true)
+		streamSerial := map[int]Duration{}
+		resBusy := map[Resource]Duration{}
+		for _, sp := range specs {
+			stream := int(sp.Stream % 8)
+			res := Resource(sp.Res % uint8(numResources))
+			d := Duration(sp.Dur)
+			tl.Schedule(stream, res, "op", d)
+			streamSerial[stream] += d
+			resBusy[res] += d
+		}
+		mk := tl.Now()
+		for _, v := range streamSerial {
+			if mk < v {
+				return false
+			}
+		}
+		for r, v := range resBusy {
+			if mk < v || tl.BusyTime(r) != v {
+				return false
+			}
+		}
+		// Per-resource non-overlap.
+		ops := tl.Ops()
+		last := map[Resource]Duration{}
+		for _, op := range ops {
+			if op.Start < last[op.Resource] {
+				return false
+			}
+			last[op.Resource] = op.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package vclock
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDurationUnitsAndString(t *testing.T) {
+	if Microsecond != 1000*Nanosecond || Second != 1e9*Nanosecond {
+		t.Fatal("unit arithmetic wrong")
+	}
+	cases := map[Duration]string{
+		500 * Nanosecond:       "500.0ns",
+		2500 * Nanosecond:      "2.500us",
+		3 * Millisecond:        "3.000ms",
+		1500 * Millisecond:     "1.500s",
+		1250 * Microsecond / 1: "1.250ms",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Fatalf("String(%v ns) = %q, want %q", float64(d), got, want)
+		}
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds wrong")
+	}
+	if (3 * Microsecond).Micros() != 3 {
+		t.Fatal("Micros wrong")
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Min(1, 2) != 1 {
+		t.Fatal("Max/Min wrong")
+	}
+}
+
+func TestTimelineSequentialStream(t *testing.T) {
+	tl := NewTimeline()
+	_, e1 := tl.Schedule(0, ResPCIeH2D, "a", 10)
+	s2, e2 := tl.Schedule(0, ResGPU, "b", 20)
+	if e1 != 10 || s2 != 10 || e2 != 30 {
+		t.Fatalf("stream ordering broken: %v %v %v", e1, s2, e2)
+	}
+	if tl.Now() != 30 {
+		t.Fatalf("Now = %v", tl.Now())
+	}
+}
+
+func TestTimelineResourceExclusion(t *testing.T) {
+	tl := NewTimeline()
+	tl.Schedule(0, ResGPU, "k0", 100)
+	s, e := tl.Schedule(1, ResGPU, "k1", 50)
+	if s != 100 || e != 150 {
+		t.Fatalf("resource not exclusive: start %v end %v", s, e)
+	}
+	// A different resource is free immediately.
+	s2, _ := tl.Schedule(2, ResCPU, "c", 10)
+	if s2 != 0 {
+		t.Fatalf("independent resource delayed: %v", s2)
+	}
+}
+
+func TestTimelinePipelineOverlap(t *testing.T) {
+	// Two streams through H2D(10) -> GPU(30) -> D2H(10): the second
+	// stream's kernel starts when the first finishes, giving makespan
+	// 10 + 30 + 30 + 10 = 80 instead of 2*50 = 100.
+	tl := NewTimeline()
+	for s := 0; s < 2; s++ {
+		tl.Schedule(s, ResPCIeH2D, "h2d", 10)
+		tl.Schedule(s, ResGPU, "k", 30)
+		tl.Schedule(s, ResPCIeD2H, "d2h", 10)
+	}
+	if tl.Now() != 80 {
+		t.Fatalf("pipelined makespan = %v, want 80", tl.Now())
+	}
+}
+
+func TestAdvanceStream(t *testing.T) {
+	tl := NewTimeline()
+	tl.AdvanceStream(5, 100)
+	s, _ := tl.Schedule(5, ResCPU, "x", 1)
+	if s != 100 {
+		t.Fatalf("AdvanceStream ignored: start %v", s)
+	}
+	tl.AdvanceStream(5, 50) // never moves backwards
+	if tl.StreamTime(5) != 101 {
+		t.Fatalf("stream time %v", tl.StreamTime(5))
+	}
+}
+
+func TestTraceAndBusyTime(t *testing.T) {
+	tl := NewTimeline()
+	tl.SetTrace(true)
+	tl.Schedule(0, ResGPU, "k1", 30)
+	tl.Schedule(1, ResGPU, "k2", 20)
+	ops := tl.Ops()
+	if len(ops) != 2 || ops[0].Label != "k1" || ops[1].Start != 30 {
+		t.Fatalf("trace wrong: %+v", ops)
+	}
+	if tl.BusyTime(ResGPU) != 50 {
+		t.Fatalf("busy = %v", tl.BusyTime(ResGPU))
+	}
+	tl.Reset()
+	if tl.Now() != 0 || len(tl.Ops()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTimelineConcurrentSchedule(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tl.Schedule(i, ResCPU, "w", 10)
+		}(i)
+	}
+	wg.Wait()
+	if tl.Now() != 320 {
+		t.Fatalf("concurrent schedule lost work: %v", tl.Now())
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	tl := NewTimeline()
+	_, e := tl.Schedule(0, ResCPU, "neg", -5)
+	if e != 0 {
+		t.Fatalf("negative duration not clamped: %v", e)
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	for _, r := range []Resource{ResPCIeH2D, ResPCIeD2H, ResGPU, ResCPU} {
+		if strings.Contains(r.String(), "Resource(") {
+			t.Fatalf("missing name for %d", int(r))
+		}
+	}
+	if Resource(99).String() != "Resource(99)" {
+		t.Fatal("fallback name wrong")
+	}
+}
