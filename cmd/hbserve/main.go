@@ -6,11 +6,20 @@
 // Protocol (one request per line):
 //
 //	GET <key>            -> VALUE <v> | NOTFOUND
+//	PUT <key> <value>    -> OK | ERR (regular variant only)
+//	DEL <key>            -> OK | NOTFOUND | ERR (regular variant only)
 //	RANGE <start> <n>    -> n lines "PAIR <k> <v>", then END
 //	SCAN <start> <n>     -> like RANGE but streamed through a cursor
 //	DESCRIBE             -> multi-line tree report, then END
-//	STATS                -> tree geometry and device counters
+//	STATS                -> tree geometry, device counters, serving metrics
 //	QUIT                 -> closes the connection
+//
+// Connections are served concurrently through the hbtree.Server
+// reader/writer contract; with -coalesce, GETs from all connections are
+// coalesced into bucket-sized heterogeneous batch searches (the paper's
+// intended operating point). PUT/DEL drive the regular variant's batch
+// update path through the writer lock. SIGINT/SIGTERM trigger a
+// graceful shutdown that drains in-flight requests before exiting.
 //
 // The server bulk-loads a synthetic uniform dataset at startup, or
 // restores a snapshot written by -save via -load.
@@ -18,16 +27,266 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"hbtree"
 )
+
+// sentinelKey is the maximum key, reserved internally as the +infinity
+// fence; the update path silently skips it, so the protocol rejects it.
+const sentinelKey = ^uint64(0)
+
+// maxCount bounds RANGE/SCAN result sizes.
+const maxCount = 1 << 20
+
+// server wires the serving layer to the TCP front end: all reads go
+// through srv (and, when enabled, the coalescer), all writes through
+// the writer lock, and open connections are tracked for shutdown.
+type server struct {
+	srv *hbtree.Server[uint64]
+	co  *hbtree.Coalescer[uint64] // nil when -coalesce is off
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func newServer(tree *hbtree.Tree[uint64], coalesce bool, window time.Duration, maxBatch int) *server {
+	s := &server{
+		srv:   hbtree.NewServer(tree),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if coalesce {
+		s.co = s.srv.Coalesce(hbtree.CoalescerOptions{MaxBatch: maxBatch, Window: window})
+	}
+	return s
+}
+
+// acceptLoop accepts until the listener is closed. Transient accept
+// errors (EMFILE, ECONNABORTED, ...) are retried with exponential
+// backoff instead of killing the server; net.ErrClosed means shutdown.
+func (s *server) acceptLoop(ln net.Listener) {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = time.Second
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			log.Printf("hbserve: accept: %v (retrying in %v)", err, backoff)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		backoff = 5 * time.Millisecond
+		s.track(conn)
+		go func() {
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+}
+
+func (s *server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
+}
+
+// shutdown closes every open connection, waits for their handlers to
+// drain, then stops the coalescer (failing nothing: all submitters have
+// returned) and releases the tree.
+func (s *server) shutdown() {
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if s.co != nil {
+		s.co.Close()
+	}
+	s.srv.Close()
+}
+
+func (s *server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		quit := s.handleLine(w, sc.Text())
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// handleLine executes one protocol line and writes the reply; it
+// returns true when the session should end. Factored out of the
+// connection loop so the fuzz target can drive the parser directly.
+func (s *server) handleLine(w io.Writer, line string) (quit bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return false
+	}
+	switch strings.ToUpper(fields[0]) {
+	case "GET":
+		if len(fields) != 2 {
+			fmt.Fprintln(w, "ERR usage: GET <key>")
+			break
+		}
+		k, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(w, "ERR bad key")
+			break
+		}
+		var v uint64
+		var ok bool
+		if s.co != nil {
+			v, ok, err = s.co.Lookup(k)
+			if err != nil {
+				fmt.Fprintln(w, "ERR server shutting down")
+				break
+			}
+		} else {
+			v, ok = s.srv.Lookup(k)
+		}
+		if ok {
+			fmt.Fprintf(w, "VALUE %d\n", v)
+		} else {
+			fmt.Fprintln(w, "NOTFOUND")
+		}
+	case "PUT":
+		if len(fields) != 3 {
+			fmt.Fprintln(w, "ERR usage: PUT <key> <value>")
+			break
+		}
+		k, err1 := strconv.ParseUint(fields[1], 10, 64)
+		v, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(w, "ERR bad key or value")
+			break
+		}
+		if !s.writable(w) {
+			break
+		}
+		if k == sentinelKey {
+			fmt.Fprintln(w, "ERR key out of range")
+			break
+		}
+		if _, err := s.srv.Update([]hbtree.Op[uint64]{{Key: k, Value: v}}, hbtree.Synchronized); err != nil {
+			fmt.Fprintf(w, "ERR update: %v\n", err)
+			break
+		}
+		fmt.Fprintln(w, "OK")
+	case "DEL":
+		if len(fields) != 2 {
+			fmt.Fprintln(w, "ERR usage: DEL <key>")
+			break
+		}
+		k, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(w, "ERR bad key")
+			break
+		}
+		if !s.writable(w) {
+			break
+		}
+		st, err := s.srv.Update([]hbtree.Op[uint64]{{Key: k, Delete: true}}, hbtree.Synchronized)
+		if err != nil {
+			fmt.Fprintf(w, "ERR update: %v\n", err)
+			break
+		}
+		if st.NotFound > 0 {
+			fmt.Fprintln(w, "NOTFOUND")
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+	case "RANGE":
+		start, count, ok := parseRange(w, fields, "RANGE")
+		if !ok {
+			break
+		}
+		for _, p := range s.srv.RangeQuery(start, count) {
+			fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
+		}
+		fmt.Fprintln(w, "END")
+	case "SCAN":
+		start, count, ok := parseRange(w, fields, "SCAN")
+		if !ok {
+			break
+		}
+		for _, p := range s.srv.Scan(start, count) {
+			fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
+		}
+		fmt.Fprintln(w, "END")
+	case "DESCRIBE":
+		fmt.Fprint(w, s.srv.Describe())
+		fmt.Fprintln(w, "END")
+	case "STATS":
+		st := s.srv.Stats()
+		c := s.srv.DeviceCounters()
+		m := s.srv.Metrics()
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d vtime=%s\n",
+			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
+			c.BytesH2D, c.BytesD2H, c.Kernels,
+			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, m.VirtualTime)
+	case "QUIT":
+		fmt.Fprintln(w, "BYE")
+		return true
+	default:
+		fmt.Fprintln(w, "ERR unknown command")
+	}
+	return false
+}
+
+// writable gates PUT/DEL on the variant: only the regular organisation
+// supports incremental batch updates (the implicit variant rebuilds).
+func (s *server) writable(w io.Writer) bool {
+	if s.srv.Options().Variant != hbtree.Regular {
+		fmt.Fprintln(w, "ERR updates require the regular variant (-variant regular)")
+		return false
+	}
+	return true
+}
+
+func parseRange(w io.Writer, fields []string, cmd string) (start uint64, count int, ok bool) {
+	if len(fields) != 3 {
+		fmt.Fprintf(w, "ERR usage: %s <start> <n>\n", cmd)
+		return 0, 0, false
+	}
+	start, err1 := strconv.ParseUint(fields[1], 10, 64)
+	count, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || count < 0 || count > maxCount {
+		fmt.Fprintf(w, "ERR bad %s\n", strings.ToLower(cmd))
+		return 0, 0, false
+	}
+	return start, count, true
+}
 
 func main() {
 	var (
@@ -35,10 +294,24 @@ func main() {
 		n        = flag.Int("n", 1<<20, "tuples to bulk-load")
 		seed     = flag.Uint64("seed", 42, "dataset seed")
 		once     = flag.Bool("once", false, "serve a single connection and exit (for tests)")
+		variant  = flag.String("variant", "implicit", "tree organisation: implicit | regular (regular enables PUT/DEL)")
+		coalesce = flag.Bool("coalesce", false, "coalesce concurrent GETs into heterogeneous batch searches")
+		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "max time a GET waits for batch companions")
+		maxBatch = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
 		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
 		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
 	)
 	flag.Parse()
+
+	opt := hbtree.Options{}
+	switch *variant {
+	case "implicit":
+		opt.Variant = hbtree.Implicit
+	case "regular":
+		opt.Variant = hbtree.Regular
+	default:
+		log.Fatalf("hbserve: unknown -variant %q", *variant)
+	}
 
 	var tree *hbtree.Tree[uint64]
 	var err error
@@ -47,7 +320,7 @@ func main() {
 		if ferr != nil {
 			log.Fatalf("hbserve: open snapshot: %v", ferr)
 		}
-		tree, err = hbtree.Load[uint64](f, hbtree.Options{})
+		tree, err = hbtree.Load[uint64](f, opt)
 		f.Close()
 		if err != nil {
 			log.Fatalf("hbserve: load snapshot: %v", err)
@@ -56,12 +329,11 @@ func main() {
 	} else {
 		log.Printf("hbserve: loading %d tuples...", *n)
 		pairs := hbtree.GeneratePairs[uint64](*n, *seed)
-		tree, err = hbtree.New(pairs, hbtree.Options{})
+		tree, err = hbtree.New(pairs, opt)
 		if err != nil {
 			log.Fatalf("hbserve: build: %v", err)
 		}
 	}
-	defer tree.Close()
 	if *savePath != "" {
 		f, ferr := os.Create(*savePath)
 		if ferr != nil {
@@ -79,105 +351,34 @@ func main() {
 	log.Printf("hbserve: height %d, I-segment %d bytes, L-segment %d bytes",
 		st.Height, st.InnerBytes, st.LeafBytes)
 
+	s := newServer(tree, *coalesce, *window, *maxBatch)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("hbserve: listen: %v", err)
 	}
-	defer ln.Close()
-	log.Printf("hbserve: listening on %s", ln.Addr())
+	log.Printf("hbserve: listening on %s (variant=%s coalesce=%v)", ln.Addr(), *variant, *coalesce)
 
-	for {
+	// SIGINT/SIGTERM close the listener; the accept loop then returns
+	// and the graceful drain below runs.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("hbserve: %v: shutting down", sig)
+		ln.Close()
+	}()
+
+	if *once {
 		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("hbserve: accept: %v", err)
-			return
+		if err == nil {
+			s.track(conn)
+			func() { defer s.untrack(conn); s.serveConn(conn) }()
 		}
-		if *once {
-			serve(conn, tree)
-			return
-		}
-		go serve(conn, tree)
+		ln.Close()
+	} else {
+		s.acceptLoop(ln)
 	}
-}
-
-func serve(conn net.Conn, tree *hbtree.Tree[uint64]) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
-	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		switch strings.ToUpper(fields[0]) {
-		case "GET":
-			if len(fields) != 2 {
-				fmt.Fprintln(w, "ERR usage: GET <key>")
-				break
-			}
-			k, err := strconv.ParseUint(fields[1], 10, 64)
-			if err != nil {
-				fmt.Fprintln(w, "ERR bad key")
-				break
-			}
-			if v, ok := tree.Lookup(k); ok {
-				fmt.Fprintf(w, "VALUE %d\n", v)
-			} else {
-				fmt.Fprintln(w, "NOTFOUND")
-			}
-		case "RANGE":
-			if len(fields) != 3 {
-				fmt.Fprintln(w, "ERR usage: RANGE <start> <n>")
-				break
-			}
-			start, err1 := strconv.ParseUint(fields[1], 10, 64)
-			count, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil || count < 0 || count > 1<<20 {
-				fmt.Fprintln(w, "ERR bad range")
-				break
-			}
-			for _, p := range tree.RangeQuery(start, count, nil) {
-				fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
-			}
-			fmt.Fprintln(w, "END")
-		case "SCAN":
-			if len(fields) != 3 {
-				fmt.Fprintln(w, "ERR usage: SCAN <start> <n>")
-				break
-			}
-			start, err1 := strconv.ParseUint(fields[1], 10, 64)
-			count, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil || count < 0 || count > 1<<20 {
-				fmt.Fprintln(w, "ERR bad scan")
-				break
-			}
-			cur := tree.Seek(start)
-			for i := 0; i < count; i++ {
-				p, ok := cur.Next()
-				if !ok {
-					break
-				}
-				fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
-			}
-			fmt.Fprintln(w, "END")
-		case "DESCRIBE":
-			fmt.Fprint(w, tree.Describe())
-			fmt.Fprintln(w, "END")
-		case "STATS":
-			st := tree.Stats()
-			c := tree.Device().Counters()
-			fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d\n",
-				st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
-				c.BytesH2D, c.BytesD2H, c.Kernels)
-		case "QUIT":
-			fmt.Fprintln(w, "BYE")
-			return
-		default:
-			fmt.Fprintln(w, "ERR unknown command")
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
+	s.shutdown()
+	log.Printf("hbserve: drained, bye")
 }

@@ -2,54 +2,78 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"hbtree"
 )
 
-// TestServeProtocol drives the TCP protocol end-to-end against an
-// in-process listener.
-func TestServeProtocol(t *testing.T) {
-	pairs := hbtree.GeneratePairs[uint64](1<<12, 42)
-	tree, err := hbtree.New(pairs, hbtree.Options{})
+// newTestTree builds a small dataset tree for protocol tests.
+func newTestTree(t *testing.T, variant hbtree.Variant, seed uint64) (*hbtree.Tree[uint64], []hbtree.Pair[uint64]) {
+	t.Helper()
+	pairs := hbtree.GeneratePairs[uint64](1<<12, seed)
+	tree, err := hbtree.New(pairs, hbtree.Options{Variant: variant})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer tree.Close()
+	return tree, pairs
+}
 
+// startServer runs s.acceptLoop on an ephemeral listener and returns a
+// dialer. The listener closes (and the loop exits) at test cleanup; the
+// server itself is shut down there too.
+func startServer(t *testing.T, s *server) func() (net.Conn, *bufio.Reader) {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	loopDone := make(chan struct{})
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		serve(conn, tree)
+		defer close(loopDone)
+		s.acceptLoop(ln)
 	}()
+	t.Cleanup(func() {
+		ln.Close()
+		<-loopDone
+		s.shutdown()
+	})
+	return func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { conn.Close() })
+		return conn, bufio.NewReader(conn)
+	}
+}
 
-	conn, err := net.Dial("tcp", ln.Addr().String())
+func sendLine(t *testing.T, conn net.Conn, r *bufio.Reader, line string) string {
+	t.Helper()
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.ReadString('\n')
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	send := func(line string) string {
-		if _, err := fmt.Fprintln(conn, line); err != nil {
-			t.Fatal(err)
-		}
-		resp, err := r.ReadString('\n')
-		if err != nil {
-			t.Fatal(err)
-		}
-		return strings.TrimSpace(resp)
-	}
+	return strings.TrimSpace(resp)
+}
+
+// TestServeProtocol drives the TCP protocol end-to-end against an
+// in-process listener.
+func TestServeProtocol(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 42)
+	s := newServer(tree, false, 0, 0)
+	dial := startServer(t, s)
+	conn, r := dial()
+	send := func(line string) string { return sendLine(t, conn, r, line) }
 
 	// GET of an existing key.
 	want := fmt.Sprintf("VALUE %d", pairs[10].Value)
@@ -70,6 +94,13 @@ func TestServeProtocol(t *testing.T) {
 	if got := send("FLY"); !strings.HasPrefix(got, "ERR") {
 		t.Fatalf("unknown cmd = %q", got)
 	}
+	// PUT/DEL are rejected on the implicit variant.
+	if got := send("PUT 1 2"); !strings.Contains(got, "regular variant") {
+		t.Fatalf("PUT on implicit = %q", got)
+	}
+	if got := send("DEL 1"); !strings.Contains(got, "regular variant") {
+		t.Fatalf("DEL on implicit = %q", got)
+	}
 	// RANGE returns count pairs then END.
 	if _, err := fmt.Fprintf(conn, "RANGE %d 3\n", pairs[0].Key); err != nil {
 		t.Fatal(err)
@@ -87,14 +118,224 @@ func TestServeProtocol(t *testing.T) {
 	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
 		t.Fatalf("RANGE terminator = %q", line)
 	}
-	// STATS mentions the pair count.
-	if got := send("STATS"); !strings.Contains(got, fmt.Sprintf("pairs=%d", len(pairs))) {
+	// STATS mentions the pair count and the serving metrics.
+	got := send("STATS")
+	if !strings.Contains(got, fmt.Sprintf("pairs=%d", len(pairs))) || !strings.Contains(got, "lookups=") {
 		t.Fatalf("STATS = %q", got)
 	}
 	// QUIT closes the session.
 	if got := send("QUIT"); got != "BYE" {
 		t.Fatalf("QUIT = %q", got)
 	}
+}
+
+// TestPutDelProtocol exercises the write path on the regular variant:
+// inserts become visible, deletes report NOTFOUND for absent keys, and
+// the sentinel key is rejected.
+func TestPutDelProtocol(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Regular, 7)
+	s := newServer(tree, false, 0, 0)
+	dial := startServer(t, s)
+	conn, r := dial()
+	send := func(line string) string { return sendLine(t, conn, r, line) }
+
+	// Overwrite an existing key and read it back.
+	k := pairs[3].Key
+	if got := send(fmt.Sprintf("PUT %d 999", k)); got != "OK" {
+		t.Fatalf("PUT = %q", got)
+	}
+	if got := send(fmt.Sprintf("GET %d", k)); got != "VALUE 999" {
+		t.Fatalf("GET after PUT = %q", got)
+	}
+	// Delete it; a second delete reports NOTFOUND.
+	if got := send(fmt.Sprintf("DEL %d", k)); got != "OK" {
+		t.Fatalf("DEL = %q", got)
+	}
+	if got := send(fmt.Sprintf("GET %d", k)); got != "NOTFOUND" {
+		t.Fatalf("GET after DEL = %q", got)
+	}
+	if got := send(fmt.Sprintf("DEL %d", k)); got != "NOTFOUND" {
+		t.Fatalf("second DEL = %q", got)
+	}
+	// Insert a brand-new key.
+	if got := send("PUT 12345 678"); got != "OK" {
+		t.Fatalf("PUT new = %q", got)
+	}
+	if got := send("GET 12345"); got != "VALUE 678" {
+		t.Fatalf("GET new = %q", got)
+	}
+	// The sentinel (+infinity fence) key is rejected, not silently
+	// dropped.
+	if got := send(fmt.Sprintf("PUT %d 1", sentinelKey)); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("PUT sentinel = %q", got)
+	}
+	// Malformed writes.
+	if got := send("PUT 1"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("short PUT = %q", got)
+	}
+	if got := send("DEL xyz"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad DEL = %q", got)
+	}
+	// The GPU replica stayed consistent through the updates.
+	if err := s.srv.Tree().VerifyReplica(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescedConnections runs concurrent client connections through
+// the coalesced GET path and checks every reply plus that coalescing
+// actually batched the requests.
+func TestCoalescedConnections(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 3)
+	s := newServer(tree, true, 200*time.Microsecond, 64)
+	dial := startServer(t, s)
+
+	const clients, perClient = 4, 50
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		conn, r := dial()
+		wg.Add(1)
+		go func(c int, conn net.Conn, r *bufio.Reader) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				p := pairs[(c*perClient+i*13)%len(pairs)]
+				if _, err := fmt.Fprintf(conn, "GET %d\n", p.Key); err != nil {
+					errc <- err
+					return
+				}
+				resp, err := r.ReadString('\n')
+				if err != nil {
+					errc <- err
+					return
+				}
+				if want := fmt.Sprintf("VALUE %d", p.Value); strings.TrimSpace(resp) != want {
+					errc <- fmt.Errorf("client %d: GET = %q, want %q", c, resp, want)
+					return
+				}
+			}
+		}(c, conn, r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	m := s.srv.Metrics()
+	if m.BatchedQueries != clients*perClient {
+		t.Fatalf("batched queries = %d, want %d", m.BatchedQueries, clients*perClient)
+	}
+	if m.Batches == 0 || m.Batches >= m.BatchedQueries {
+		t.Fatalf("no coalescing happened: %d batches for %d queries", m.Batches, m.BatchedQueries)
+	}
+}
+
+// scriptedListener feeds acceptLoop a fixed sequence of Accept results.
+type scriptedListener struct {
+	mu    sync.Mutex
+	steps []func() (net.Conn, error)
+}
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.steps) == 0 {
+		return nil, net.ErrClosed
+	}
+	step := l.steps[0]
+	l.steps = l.steps[1:]
+	return step()
+}
+func (l *scriptedListener) Close() error   { return nil }
+func (l *scriptedListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestAcceptLoopRetries: transient Accept errors must not kill the
+// server (the pre-refactor behaviour); the loop backs off, retries, and
+// still serves the connection that arrives afterwards. A closed
+// listener ends the loop cleanly.
+func TestAcceptLoopRetries(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 11)
+	s := newServer(tree, false, 0, 0)
+	defer s.shutdown()
+
+	client, srvConn := net.Pipe()
+	transient := errors.New("accept: too many open files")
+	ln := &scriptedListener{steps: []func() (net.Conn, error){
+		func() (net.Conn, error) { return nil, transient },
+		func() (net.Conn, error) { return nil, transient },
+		func() (net.Conn, error) { return srvConn, nil },
+	}}
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		s.acceptLoop(ln)
+	}()
+
+	// The connection handed out after two errors is served normally.
+	r := bufio.NewReader(client)
+	if _, err := fmt.Fprintf(client, "GET %d\n", pairs[0].Key); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("VALUE %d", pairs[0].Value); strings.TrimSpace(resp) != want {
+		t.Fatalf("GET after transient errors = %q, want %q", resp, want)
+	}
+	client.Close()
+
+	select {
+	case <-loopDone: // script exhausted -> net.ErrClosed -> clean return
+	case <-time.After(10 * time.Second):
+		t.Fatal("acceptLoop did not exit on net.ErrClosed")
+	}
+}
+
+// TestGracefulShutdown: closing the listener and calling shutdown
+// drains open connections (they see EOF, not a stuck read), closes the
+// coalescer, and returns.
+func TestGracefulShutdown(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 5)
+	s := newServer(tree, true, 100*time.Microsecond, 32)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		s.acceptLoop(ln)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	if got := sendLine(t, conn, r, fmt.Sprintf("GET %d", pairs[1].Key)); got != fmt.Sprintf("VALUE %d", pairs[1].Value) {
+		t.Fatalf("pre-shutdown GET = %q", got)
+	}
+
+	// Shut down exactly as main does: listener first, then drain.
+	ln.Close()
+	<-loopDone
+	done := make(chan struct{})
+	go func() {
+		s.shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung")
+	}
+	// The tracked connection was closed: the client sees EOF.
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Fatal("connection still alive after shutdown")
+	}
+	conn.Close()
 }
 
 // TestSnapshotRoundTrip exercises -save/-load semantics through the
@@ -127,27 +368,11 @@ func TestSnapshotAndScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer restored.Close()
 
 	// Serve SCAN and DESCRIBE against the restored tree.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
-	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		serve(conn, restored)
-	}()
-	conn, err := net.Dial("tcp", ln.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	r := bufio.NewReader(conn)
+	s := newServer(restored, false, 0, 0)
+	dial := startServer(t, s)
+	conn, r := dial()
 
 	fmt.Fprintf(conn, "SCAN %d 5\n", pairs[10].Key)
 	for i := 0; i < 5; i++ {

@@ -18,6 +18,17 @@
 // performance figures come from a calibrated virtual-time model of the
 // paper's two evaluation machines, exposed as SearchStats.
 //
+// # Concurrency
+//
+// A bare Tree is safe for any number of concurrent readers (Lookup,
+// LookupBatch, RangeQuery, cursors, Stats) but must not be mutated —
+// Update, Rebuild, MixedBatch, Close or the option setters — while any
+// other call is in flight. To share a tree between goroutines that also
+// write, wrap it with NewServer, which enforces the reader/writer
+// contract with a lock, or use Tree.Coalesced to additionally merge
+// concurrent point lookups into the bucket-sized batch searches the
+// heterogeneous pipeline is built for.
+//
 // Quickstart:
 //
 //	pairs := hbtree.GeneratePairs[uint64](1<<20, 42)

@@ -1,0 +1,180 @@
+package hbtree_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hbtree"
+)
+
+// Integration stress test of the public serving facade: coalesced and
+// direct readers against a writer rebuilding the implicit tree, all on
+// one shared hbtree.Server. Run under `go test -race`; pairs with the
+// internal/serve suite, which stresses the regular variant's batch
+// updates.
+//
+// Value encoding: generation g stores ValueFor(key)+g for every key, so
+// readers can validate any observed value (offset in [0, gens]) and
+// enforce that the offset never decreases for a single reader — the
+// linearization the server's writer lock guarantees.
+func TestIntegrationCoalescedServingUnderRebuilds(t *testing.T) {
+	nPairs, readers, gens := 1<<12, 5, uint64(4)
+	if testing.Short() {
+		nPairs, readers, gens = 1<<10, 3, 2
+	}
+	base := hbtree.GeneratePairs[uint64](nPairs, 7)
+	tree, err := hbtree.New(base, hbtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hbtree.NewServer(tree)
+	defer srv.Close()
+	co := srv.Coalesce(hbtree.CoalescerOptions{MaxBatch: 128, Window: 200 * time.Microsecond})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			seen := make(map[uint64]uint64)
+			check := func(k, v uint64, found bool) bool {
+				if !found {
+					t.Errorf("key %d disappeared during rebuild", k)
+					return false
+				}
+				off := v - hbtree.ValueFor(k)
+				if off > gens {
+					t.Errorf("key %d: value %d is no valid generation", k, v)
+					return false
+				}
+				if prev, ok := seen[k]; ok && off < prev {
+					t.Errorf("key %d: generation went backwards %d -> %d", k, prev, off)
+					return false
+				}
+				seen[k] = off
+				return true
+			}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch rng.Intn(3) {
+				case 0: // coalesced point lookup
+					k := base[rng.Intn(len(base))].Key
+					v, found, err := co.Lookup(k)
+					if err != nil {
+						t.Errorf("coalesced lookup: %v", err)
+						return
+					}
+					if !check(k, v, found) {
+						return
+					}
+				case 1: // direct heterogeneous batch
+					qs := make([]uint64, 16)
+					for i := range qs {
+						qs[i] = base[rng.Intn(len(base))].Key
+					}
+					values, found, _, err := srv.LookupBatch(qs)
+					if err != nil {
+						t.Errorf("LookupBatch: %v", err)
+						return
+					}
+					for i, k := range qs {
+						if !check(k, values[i], found[i]) {
+							return
+						}
+					}
+				case 2: // range query: sorted and generation-consistent
+					start := base[rng.Intn(len(base))].Key
+					out := srv.RangeQuery(start, 8)
+					for i, p := range out {
+						if i > 0 && p.Key <= out[i-1].Key {
+							t.Errorf("RangeQuery unsorted")
+							return
+						}
+						if off := p.Value - hbtree.ValueFor(p.Key); off > gens {
+							t.Errorf("RangeQuery: invalid generation for key %d", p.Key)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: rebuild the whole implicit tree once per generation, the
+	// variant's only update path (Section 5.6).
+	for g := uint64(1); g <= gens; g++ {
+		next := make([]hbtree.Pair[uint64], len(base))
+		for i, p := range base {
+			next[i] = hbtree.Pair[uint64]{Key: p.Key, Value: p.Value + g}
+		}
+		if _, err := srv.Rebuild(next); err != nil {
+			t.Errorf("rebuild gen %d: %v", g, err)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+	co.Close()
+
+	// Final state: every key at the last generation.
+	qs := make([]uint64, len(base))
+	for i, p := range base {
+		qs[i] = p.Key
+	}
+	values, found, _, err := srv.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range base {
+		if !found[i] || values[i] != p.Value+gens {
+			t.Fatalf("final key %d = (%d, %v), want %d", p.Key, values[i], found[i], p.Value+gens)
+		}
+	}
+}
+
+// TestTreeCoalescedFacade exercises the one-call Tree.Coalesced path
+// and the closed-coalescer error surface.
+func TestTreeCoalescedFacade(t *testing.T) {
+	pairs := hbtree.GeneratePairs[uint64](1<<10, 3)
+	tree, err := hbtree.New(pairs, hbtree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, co := tree.Coalesced()
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				p := pairs[(g*32+i)%len(pairs)]
+				v, found, err := co.Lookup(p.Key)
+				if err != nil || !found || v != p.Value {
+					t.Errorf("coalesced lookup = (%d, %v, %v)", v, found, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	co.Close()
+	if _, _, err := co.Lookup(pairs[0].Key); !errors.Is(err, hbtree.ErrServerClosed) {
+		t.Fatalf("post-close err = %v, want ErrServerClosed", err)
+	}
+	m := srv.Metrics()
+	if m.Batches == 0 || m.BatchedQueries != 4*32 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}

@@ -78,6 +78,19 @@ func (t *Tree[K]) gpuStageDurationF(n int, levels float64) vclock.Duration {
 	return t.dev.KernelDuration(n, levels, 1, t.warpThreads(), 1)
 }
 
+// ensureBalanced resolves the load-balance parameters exactly once
+// under balanceMu, so concurrent balanced lookups never race on the
+// first-use discovery: the winner runs Algorithm 1, everyone else
+// blocks until the parameters are published and then reads them through
+// the mutex's happens-before edge.
+func (t *Tree[K]) ensureBalanced() {
+	t.balanceMu.Lock()
+	if !t.balanced {
+		t.Discover()
+	}
+	t.balanceMu.Unlock()
+}
+
 // Discover runs Algorithm 1: starting from D=0, R=1 (maximum GPU load),
 // it increases D — the coarse parameter — while the GPU remains the
 // bottleneck, then refines the fine parameter R by binary search for
@@ -127,9 +140,7 @@ func (t *Tree[K]) Discover() Balance {
 // GPU can schedule the next kernel while the current one executes
 // (Section 5.5).
 func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, stats SearchStats, err error) {
-	if !t.balanced {
-		t.Discover()
-	}
+	t.ensureBalanced()
 	n := len(queries)
 	values = make([]K, n)
 	found = make([]bool, n)
@@ -158,9 +169,9 @@ func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, st
 
 	nbuf := t.numBuffers()
 	tl := vclock.NewTimeline()
-	if t.traceOn {
+	if t.traceOn.Load() {
 		tl.SetTrace(true)
-		t.lastTrace = tl
+		t.setLastTrace(tl)
 	}
 	d2hEnd := make(map[int]vclock.Duration)
 	preStart := make(map[int]vclock.Duration)

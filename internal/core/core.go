@@ -20,12 +20,28 @@
 // device-resident replica and results are bit-exact with the host tree —
 // while throughput and latency are produced by the calibrated cost model
 // in model.go on the virtual clock.
+//
+// # Concurrency
+//
+// A Tree's read-only operations — Lookup, LookupBatch, LookupBatchCPU,
+// RangeQuery, RangeQueryBatch, Seek, Describe, Stats and the other
+// accessors — are safe to call from multiple goroutines concurrently
+// with one another: each LookupBatch composes its own vclock.Timeline
+// and its own device staging buffers, device counters are atomic, and
+// the recorded trace (SetTrace/LastTrace) is mutex-guarded. Mutating
+// operations — Update, Rebuild, UpdateGPUAssisted, MixedBatch, Close,
+// and the configuration setters SetTrace, SetBalance and
+// SetLeafMissOverride — require exclusive access: no other call may
+// overlap them. internal/serve wraps a Tree behind exactly this
+// reader/writer contract for serving deployments.
 package core
 
 import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"hbtree/internal/cpubtree"
 	"hbtree/internal/gpusim"
@@ -187,17 +203,23 @@ type Tree[K keys.Key] struct {
 	regDesc  gpusim.RegularDesc
 
 	// Load-balance parameters (Section 5.5); valid when balanced.
-	balanced bool
-	lbD      int
-	lbR      float64
+	// balanceMu serialises the first-use discovery so concurrent
+	// balanced lookups never race on the parameters.
+	balanceMu sync.Mutex
+	balanced  bool
+	lbD       int
+	lbR       float64
 
 	// leafMissOverride, when in [0,1], replaces the analytic leaf-stage
 	// miss fraction (see SetLeafMissOverride).
 	leafMissOverride float64
 
 	// traceOn records the next LookupBatch's timeline for Gantt
-	// rendering (see SetTrace / LastTrace).
-	traceOn   bool
+	// rendering (see SetTrace / LastTrace). The recorded timeline is
+	// guarded so concurrent traced lookups keep isolated timelines and
+	// only the publication of the last one is serialised.
+	traceOn   atomic.Bool
+	traceMu   sync.Mutex
 	lastTrace *vclock.Timeline
 
 	buildStats BuildStats
@@ -364,10 +386,23 @@ func (t *Tree[K]) Options() Options { return t.opt }
 // SetTrace makes subsequent LookupBatch calls record their virtual
 // timeline; LastTrace returns it for Gantt rendering — the reproduction
 // of the paper's pipelining diagrams (Figures 5 and 6).
-func (t *Tree[K]) SetTrace(on bool) { t.traceOn = on }
+func (t *Tree[K]) SetTrace(on bool) { t.traceOn.Store(on) }
 
-// LastTrace returns the most recent traced timeline, or nil.
-func (t *Tree[K]) LastTrace() *vclock.Timeline { return t.lastTrace }
+// LastTrace returns the most recent traced timeline, or nil. When
+// traced lookups run concurrently, each records its own timeline and
+// the last publisher wins.
+func (t *Tree[K]) LastTrace() *vclock.Timeline {
+	t.traceMu.Lock()
+	defer t.traceMu.Unlock()
+	return t.lastTrace
+}
+
+// setLastTrace publishes a lookup's recorded timeline.
+func (t *Tree[K]) setLastTrace(tl *vclock.Timeline) {
+	t.traceMu.Lock()
+	t.lastTrace = tl
+	t.traceMu.Unlock()
+}
 
 // Device exposes the simulated GPU (counters, memory accounting).
 func (t *Tree[K]) Device() *gpusim.Device { return t.dev }

@@ -242,6 +242,16 @@ func (t *Tree[K]) SetLeafMissOverride(frac float64) {
 	t.leafMissOverride = frac
 }
 
+// PointLookupCost models one dependent, unpipelined point lookup on the
+// CPU path: a full root-to-leaf descent with no software pipelining and
+// no batch to amortise across — the per-request serving cost that a
+// coalesced LookupBatch amortises away. internal/serve charges it for
+// every request served outside a batch.
+func (t *Tree[K]) PointLookupCost() vclock.Duration {
+	p, searches := t.lookupProfile()
+	return cpuPerQuery(t.opt.Machine.CPU, t.opt.NodeSearch, searches, p, 0, 1, 0)
+}
+
 // GPUStageDuration exposes the modelled kernel time (T2 of Section 5.4)
 // for a bucket of n queries over the full inner traversal; the harness
 // uses it to bound hybrid range-query throughput.

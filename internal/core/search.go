@@ -99,9 +99,9 @@ func (t *Tree[K]) lookupBatchPlain(queries []K) (values []K, found []bool, stats
 
 	nbuf := t.numBuffers()
 	tl := vclock.NewTimeline()
-	if t.traceOn {
+	if t.traceOn.Load() {
 		tl.SetTrace(true)
-		t.lastTrace = tl
+		t.setLastTrace(tl)
 	}
 	var sumT1, sumT2, sumT3, sumT4 vclock.Duration
 	var lats []vclock.Duration

@@ -51,6 +51,11 @@ func TestUnknownExperiment(t *testing.T) {
 // error or empty output.
 func runFig(t *testing.T, id string) []Table {
 	t.Helper()
+	if testing.Short() {
+		// The figure regenerations take minutes under the race detector;
+		// the full (non -short) suite covers them.
+		t.Skip("figure regeneration skipped in -short mode")
+	}
 	tables, err := Run(id, quickCfg())
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
@@ -359,7 +364,7 @@ func TestExtFrameworkShapes(t *testing.T) {
 
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
-		t.Skip("RunAll is exercised per-figure in short mode")
+		t.Skip("RunAll is too slow for -short mode")
 	}
 	var buf bytes.Buffer
 	cfg := Config{Quick: true, Sizes: []int{1 << 14}, Queries: 1 << 14}

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbtree/internal/keys"
+)
+
+// ErrClosed is returned for requests that a closed Coalescer can no
+// longer serve: submissions after Close, and requests still pending
+// when Close ran.
+var ErrClosed = errors.New("serve: coalescer closed")
+
+// DefaultWindow is the default coalescing deadline: a lone request
+// waits at most this long for companions before its batch is flushed.
+const DefaultWindow = 100 * time.Microsecond
+
+// Options configures a Coalescer.
+type Options struct {
+	// MaxBatch flushes a batch as soon as it holds this many requests;
+	// zero selects the tree's bucket size, so a full batch is exactly
+	// one bucket of the heterogeneous search.
+	MaxBatch int
+
+	// Window is the deadline: the first request of a batch waits at
+	// most this long before the batch is flushed regardless of size.
+	// Zero selects DefaultWindow.
+	Window time.Duration
+
+	// Queue is the submission queue capacity; zero selects 2*MaxBatch.
+	Queue int
+}
+
+// Result is the outcome of one coalesced lookup.
+type Result[K keys.Key] struct {
+	Value K
+	Found bool
+	Err   error
+}
+
+// request is one caller's pending lookup; reply has capacity 1 so the
+// flusher never blocks delivering it.
+type request[K keys.Key] struct {
+	key   K
+	reply chan Result[K]
+}
+
+// Coalescer collects point lookups arriving from many goroutines into
+// batches and serves each batch with one Server.LookupBatch call — the
+// request-coalescing discipline that recovers the paper's batched
+// throughput from a point-request workload. A batch is flushed when it
+// reaches MaxBatch requests or when its oldest request has waited for
+// the Window deadline, whichever comes first, so a lone request is
+// never starved.
+//
+// Close stops intake: later submissions fail fast with ErrClosed, and
+// requests still queued when Close runs are failed with ErrClosed
+// rather than left hanging.
+type Coalescer[K keys.Key] struct {
+	srv *Server[K]
+	opt Options
+
+	// sendMu makes Close mutually exclusive with in-flight
+	// submissions: Submit sends while holding the read side, Close
+	// flips closed and closes reqs while holding the write side, so
+	// nothing ever sends on the closed channel.
+	sendMu sync.RWMutex
+	closed bool
+
+	reqs chan request[K]
+	done chan struct{} // closed when the flusher has exited
+
+	batches atomic.Int64 // batches flushed
+	queries atomic.Int64 // requests served through batches
+}
+
+// NewCoalescer starts a coalescer over srv. The caller must Close it to
+// stop the flusher goroutine.
+func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
+	if opt.MaxBatch <= 0 {
+		opt.MaxBatch = srv.Options().BucketSize
+	}
+	if opt.Window <= 0 {
+		opt.Window = DefaultWindow
+	}
+	if opt.Queue <= 0 {
+		opt.Queue = 2 * opt.MaxBatch
+	}
+	c := &Coalescer[K]{
+		srv:  srv,
+		opt:  opt,
+		reqs: make(chan request[K], opt.Queue),
+		done: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// Submit enqueues one lookup and returns the channel its Result will be
+// delivered on. The channel receives exactly one Result; after Close it
+// receives ErrClosed.
+func (c *Coalescer[K]) Submit(key K) <-chan Result[K] {
+	reply := make(chan Result[K], 1)
+	c.sendMu.RLock()
+	if c.closed {
+		c.sendMu.RUnlock()
+		reply <- Result[K]{Err: ErrClosed}
+		return reply
+	}
+	c.reqs <- request[K]{key: key, reply: reply}
+	c.sendMu.RUnlock()
+	return reply
+}
+
+// Lookup submits one query and blocks for its coalesced result.
+func (c *Coalescer[K]) Lookup(key K) (K, bool, error) {
+	res := <-c.Submit(key)
+	return res.Value, res.Found, res.Err
+}
+
+// Close stops intake, fails all pending requests with ErrClosed and
+// waits for the flusher to exit. A batch already being flushed
+// completes normally. Close is idempotent.
+func (c *Coalescer[K]) Close() {
+	c.sendMu.Lock()
+	already := c.closed
+	c.closed = true
+	c.sendMu.Unlock()
+	if !already {
+		close(c.reqs)
+	}
+	<-c.done
+}
+
+// Batches returns the number of flushed batches.
+func (c *Coalescer[K]) Batches() int64 { return c.batches.Load() }
+
+// Queries returns the number of requests served through batches.
+func (c *Coalescer[K]) Queries() int64 { return c.queries.Load() }
+
+// run is the flusher: it blocks for a batch's first request, collects
+// companions until the batch is full or the deadline fires, and serves
+// the batch with one LookupBatch call under the server's read lock.
+func (c *Coalescer[K]) run() {
+	defer close(c.done)
+	batchKeys := make([]K, 0, c.opt.MaxBatch)
+	replies := make([]chan Result[K], 0, c.opt.MaxBatch)
+	for {
+		first, ok := <-c.reqs
+		if !ok {
+			return
+		}
+		batchKeys = append(batchKeys[:0], first.key)
+		replies = append(replies[:0], first.reply)
+
+		if len(batchKeys) < c.opt.MaxBatch {
+			timer := time.NewTimer(c.opt.Window)
+		collect:
+			for len(batchKeys) < c.opt.MaxBatch {
+				select {
+				case r, ok := <-c.reqs:
+					if !ok {
+						// Closed with requests pending: fail them
+						// rather than hang their callers.
+						timer.Stop()
+						c.fail(replies, ErrClosed)
+						return
+					}
+					batchKeys = append(batchKeys, r.key)
+					replies = append(replies, r.reply)
+				case <-timer.C:
+					break collect
+				}
+			}
+			timer.Stop()
+		}
+		c.flush(batchKeys, replies)
+	}
+}
+
+// flush serves one batch and distributes each caller's result.
+func (c *Coalescer[K]) flush(batchKeys []K, replies []chan Result[K]) {
+	values, found, _, err := c.srv.LookupBatch(batchKeys)
+	if err != nil {
+		c.fail(replies, err)
+		return
+	}
+	for i, reply := range replies {
+		reply <- Result[K]{Value: values[i], Found: found[i]}
+	}
+	c.batches.Add(1)
+	c.queries.Add(int64(len(batchKeys)))
+}
+
+// fail delivers err to every pending caller.
+func (c *Coalescer[K]) fail(replies []chan Result[K], err error) {
+	for _, reply := range replies {
+		reply <- Result[K]{Err: err}
+	}
+}

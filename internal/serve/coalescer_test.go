@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hbtree/internal/core"
+	"hbtree/internal/keys"
+	"hbtree/internal/workload"
+)
+
+// newTestServer builds a small tree and wraps it; the bucket size is
+// kept tiny so batch boundaries are exercised.
+func newTestServer(t testing.TB, variant core.Variant, n int) (*Server[uint64], []keys.Pair[uint64]) {
+	t.Helper()
+	pairs := workload.Dataset[uint64](workload.Uniform, n, 42)
+	tree, err := core.Build(pairs, core.Options{Variant: variant, BucketSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tree.Close)
+	return NewServer(tree), pairs
+}
+
+// TestLoneRequestFlushesAtDeadline: a single request must not starve
+// waiting for companions — the window deadline flushes it.
+func TestLoneRequestFlushesAtDeadline(t *testing.T) {
+	srv, pairs := newTestServer(t, core.Implicit, 1<<10)
+	window := 20 * time.Millisecond
+	c := NewCoalescer(srv, Options{MaxBatch: 64, Window: window})
+	defer c.Close()
+
+	start := time.Now()
+	v, found, err := c.Lookup(pairs[5].Key)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || v != pairs[5].Value {
+		t.Fatalf("lone lookup = (%d, %v), want (%d, true)", v, found, pairs[5].Value)
+	}
+	if elapsed < window/2 {
+		t.Fatalf("lone request flushed after %v, before the %v window could have fired", elapsed, window)
+	}
+	if c.Batches() != 1 || c.Queries() != 1 {
+		t.Fatalf("batches=%d queries=%d, want 1/1", c.Batches(), c.Queries())
+	}
+}
+
+// TestFullBatchFlushesImmediately: when MaxBatch requests are pending
+// the batch must flush without waiting for the (deliberately enormous)
+// window.
+func TestFullBatchFlushesImmediately(t *testing.T) {
+	srv, pairs := newTestServer(t, core.Implicit, 1<<10)
+	const maxBatch = 8
+	c := NewCoalescer(srv, Options{MaxBatch: maxBatch, Window: time.Hour})
+	defer c.Close()
+
+	chans := make([]<-chan Result[uint64], maxBatch)
+	for i := range chans {
+		chans[i] = c.Submit(pairs[i].Key)
+	}
+	deadline := time.After(10 * time.Second)
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if !res.Found || res.Value != pairs[i].Value {
+				t.Fatalf("request %d = (%d, %v), want (%d, true)", i, res.Value, res.Found, pairs[i].Value)
+			}
+		case <-deadline:
+			t.Fatalf("request %d still pending: full batch did not flush before the window", i)
+		}
+	}
+}
+
+// TestCloseFailsPendingRequests: requests queued but not yet flushed
+// when Close runs receive ErrClosed instead of hanging, and later
+// submissions fail fast.
+func TestCloseFailsPendingRequests(t *testing.T) {
+	srv, pairs := newTestServer(t, core.Implicit, 1<<10)
+	c := NewCoalescer(srv, Options{MaxBatch: 64, Window: time.Hour})
+
+	const pending = 3
+	chans := make([]<-chan Result[uint64], pending)
+	for i := range chans {
+		chans[i] = c.Submit(pairs[i].Key)
+	}
+	// Give the flusher a moment to pull the requests into its batch so
+	// the close-with-collected-batch path is exercised too.
+	time.Sleep(5 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		c.Close()
+		close(closed)
+	}()
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if !errors.Is(res.Err, ErrClosed) {
+				t.Fatalf("pending request %d: err = %v, want ErrClosed", i, res.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("pending request %d hung across Close", i)
+		}
+	}
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung")
+	}
+	if _, _, err := c.Lookup(pairs[0].Key); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close lookup err = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	c.Close()
+}
+
+// TestCoalescerCorrectnessUnderLoad hammers the coalescer from many
+// blocking clients and verifies every result, plus that coalescing
+// actually happened (more queries than batches).
+func TestCoalescerCorrectnessUnderLoad(t *testing.T) {
+	srv, pairs := newTestServer(t, core.Regular, 1<<12)
+	c := NewCoalescer(srv, Options{MaxBatch: 64, Window: 200 * time.Microsecond})
+	defer c.Close()
+
+	const clients = 8
+	perClient := 200
+	if testing.Short() {
+		perClient = 50
+	}
+	errc := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		go func(w int) {
+			for i := 0; i < perClient; i++ {
+				p := pairs[(w*perClient+i*31)%len(pairs)]
+				v, found, err := c.Lookup(p.Key)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if !found || v != p.Value {
+					errc <- errors.New("wrong coalesced result")
+					return
+				}
+			}
+			errc <- nil
+		}(w)
+	}
+	for w := 0; w < clients; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(clients * perClient)
+	if c.Queries() != total {
+		t.Fatalf("served %d queries, want %d", c.Queries(), total)
+	}
+	if c.Batches() >= total {
+		t.Fatalf("no coalescing: %d batches for %d queries", c.Batches(), total)
+	}
+}
+
+// TestMissingKeyThroughCoalescer: absent keys come back found=false.
+func TestMissingKeyThroughCoalescer(t *testing.T) {
+	srv, pairs := newTestServer(t, core.Implicit, 1<<10)
+	c := NewCoalescer(srv, Options{MaxBatch: 4, Window: time.Millisecond})
+	defer c.Close()
+	// Dataset keys are uniform uint64; a small odd key is (nearly
+	// surely) absent — verify against the source of truth first.
+	probe := uint64(3)
+	if _, ok := srv.Lookup(probe); ok {
+		t.Skip("improbable: probe key present in dataset")
+	}
+	_, found, err := c.Lookup(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatalf("absent key reported found")
+	}
+	_ = pairs
+}

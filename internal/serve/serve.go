@@ -1,0 +1,251 @@
+// Package serve is the concurrency layer over the HB+-tree: it wraps a
+// core.Tree behind an explicit reader/writer contract and coalesces
+// point lookups arriving from many goroutines into the bucket-sized
+// batches the heterogeneous search path is built for.
+//
+// The paper's throughput argument rests on batched lookups (Section
+// 5.4): the four-step CPU-GPU search amortises the PCIe transfer and
+// kernel-launch overheads over a bucket of M queries. A serving
+// deployment, however, receives point requests from many concurrent
+// connections, and core.Tree — like the paper's prototype — is written
+// for one caller at a time when it mutates state. Server provides the
+// locking contract: read operations (point, range and batch lookups,
+// scans, stats) share the tree; batch updates and rebuilds exclude
+// readers. Coalescer turns concurrent point lookups into LookupBatch
+// calls under a size-or-deadline window, so the serving layer recovers
+// the paper's batched throughput from a point-request workload.
+//
+// Virtual-time accounting follows requests through the layer: point
+// lookups served individually are charged the modelled serial descent
+// (core.Tree.PointLookupCost), while coalesced batches are charged the
+// simulated makespan of their heterogeneous execution (SimTime), which
+// is what makes the two serving disciplines comparable on the paper's
+// calibrated clock.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hbtree/internal/core"
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/gpusim"
+	"hbtree/internal/keys"
+	"hbtree/internal/vclock"
+)
+
+// Server wraps a core.Tree with a reader/writer contract: the read
+// operations share the tree and may run concurrently; Update and
+// Rebuild take the writer side and exclude all readers for the duration
+// of the batch. The zero value is not usable; construct with NewServer.
+type Server[K keys.Key] struct {
+	mu   sync.RWMutex
+	tree *core.Tree[K]
+
+	pointCost vclock.Duration // modelled cost of one per-request lookup
+
+	// Serving metrics (atomic: updated under the read lock).
+	vtimeNs atomic.Int64 // accumulated virtual serving time, ns
+	lookups atomic.Int64 // point lookups served individually
+	batched atomic.Int64 // queries served through LookupBatch
+	batches atomic.Int64 // LookupBatch calls
+	updates atomic.Int64 // update/rebuild operations applied
+}
+
+// NewServer wraps t. Load-balance parameters are resolved eagerly when
+// the balanced mode is enabled, so the first concurrent lookups never
+// contend on discovery.
+func NewServer[K keys.Key](t *core.Tree[K]) *Server[K] {
+	if t.Options().LoadBalance {
+		if _, ok := t.Balance(); !ok {
+			t.Discover()
+		}
+	}
+	return &Server[K]{tree: t, pointCost: t.PointLookupCost()}
+}
+
+// Metrics is a snapshot of the serving counters.
+type Metrics struct {
+	Lookups        int64 // point lookups served individually
+	BatchedQueries int64 // queries served through LookupBatch
+	Batches        int64 // LookupBatch calls
+	Updates        int64 // update/rebuild operations applied
+
+	// VirtualTime is the accumulated virtual serving time: per-request
+	// lookups charge the modelled serial descent, batches charge their
+	// simulated makespan.
+	VirtualTime vclock.Duration
+}
+
+// Metrics returns the current counter snapshot.
+func (s *Server[K]) Metrics() Metrics {
+	return Metrics{
+		Lookups:        s.lookups.Load(),
+		BatchedQueries: s.batched.Load(),
+		Batches:        s.batches.Load(),
+		Updates:        s.updates.Load(),
+		VirtualTime:    vclock.Duration(s.vtimeNs.Load()),
+	}
+}
+
+// ResetMetrics zeroes the serving counters (benchmark A/B phases).
+func (s *Server[K]) ResetMetrics() {
+	s.vtimeNs.Store(0)
+	s.lookups.Store(0)
+	s.batched.Store(0)
+	s.batches.Store(0)
+	s.updates.Store(0)
+}
+
+// VirtualTime returns the accumulated virtual serving time.
+func (s *Server[K]) VirtualTime() vclock.Duration {
+	return vclock.Duration(s.vtimeNs.Load())
+}
+
+func (s *Server[K]) addVirtual(d vclock.Duration) {
+	if d > 0 {
+		s.vtimeNs.Add(int64(d))
+	}
+}
+
+// PointLookupCost returns the modelled virtual cost charged per
+// individually served lookup.
+func (s *Server[K]) PointLookupCost() vclock.Duration { return s.pointCost }
+
+// Lookup resolves one query on the CPU path under the read lock. Each
+// call is charged the full serial descent on the virtual clock — the
+// per-request serving cost a Coalescer amortises away.
+func (s *Server[K]) Lookup(q K) (K, bool) {
+	s.mu.RLock()
+	v, ok := s.tree.Lookup(q)
+	s.mu.RUnlock()
+	s.lookups.Add(1)
+	s.addVirtual(s.pointCost)
+	return v, ok
+}
+
+// LookupBatch runs the heterogeneous batch search under the read lock;
+// concurrent batches share the device and keep isolated stats. The
+// batch's simulated makespan is charged to the virtual clock.
+func (s *Server[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchStats, error) {
+	s.mu.RLock()
+	values, found, stats, err := s.tree.LookupBatch(queries)
+	s.mu.RUnlock()
+	if err == nil {
+		s.batched.Add(int64(len(queries)))
+		s.batches.Add(1)
+		s.addVirtual(stats.SimTime)
+	}
+	return values, found, stats, err
+}
+
+// RangeQuery returns up to count pairs with key >= start under the read
+// lock.
+func (s *Server[K]) RangeQuery(start K, count int) []keys.Pair[K] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.RangeQuery(start, count, nil)
+}
+
+// RangeQueryBatch runs the hybrid batched range search under the read
+// lock, charging its simulated makespan.
+func (s *Server[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], core.RangeStats, error) {
+	s.mu.RLock()
+	out, stats, err := s.tree.RangeQueryBatch(starts, count)
+	s.mu.RUnlock()
+	if err == nil {
+		s.addVirtual(stats.SimTime)
+	}
+	return out, stats, err
+}
+
+// Scan collects up to count pairs starting at the first key >= start by
+// walking a cursor under the read lock. Cursors must not outlive the
+// lock, so the walk is materialised before returning.
+func (s *Server[K]) Scan(start K, count int) []keys.Pair[K] {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]keys.Pair[K], 0, count)
+	cur := s.tree.Seek(start)
+	for len(out) < count {
+		p, ok := cur.Next()
+		if !ok {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Update applies a batch of updates to the regular variant under the
+// writer lock, excluding all readers until the device replica is
+// synchronised again.
+func (s *Server[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
+	s.mu.Lock()
+	stats, err := s.tree.Update(ops, method)
+	s.mu.Unlock()
+	if err == nil {
+		s.updates.Add(int64(len(ops)))
+		s.addVirtual(stats.Total())
+	}
+	return stats, err
+}
+
+// Rebuild replaces the implicit variant's contents under the writer
+// lock.
+func (s *Server[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, error) {
+	s.mu.Lock()
+	stats, err := s.tree.Rebuild(pairs)
+	s.mu.Unlock()
+	if err == nil {
+		s.updates.Add(int64(len(pairs)))
+		s.addVirtual(stats.Total())
+	}
+	return stats, err
+}
+
+// Stats reports the tree geometry under the read lock.
+func (s *Server[K]) Stats() cpubtree.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Stats()
+}
+
+// Describe returns the tree's human-readable report under the read
+// lock.
+func (s *Server[K]) Describe() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Describe()
+}
+
+// NumPairs returns the stored pair count under the read lock.
+func (s *Server[K]) NumPairs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.NumPairs()
+}
+
+// DeviceCounters snapshots the simulated GPU's hardware counters.
+func (s *Server[K]) DeviceCounters() gpusim.Counters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Device().Counters()
+}
+
+// Options returns the wrapped tree's configuration.
+func (s *Server[K]) Options() core.Options {
+	return s.tree.Options()
+}
+
+// Tree exposes the wrapped tree. Callers bypass the reader/writer
+// contract when touching it directly; do so only while nothing else
+// uses the server.
+func (s *Server[K]) Tree() *core.Tree[K] { return s.tree }
+
+// Close releases the tree's device buffers under the writer lock.
+func (s *Server[K]) Close() {
+	s.mu.Lock()
+	s.tree.Close()
+	s.mu.Unlock()
+}

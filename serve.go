@@ -1,0 +1,61 @@
+package hbtree
+
+import (
+	"hbtree/internal/serve"
+)
+
+// This file is the facade over internal/serve: the concurrency layer
+// that makes a Tree safe to share between goroutines. A bare Tree
+// follows the package's single-writer contract (see the package
+// documentation); NewServer wraps it behind a reader/writer lock, and a
+// Coalescer batches concurrent point lookups into the bucket-sized
+// LookupBatch calls the heterogeneous search path is built for.
+
+// ErrServerClosed is returned by a Coalescer for requests it can no
+// longer serve after Close.
+var ErrServerClosed = serve.ErrClosed
+
+// CoalescerOptions configures Server.Coalesce: the size-or-deadline
+// flush window and the submission queue depth.
+type CoalescerOptions = serve.Options
+
+// ServerMetrics is a snapshot of a Server's serving counters, including
+// the accumulated virtual serving time that makes per-request and
+// coalesced serving comparable on the paper's calibrated clock.
+type ServerMetrics = serve.Metrics
+
+// Server makes a Tree safe for concurrent use: read operations (point,
+// range and batch lookups, scans, stats) run concurrently under a
+// shared lock; Update and Rebuild exclude all readers until the GPU
+// replica is consistent again.
+type Server[K Key] struct {
+	*serve.Server[K]
+}
+
+// NewServer wraps t behind the reader/writer contract. The tree must
+// not be used directly while the server is serving.
+func NewServer[K Key](t *Tree[K]) *Server[K] {
+	return &Server[K]{serve.NewServer(t.Tree)}
+}
+
+// Coalescer batches concurrent point lookups into LookupBatch calls
+// under a size-or-deadline window. Obtain one with Server.Coalesce or
+// Tree.Coalesced, and Close it to release its flusher goroutine.
+type Coalescer[K Key] struct {
+	*serve.Coalescer[K]
+}
+
+// Coalesce starts a request coalescer over the server.
+func (s *Server[K]) Coalesce(opt CoalescerOptions) *Coalescer[K] {
+	return &Coalescer[K]{serve.NewCoalescer(s.Server, opt)}
+}
+
+// Coalesced wraps the tree in a Server and a default-configured
+// Coalescer (batch = the tree's bucket size, 100µs window): the
+// one-call path to concurrency-safe, batch-amortised serving. The
+// caller must Close the coalescer when done; closing the server also
+// closes the tree.
+func (t *Tree[K]) Coalesced() (*Server[K], *Coalescer[K]) {
+	s := NewServer(t)
+	return s, s.Coalesce(CoalescerOptions{})
+}
