@@ -8,18 +8,31 @@
 //	hbbench -list
 //	hbbench -run fig16 -machine M1 -sizes 1M,4M,16M -queries 524288
 //	hbbench -run all -quick
+//	hbbench -wall -clients 8 -update-frac 0.1 -wall-duration 2s
 //
 // Sizes accept K/M/G suffixes (powers of two).
+//
+// With -wall the command leaves the paper's virtual clock and measures
+// the serving layer on the host's: pipelined clients drive lookups
+// through the coalescer (plus an optional batched update mix) against
+// both the locked baseline and the snapshot fast path, reporting real
+// MQPS and latency percentiles. -cpuprofile/-memprofile capture pprof
+// profiles of either mode.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"hbtree"
 	"hbtree/internal/harness"
+	"hbtree/internal/serve"
 )
 
 func main() {
@@ -32,8 +45,55 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		quick   = flag.Bool("quick", false, "small sizes for a fast smoke run")
 		format  = flag.String("format", "table", "output format: table or csv")
+
+		wall       = flag.Bool("wall", false, "run the wall-clock serving benchmark instead of a paper experiment")
+		wallN      = flag.Int("wall-n", 1<<20, "tuples in the wall-clock tree")
+		wallDur    = flag.Duration("wall-duration", time.Second, "measurement length per configuration")
+		clients    = flag.Int("clients", 8, "concurrent client goroutines (-wall)")
+		updateFrac = flag.Float64("update-frac", 0, "fraction of client ops routed to batched updates (-wall; uses the regular variant)")
+		rebuildEvr = flag.Duration("rebuild-every", 0, "rebuild the tree on this period (-wall; implicit variant)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hbbench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hbbench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hbbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hbbench:", err)
+			}
+		}()
+	}
+
+	if *wall {
+		if err := runWall(*wallN, *seed, *clients, *wallDur, *updateFrac, *rebuildEvr); err != nil {
+			fmt.Fprintln(os.Stderr, "hbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range harness.IDs() {
@@ -102,6 +162,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hbbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runWall measures wall-clock serving throughput and latency for the
+// locked baseline and the snapshot fast path under the same client mix,
+// printing one row per configuration.
+func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac float64, rebuildEvery time.Duration) error {
+	if updateFrac > 0 && rebuildEvery > 0 {
+		return fmt.Errorf("-update-frac and -rebuild-every are mutually exclusive")
+	}
+	treeOpt := hbtree.Options{}
+	if updateFrac > 0 {
+		treeOpt.Variant = hbtree.Regular
+	}
+	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, GOMAXPROCS %d\n",
+		n, clients, dur, updateFrac, rebuildEvery, runtime.GOMAXPROCS(0))
+	pairs := hbtree.GeneratePairs[uint64](n, seed)
+	for _, cfg := range []struct {
+		name   string
+		locked bool
+	}{{"locked", true}, {"fast", false}} {
+		res, err := serve.RunWall(pairs, treeOpt, serve.WallOptions{
+			Clients:      clients,
+			Duration:     dur,
+			UpdateFrac:   updateFrac,
+			RebuildEvery: rebuildEvery,
+			Locked:       cfg.locked,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		fmt.Printf("  %-6s  %s\n", cfg.name, res)
+	}
+	return nil
 }
 
 func parseSizes(s string) ([]int, error) {

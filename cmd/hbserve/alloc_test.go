@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"hbtree"
+)
+
+// TestHandleLineGETAllocFree pins zero allocations per request on the
+// full line-protocol hot path — tokenize, parse, lookup, encode — for
+// both the direct and the coalesced GET route. The small bucket size
+// keeps the simulated kernel and the CPU leaf stage inline, matching
+// the serving layer's own allocation regression tests.
+func TestHandleLineGETAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	pairs := hbtree.GeneratePairs[uint64](1<<10, 42)
+	for _, coalesce := range []bool{false, true} {
+		name := "direct"
+		if coalesce {
+			name = "coalesced"
+		}
+		t.Run(name, func(t *testing.T) {
+			tree, err := hbtree.New(pairs, hbtree.Options{BucketSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := newServer(tree, coalesce, 100*time.Microsecond, 1)
+			defer s.shutdown()
+			w := bufio.NewWriter(io.Discard)
+			line := fmt.Sprintf("GET %d", pairs[17].Key)
+
+			// Warm the scratch, reply and batch pools.
+			for i := 0; i < 32; i++ {
+				if quit := s.handleLine(w, line); quit {
+					t.Fatal("GET ended the session")
+				}
+				w.Flush()
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				s.handleLine(w, line)
+				w.Flush()
+			})
+			if allocs != 0 {
+				t.Fatalf("GET allocates %.1f times per request, want 0", allocs)
+			}
+		})
+	}
+}

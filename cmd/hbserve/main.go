@@ -23,6 +23,11 @@
 //
 // The server bulk-loads a synthetic uniform dataset at startup, or
 // restores a snapshot written by -save via -load.
+//
+// -pprof <addr> serves net/http/pprof on a side listener (e.g.
+// -pprof localhost:6060, then `go tool pprof
+// http://localhost:6060/debug/pprof/profile`) for inspecting the
+// serving hot path under live load.
 package main
 
 import (
@@ -33,6 +38,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,6 +47,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"hbtree"
 )
@@ -132,10 +141,29 @@ func (s *server) shutdown() {
 	s.srv.Close()
 }
 
+// Per-connection buffers are pooled so the steady state of a busy
+// listener does not allocate per accept: the scanner's read buffer and
+// the bufio.Writer are recycled across connections, and every
+// handleLine call borrows a lineScratch for tokenizing and encoding.
+var (
+	writerPool  = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 4<<10) }}
+	scanBufPool = sync.Pool{New: func() any { b := make([]byte, 64<<10); return &b }}
+)
+
 func (s *server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
+	bp := scanBufPool.Get().(*[]byte)
+	// max == len(*bp): the scanner can never regrow the buffer, so the
+	// pooled slice is exactly what comes back.
+	sc.Buffer(*bp, len(*bp))
+	defer scanBufPool.Put(bp)
+	w := writerPool.Get().(*bufio.Writer)
+	w.Reset(conn)
+	defer func() {
+		w.Reset(io.Discard) // drop the conn reference before pooling
+		writerPool.Put(w)
+	}()
 	defer w.Flush()
 	for sc.Scan() {
 		quit := s.handleLine(w, sc.Text())
@@ -145,23 +173,110 @@ func (s *server) serveConn(conn net.Conn) {
 	}
 }
 
+// lineScratch holds the per-call tokenizing and encoding state of
+// handleLine; pooling it keeps the GET hot path allocation-free.
+type lineScratch struct {
+	fields []string
+	buf    []byte
+}
+
+var linePool = sync.Pool{New: func() any {
+	return &lineScratch{fields: make([]string, 0, 8), buf: make([]byte, 0, 64)}
+}}
+
+// splitFields is strings.Fields into a reused slice: it appends the
+// whitespace-separated fields of line to dst, allocating nothing when
+// dst has capacity.
+func splitFields(dst []string, line string) []string {
+	i := 0
+	for i < len(line) {
+		r, w := utf8.DecodeRuneInString(line[i:])
+		if unicode.IsSpace(r) {
+			i += w
+			continue
+		}
+		j := i
+		for j < len(line) {
+			r, w := utf8.DecodeRuneInString(line[j:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			j += w
+		}
+		dst = append(dst, line[i:j])
+		i = j
+	}
+	return dst
+}
+
+// cmdIs reports whether tok equals the ASCII-uppercase command name,
+// ignoring ASCII case — the allocation-free replacement for
+// strings.ToUpper dispatch.
+func cmdIs(tok, upper string) bool {
+	if len(tok) != len(upper) {
+		return false
+	}
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeUintLine encodes prefix + decimal(v) + newline through the
+// scratch buffer: the reply encoder of the GET hot path.
+func (ls *lineScratch) writeUintLine(w io.Writer, prefix string, v uint64) {
+	b := append(ls.buf[:0], prefix...)
+	b = strconv.AppendUint(b, v, 10)
+	b = append(b, '\n')
+	w.Write(b)
+	ls.buf = b[:0]
+}
+
+// writePairLine encodes "PAIR <k> <v>\n" through the scratch buffer.
+func (ls *lineScratch) writePairLine(w io.Writer, k, v uint64) {
+	b := append(ls.buf[:0], "PAIR "...)
+	b = strconv.AppendUint(b, k, 10)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	b = append(b, '\n')
+	w.Write(b)
+	ls.buf = b[:0]
+}
+
 // handleLine executes one protocol line and writes the reply; it
 // returns true when the session should end. Factored out of the
-// connection loop so the fuzz target can drive the parser directly.
+// connection loop so the fuzz target can drive the parser directly. The
+// GET path — tokenize, parse, serve, encode — performs no allocations
+// in steady state (pinned by TestHandleLineGETAllocFree); error paths
+// may use fmt.
 func (s *server) handleLine(w io.Writer, line string) (quit bool) {
-	fields := strings.Fields(line)
+	ls := linePool.Get().(*lineScratch)
+	fields := splitFields(ls.fields[:0], line)
+	ls.fields = fields
+	defer func() {
+		clear(ls.fields) // don't pin the line from the pool
+		ls.fields = ls.fields[:0]
+		linePool.Put(ls)
+	}()
 	if len(fields) == 0 {
 		return false
 	}
-	switch strings.ToUpper(fields[0]) {
-	case "GET":
+	cmd := fields[0]
+	switch {
+	case cmdIs(cmd, "GET"):
 		if len(fields) != 2 {
-			fmt.Fprintln(w, "ERR usage: GET <key>")
+			io.WriteString(w, "ERR usage: GET <key>\n")
 			break
 		}
 		k, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			fmt.Fprintln(w, "ERR bad key")
+			io.WriteString(w, "ERR bad key\n")
 			break
 		}
 		var v uint64
@@ -169,48 +284,48 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		if s.co != nil {
 			v, ok, err = s.co.Lookup(k)
 			if err != nil {
-				fmt.Fprintln(w, "ERR server shutting down")
+				io.WriteString(w, "ERR server shutting down\n")
 				break
 			}
 		} else {
 			v, ok = s.srv.Lookup(k)
 		}
 		if ok {
-			fmt.Fprintf(w, "VALUE %d\n", v)
+			ls.writeUintLine(w, "VALUE ", v)
 		} else {
-			fmt.Fprintln(w, "NOTFOUND")
+			io.WriteString(w, "NOTFOUND\n")
 		}
-	case "PUT":
+	case cmdIs(cmd, "PUT"):
 		if len(fields) != 3 {
-			fmt.Fprintln(w, "ERR usage: PUT <key> <value>")
+			io.WriteString(w, "ERR usage: PUT <key> <value>\n")
 			break
 		}
 		k, err1 := strconv.ParseUint(fields[1], 10, 64)
 		v, err2 := strconv.ParseUint(fields[2], 10, 64)
 		if err1 != nil || err2 != nil {
-			fmt.Fprintln(w, "ERR bad key or value")
+			io.WriteString(w, "ERR bad key or value\n")
 			break
 		}
 		if !s.writable(w) {
 			break
 		}
 		if k == sentinelKey {
-			fmt.Fprintln(w, "ERR key out of range")
+			io.WriteString(w, "ERR key out of range\n")
 			break
 		}
 		if _, err := s.srv.Update([]hbtree.Op[uint64]{{Key: k, Value: v}}, hbtree.Synchronized); err != nil {
 			fmt.Fprintf(w, "ERR update: %v\n", err)
 			break
 		}
-		fmt.Fprintln(w, "OK")
-	case "DEL":
+		io.WriteString(w, "OK\n")
+	case cmdIs(cmd, "DEL"):
 		if len(fields) != 2 {
-			fmt.Fprintln(w, "ERR usage: DEL <key>")
+			io.WriteString(w, "ERR usage: DEL <key>\n")
 			break
 		}
 		k, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			fmt.Fprintln(w, "ERR bad key")
+			io.WriteString(w, "ERR bad key\n")
 			break
 		}
 		if !s.writable(w) {
@@ -222,32 +337,32 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			break
 		}
 		if st.NotFound > 0 {
-			fmt.Fprintln(w, "NOTFOUND")
+			io.WriteString(w, "NOTFOUND\n")
 		} else {
-			fmt.Fprintln(w, "OK")
+			io.WriteString(w, "OK\n")
 		}
-	case "RANGE":
+	case cmdIs(cmd, "RANGE"):
 		start, count, ok := parseRange(w, fields, "RANGE")
 		if !ok {
 			break
 		}
 		for _, p := range s.srv.RangeQuery(start, count) {
-			fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
+			ls.writePairLine(w, p.Key, p.Value)
 		}
-		fmt.Fprintln(w, "END")
-	case "SCAN":
+		io.WriteString(w, "END\n")
+	case cmdIs(cmd, "SCAN"):
 		start, count, ok := parseRange(w, fields, "SCAN")
 		if !ok {
 			break
 		}
 		for _, p := range s.srv.Scan(start, count) {
-			fmt.Fprintf(w, "PAIR %d %d\n", p.Key, p.Value)
+			ls.writePairLine(w, p.Key, p.Value)
 		}
-		fmt.Fprintln(w, "END")
-	case "DESCRIBE":
-		fmt.Fprint(w, s.srv.Describe())
-		fmt.Fprintln(w, "END")
-	case "STATS":
+		io.WriteString(w, "END\n")
+	case cmdIs(cmd, "DESCRIBE"):
+		io.WriteString(w, s.srv.Describe())
+		io.WriteString(w, "END\n")
+	case cmdIs(cmd, "STATS"):
 		st := s.srv.Stats()
 		c := s.srv.DeviceCounters()
 		m := s.srv.Metrics()
@@ -255,11 +370,11 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
 			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, m.VirtualTime)
-	case "QUIT":
-		fmt.Fprintln(w, "BYE")
+	case cmdIs(cmd, "QUIT"):
+		io.WriteString(w, "BYE\n")
 		return true
 	default:
-		fmt.Fprintln(w, "ERR unknown command")
+		io.WriteString(w, "ERR unknown command\n")
 	}
 	return false
 }
@@ -300,8 +415,19 @@ func main() {
 		maxBatch = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
 		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
 		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
+		pprofTo  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+
+	if *pprofTo != "" {
+		go func() {
+			// The default mux carries the net/http/pprof handlers.
+			log.Printf("hbserve: pprof on http://%s/debug/pprof/", *pprofTo)
+			if err := http.ListenAndServe(*pprofTo, nil); err != nil {
+				log.Printf("hbserve: pprof: %v", err)
+			}
+		}()
+	}
 
 	opt := hbtree.Options{}
 	switch *variant {

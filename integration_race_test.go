@@ -142,6 +142,143 @@ func TestIntegrationCoalescedServingUnderRebuilds(t *testing.T) {
 	}
 }
 
+// TestIntegrationSwapHeavyUpdatesUnderReads stresses the snapshot
+// publication path of the facade on the regular variant: concurrent
+// coalesced, batch and range readers against a writer that applies
+// every generation as many small Update batches — each one a
+// clone-and-swap publication. The per-reader oracle enforces the same
+// generation monotonicity as the rebuild test above: the atomic
+// snapshot pointer gives publications a total order, so a single
+// reader can never observe a key's generation move backwards.
+func TestIntegrationSwapHeavyUpdatesUnderReads(t *testing.T) {
+	nPairs, readers, gens := 1<<12, 4, uint64(4)
+	if testing.Short() {
+		nPairs, readers, gens = 1<<10, 3, 2
+	}
+	base := hbtree.GeneratePairs[uint64](nPairs, 11)
+	tree, err := hbtree.New(base, hbtree.Options{Variant: hbtree.Regular})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := hbtree.NewServer(tree)
+	defer srv.Close()
+	co := srv.Coalesce(hbtree.CoalescerOptions{MaxBatch: 128, Window: 200 * time.Microsecond})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r) + 100))
+			seen := make(map[uint64]uint64)
+			check := func(k, v uint64, found bool) bool {
+				if !found {
+					t.Errorf("key %d disappeared during update", k)
+					return false
+				}
+				off := v - hbtree.ValueFor(k)
+				if off > gens {
+					t.Errorf("key %d: value %d is no valid generation", k, v)
+					return false
+				}
+				if prev, ok := seen[k]; ok && off < prev {
+					t.Errorf("key %d: generation went backwards %d -> %d", k, prev, off)
+					return false
+				}
+				seen[k] = off
+				return true
+			}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch rng.Intn(3) {
+				case 0: // coalesced point lookup
+					k := base[rng.Intn(len(base))].Key
+					v, found, err := co.Lookup(k)
+					if err != nil {
+						t.Errorf("coalesced lookup: %v", err)
+						return
+					}
+					if !check(k, v, found) {
+						return
+					}
+				case 1: // direct heterogeneous batch
+					qs := make([]uint64, 16)
+					for i := range qs {
+						qs[i] = base[rng.Intn(len(base))].Key
+					}
+					values, found, _, err := srv.LookupBatch(qs)
+					if err != nil {
+						t.Errorf("LookupBatch: %v", err)
+						return
+					}
+					for i, k := range qs {
+						if !check(k, values[i], found[i]) {
+							return
+						}
+					}
+				case 2: // range query: sorted and generation-consistent
+					start := base[rng.Intn(len(base))].Key
+					out := srv.RangeQuery(start, 8)
+					for i, p := range out {
+						if i > 0 && p.Key <= out[i-1].Key {
+							t.Errorf("RangeQuery unsorted")
+							return
+						}
+						if off := p.Value - hbtree.ValueFor(p.Key); off > gens {
+							t.Errorf("RangeQuery: invalid generation for key %d", p.Key)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: each generation lands as many small batches, every one a
+	// snapshot publication.
+	const chunk = 256
+	for g := uint64(1); g <= gens; g++ {
+		for start := 0; start < len(base); start += chunk {
+			end := min(start+chunk, len(base))
+			ops := make([]hbtree.Op[uint64], 0, chunk)
+			for _, p := range base[start:end] {
+				ops = append(ops, hbtree.Op[uint64]{Key: p.Key, Value: p.Value + g})
+			}
+			if _, err := srv.Update(ops, hbtree.AsyncParallel); err != nil {
+				t.Errorf("update gen %d: %v", g, err)
+				break
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	co.Close()
+
+	if want := int64(gens) * int64((nPairs+chunk-1)/chunk); srv.Swaps() != want {
+		t.Fatalf("swaps = %d, want %d", srv.Swaps(), want)
+	}
+
+	// Final state: every key at the last generation.
+	qs := make([]uint64, len(base))
+	for i, p := range base {
+		qs[i] = p.Key
+	}
+	values, found, _, err := srv.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range base {
+		if !found[i] || values[i] != p.Value+gens {
+			t.Fatalf("final key %d = (%d, %v), want %d", p.Key, values[i], found[i], p.Value+gens)
+		}
+	}
+}
+
 // TestTreeCoalescedFacade exercises the one-call Tree.Coalesced path
 // and the closed-coalescer error surface.
 func TestTreeCoalescedFacade(t *testing.T) {

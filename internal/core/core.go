@@ -223,6 +223,11 @@ type Tree[K keys.Key] struct {
 	lastTrace *vclock.Timeline
 
 	buildStats BuildStats
+
+	// scratch pools per-batch search working state (device staging
+	// buffers, host staging slices, timeline) so the steady-state
+	// lookup path allocates nothing. See scratch.go.
+	scratch chan *searchScratch[K]
 }
 
 // Build constructs an HB+-tree from sorted, distinct pairs and mirrors
@@ -239,7 +244,8 @@ func Build[K keys.Key](pairs []keys.Pair[K], opt Options) (*Tree[K], error) {
 	if dev == nil {
 		dev = gpusim.New(opt.Machine.GPU)
 	}
-	t := &Tree[K]{opt: opt, dev: dev, leafMissOverride: -1}
+	t := &Tree[K]{opt: opt, dev: dev, leafMissOverride: -1,
+		scratch: make(chan *searchScratch[K], scratchPoolCap)}
 
 	cfg := cpubtree.Config{
 		NodeSearch:    opt.NodeSearch,
@@ -367,8 +373,10 @@ func (t *Tree[K]) modelBuildCost() (lseg, iseg vclock.Duration) {
 	return lseg, iseg
 }
 
-// Close releases the device-resident buffers.
+// Close releases the device-resident buffers, including any pooled
+// search scratch. Close is idempotent.
 func (t *Tree[K]) Close() {
+	t.drainScratch()
 	if t.isegBuf != nil {
 		t.isegBuf.Free()
 	}
@@ -503,7 +511,8 @@ func Load[K keys.Key](r io.Reader, opt Options) (*Tree[K], error) {
 	if dev == nil {
 		dev = gpusim.New(opt.Machine.GPU)
 	}
-	t := &Tree[K]{opt: opt, dev: dev, leafMissOverride: -1}
+	t := &Tree[K]{opt: opt, dev: dev, leafMissOverride: -1,
+		scratch: make(chan *searchScratch[K], scratchPoolCap)}
 	switch kind[0] {
 	case 1:
 		opt.Variant = Implicit

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hbtree/internal/cpubtree"
 	"hbtree/internal/gpusim"
@@ -31,7 +31,8 @@ type SearchStats struct {
 }
 
 // setLatencies fills the average and percentile latency fields from the
-// per-bucket completion latencies.
+// per-bucket completion latencies. lats is sorted in place (every
+// caller owns its slice).
 func (s *SearchStats) setLatencies(lats []vclock.Duration) {
 	if len(lats) == 0 {
 		return
@@ -41,11 +42,10 @@ func (s *SearchStats) setLatencies(lats []vclock.Duration) {
 		sum += l
 	}
 	s.AvgLatency = sum / vclock.Duration(len(lats))
-	sorted := append([]vclock.Duration(nil), lats...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(lats)
 	pick := func(q float64) vclock.Duration {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
+		i := int(q * float64(len(lats)-1))
+		return lats[i]
 	}
 	s.LatencyP50 = pick(0.50)
 	s.LatencyP95 = pick(0.95)
@@ -70,42 +70,70 @@ func (t *Tree[K]) LookupBatch(queries []K) (values []K, found []bool, stats Sear
 	if t.opt.LoadBalance {
 		return t.lookupBatchBalanced(queries)
 	}
-	return t.lookupBatchPlain(queries)
+	values = make([]K, len(queries))
+	found = make([]bool, len(queries))
+	stats, err = t.lookupBatchPlainInto(queries, values, found)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	return values, found, stats, nil
 }
 
-func (t *Tree[K]) lookupBatchPlain(queries []K) (values []K, found []bool, stats SearchStats, err error) {
+// LookupBatchInto is the allocation-free form of LookupBatch: results
+// are written into the caller-provided slices, which must hold at least
+// len(queries) elements. On the plain (non-load-balanced) path the
+// steady state performs no heap allocation — device staging buffers,
+// host staging slices and the virtual timeline come from the tree's
+// scratch pool. The load-balanced path runs the Section 5.5 executor
+// (which allocates) and copies its results into the provided slices.
+func (t *Tree[K]) LookupBatchInto(queries []K, values []K, found []bool) (SearchStats, error) {
 	n := len(queries)
-	values = make([]K, n)
-	found = make([]bool, n)
+	if len(values) < n || len(found) < n {
+		return SearchStats{}, fmt.Errorf("core: LookupBatchInto: result slices hold %d/%d elements, need %d",
+			len(values), len(found), n)
+	}
+	if t.opt.LoadBalance {
+		v, f, stats, err := t.lookupBatchBalanced(queries)
+		if err != nil {
+			return stats, err
+		}
+		copy(values, v)
+		copy(found, f)
+		return stats, nil
+	}
+	return t.lookupBatchPlainInto(queries[:n:n], values[:n], found[:n])
+}
+
+func (t *Tree[K]) lookupBatchPlainInto(queries []K, values []K, found []bool) (stats SearchStats, err error) {
+	n := len(queries)
 	if n == 0 {
-		return values, found, stats, nil
+		return stats, nil
 	}
 	m := t.opt.BucketSize
 	stats.BucketSize = m
 	stats.Queries = n
 
-	// Device-side staging buffers (functionally reused across buckets;
-	// the timeline's buffer-dependency edges model their reuse).
-	qbuf, err := gpusim.Malloc[K](t.dev, m)
+	// Per-batch working state comes from the tree's pool; the device
+	// staging buffers are functionally reused across buckets and the
+	// timeline's buffer-dependency edges model their reuse.
+	sc, err := t.acquireScratch()
 	if err != nil {
-		return nil, nil, stats, fmt.Errorf("core: allocating query buffer: %w", err)
+		return stats, err
 	}
-	defer qbuf.Free()
-	rbuf, err := gpusim.Malloc[int32](t.dev, 2*m)
-	if err != nil {
-		return nil, nil, stats, fmt.Errorf("core: allocating result buffer: %w", err)
-	}
-	defer rbuf.Free()
+	defer t.releaseScratch(sc)
 
 	nbuf := t.numBuffers()
-	tl := vclock.NewTimeline()
+	tl := sc.tl
+	tl.Reset()
 	if t.traceOn.Load() {
+		// A traced batch records onto a fresh timeline so the published
+		// trace is not clobbered when the pooled timeline is reused.
+		tl = vclock.NewTimeline()
 		tl.SetTrace(true)
 		t.setLastTrace(tl)
 	}
 	var sumT1, sumT2, sumT3, sumT4 vclock.Duration
-	var lats []vclock.Duration
-	d2hEnd := make(map[int]vclock.Duration)
+	lats := sc.lats[:0]
 
 	buckets := 0
 	for start := 0; start < n; start += m {
@@ -118,29 +146,29 @@ func (t *Tree[K]) lookupBatchPlain(queries []K) (values []K, found []bool, stats
 		stream := buckets
 		if t.opt.Strategy == Sequential {
 			stream = 0 // one stream: no overlap at all
-		} else if prev, ok := d2hEnd[buckets-nbuf]; ok {
+		} else if idx := buckets - nbuf; idx >= 0 {
 			// The staging buffer is reused once its previous bucket's
 			// intermediate results have left the device.
-			tl.AdvanceStream(stream, prev)
+			tl.AdvanceStream(stream, sc.d2h[idx%scratchRing])
 		}
 
 		// Step 1: transfer the bucket to GPU memory.
-		d1 := t.copyQueriesToDevice(qbuf, bq)
+		d1 := t.copyQueriesToDevice(sc.qbuf, bq)
 		h2dStart, _ := tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
 
 		// Step 2: GPU traversal of all inner levels (functional kernel
 		// on the device replica).
-		d2 := t.runKernel(qbuf, rbuf, bn)
+		d2 := t.runKernel(sc.qbuf, sc.rbuf, bn)
 		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
 
 		// Step 3: transfer intermediate results to CPU memory.
 		d3 := t.dev.CopyDuration(int64(bn) * t.resultSize())
 		_, dEnd := tl.Schedule(stream, vclock.ResPCIeD2H, "D2H", d3)
-		d2hEnd[buckets] = dEnd
+		sc.d2h[buckets%scratchRing] = dEnd
 
 		// Step 4: CPU finishes the search in the leaf nodes.
 		d4 := t.cpuLeafStageDuration(bn)
-		t.finishOnCPU(rbuf, bq, values[start:end], found[start:end])
+		t.finishLeaves(sc.rbuf, bq, values[start:end], found[start:end], sc.res, sc.refs)
 		_, cEnd := tl.Schedule(stream, vclock.ResCPU, "leaf", d4)
 
 		lats = append(lats, cEnd-h2dStart)
@@ -150,6 +178,7 @@ func (t *Tree[K]) lookupBatchPlain(queries []K) (values []K, found []bool, stats
 		sumT4 += d4
 		buckets++
 	}
+	sc.lats = lats // keep any grown capacity for the next batch
 
 	stats.Buckets = buckets
 	stats.setLatencies(lats)
@@ -158,7 +187,7 @@ func (t *Tree[K]) lookupBatchPlain(queries []K) (values []K, found []bool, stats
 	stats.T3 = sumT3 / vclock.Duration(buckets)
 	stats.T4 = sumT4 / vclock.Duration(buckets)
 	stats.finalize(tl)
-	return values, found, stats, nil
+	return stats, nil
 }
 
 // numBuffers returns how many buckets may be in flight: 1 for strictly
@@ -206,8 +235,15 @@ func (t *Tree[K]) runKernel(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[int32], 
 // finishOnCPU runs step 4 functionally: the CPU searches the leaf lines
 // named by the device-resident intermediate results.
 func (t *Tree[K]) finishOnCPU(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool) {
+	t.finishLeaves(rbuf, bq, values, found, make([]int32, 2*len(bq)), nil)
+}
+
+// finishLeaves is finishOnCPU with caller-provided staging: res must
+// hold at least 2*len(bq) elements; refs may be nil (the regular
+// variant then allocates it) or hold at least len(bq) elements.
+func (t *Tree[K]) finishLeaves(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool, res []int32, refs []cpubtree.LeafRef) {
 	bn := len(bq)
-	res := make([]int32, 2*bn)
+	res = res[:2*bn]
 	if _, err := rbuf.CopyToHost(res); err != nil {
 		panic(err)
 	}
@@ -215,7 +251,10 @@ func (t *Tree[K]) finishOnCPU(rbuf *gpusim.Buffer[int32], bq []K, values []K, fo
 		t.impl.SearchLeavesBatch(bq, res[:bn], values, found)
 		return
 	}
-	refs := make([]cpubtree.LeafRef, bn)
+	if refs == nil {
+		refs = make([]cpubtree.LeafRef, bn)
+	}
+	refs = refs[:bn]
 	for i := 0; i < bn; i++ {
 		refs[i] = cpubtree.LeafRef{Leaf: res[i], Line: res[bn+i]}
 	}
@@ -269,22 +308,17 @@ func (t *Tree[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], Rang
 		return out, stats, nil
 	}
 	m := t.opt.BucketSize
-	qbuf, err := gpusim.Malloc[K](t.dev, m)
+	sc, err := t.acquireScratch()
 	if err != nil {
-		return nil, stats, fmt.Errorf("core: allocating query buffer: %w", err)
+		return nil, stats, err
 	}
-	defer qbuf.Free()
-	rbuf, err := gpusim.Malloc[int32](t.dev, 2*m)
-	if err != nil {
-		return nil, stats, fmt.Errorf("core: allocating result buffer: %w", err)
-	}
-	defer rbuf.Free()
+	defer t.releaseScratch(sc)
 
-	tl := vclock.NewTimeline()
+	tl := sc.tl
+	tl.Reset()
 	ppl := keys.PerLine[K]() / 2
 	leafLines := float64((count + ppl - 1) / ppl)
 	cpu := t.opt.Machine.CPU
-	d2hEnd := make(map[int]vclock.Duration)
 	buckets := 0
 	for start := 0; start < n; start += m {
 		end := start + m
@@ -294,20 +328,20 @@ func (t *Tree[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], Rang
 		bq := starts[start:end]
 		bn := len(bq)
 		stream := buckets
-		if prev, ok := d2hEnd[buckets-2]; ok {
-			tl.AdvanceStream(stream, prev)
+		if idx := buckets - 2; idx >= 0 {
+			tl.AdvanceStream(stream, sc.d2h[idx%scratchRing])
 		}
-		d1 := t.copyQueriesToDevice(qbuf, bq)
+		d1 := t.copyQueriesToDevice(sc.qbuf, bq)
 		tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
-		d2 := t.runKernel(qbuf, rbuf, bn)
+		d2 := t.runKernel(sc.qbuf, sc.rbuf, bn)
 		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
 		d3 := t.dev.CopyDuration(int64(bn) * t.resultSize())
 		_, dEnd := tl.Schedule(stream, vclock.ResPCIeD2H, "D2H", d3)
-		d2hEnd[buckets] = dEnd
+		sc.d2h[buckets%scratchRing] = dEnd
 
 		// CPU stage: scan `count` pairs from each resolved start leaf.
-		res := make([]int32, 2*bn)
-		if _, err := rbuf.CopyToHost(res); err != nil {
+		res := sc.res[:2*bn]
+		if _, err := sc.rbuf.CopyToHost(res); err != nil {
 			return nil, stats, err
 		}
 		for i := 0; i < bn; i++ {

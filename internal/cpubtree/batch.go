@@ -79,11 +79,21 @@ func (t *ImplicitTree[K]) SearchInnerBatch(queries []K, lines []int32) {
 // produced leaf line indices — the CPU stage of the hybrid search
 // (Section 5.4, step 4). It is software-pipelined over the L-segment.
 func (t *ImplicitTree[K]) SearchLeavesBatch(queries []K, lines []int32, values []K, found []bool) {
+	// Small batches run inline without constructing the fan-out closure,
+	// keeping the steady-state serving pipeline allocation-free.
+	if runsInline(len(queries), t.cfg.Threads) {
+		t.searchLeavesRange(queries, lines, values, found, 0, len(queries))
+		return
+	}
 	parallelFor(len(queries), t.cfg.Threads, func(s, e int) {
-		for i := s; i < e; i++ {
-			values[i], found[i] = t.SearchLeafLine(int(lines[i]), queries[i])
-		}
+		t.searchLeavesRange(queries, lines, values, found, s, e)
 	})
+}
+
+func (t *ImplicitTree[K]) searchLeavesRange(queries []K, lines []int32, values []K, found []bool, s, e int) {
+	for i := s; i < e; i++ {
+		values[i], found[i] = t.SearchLeafLine(int(lines[i]), queries[i])
+	}
 }
 
 // LeafRef identifies one leaf cache line of the regular tree: big leaf
@@ -148,11 +158,21 @@ func (t *RegularTree[K]) SearchInnerBatch(queries []K, refs []LeafRef) {
 // SearchLeavesBatch finishes lookups from leaf references (the CPU stage
 // of the hybrid search).
 func (t *RegularTree[K]) SearchLeavesBatch(queries []K, refs []LeafRef, values []K, found []bool) {
+	// As with the implicit variant, small batches avoid the fan-out
+	// closure so steady-state serving stays allocation-free.
+	if runsInline(len(queries), t.cfg.Threads) {
+		t.searchLeavesRange(queries, refs, values, found, 0, len(queries))
+		return
+	}
 	parallelFor(len(queries), t.cfg.Threads, func(s, e int) {
-		for i := s; i < e; i++ {
-			values[i], found[i] = t.SearchLeafLine(refs[i].Leaf, int(refs[i].Line), queries[i])
-		}
+		t.searchLeavesRange(queries, refs, values, found, s, e)
 	})
+}
+
+func (t *RegularTree[K]) searchLeavesRange(queries []K, refs []LeafRef, values []K, found []bool, s, e int) {
+	for i := s; i < e; i++ {
+		values[i], found[i] = t.SearchLeafLine(refs[i].Leaf, int(refs[i].Line), queries[i])
+	}
 }
 
 // MixedKind distinguishes the operations of a mixed search/update batch

@@ -1,0 +1,37 @@
+package cpubtree
+
+// Snapshot cloning for the serving layer's RCU-style reader/writer
+// split: a batch update clones the current tree, mutates the clone, and
+// publishes it atomically, so in-flight readers keep traversing the old
+// version untouched. Clones deep-copy every mutable pool; the Config
+// (including the simulated address-space allocator) and the segment
+// descriptors are shared, since a snapshot is a logical sibling of the
+// same index, not a second index.
+
+// Clone returns a deep copy of the tree. The copy shares no mutable
+// state with the original: updates applied to one are invisible to the
+// other.
+func (t *ImplicitTree[K]) Clone() *ImplicitTree[K] {
+	c := *t
+	c.levelNodes = append([]int(nil), t.levelNodes...)
+	c.levelOff = append([]int(nil), t.levelOff...)
+	c.inner = append([]K(nil), t.inner...)
+	c.leaves = append([]K(nil), t.leaves...)
+	return &c
+}
+
+// Clone returns a deep copy of the tree. The copy shares no mutable
+// state with the original: updates applied to one are invisible to the
+// other.
+func (t *RegularTree[K]) Clone() *RegularTree[K] {
+	c := *t
+	c.upper = append([]K(nil), t.upper...)
+	c.upperMeta = append([]nodeMeta(nil), t.upperMeta...)
+	c.last = append([]K(nil), t.last...)
+	c.lastMeta = append([]nodeMeta(nil), t.lastMeta...)
+	c.leafData = append([]K(nil), t.leafData...)
+	c.leafMeta = append([]leafMeta(nil), t.leafMeta...)
+	c.freeLast = append([]int32(nil), t.freeLast...)
+	c.freeUpper = append([]int32(nil), t.freeUpper...)
+	return &c
+}

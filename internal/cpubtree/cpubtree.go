@@ -100,10 +100,18 @@ type Stats struct {
 	LinesPerQuery int
 }
 
+// runsInline reports whether a batch of n items executes on the calling
+// goroutine (too small to be worth fanning out). Callers on the serving
+// fast path test this before constructing the parallelFor closure, so
+// small batches stay allocation-free.
+func runsInline(n, workers int) bool {
+	return workers <= 1 || n < 2*1024
+}
+
 // parallelFor splits n items across workers goroutines, invoking
 // fn(start, end) per contiguous chunk.
 func parallelFor(n, workers int, fn func(start, end int)) {
-	if workers <= 1 || n < 2*1024 {
+	if runsInline(n, workers) {
 		fn(0, n)
 		return
 	}

@@ -53,28 +53,39 @@ type ImplicitDesc struct {
 // full traversal. It returns the number of device-memory transactions
 // issued (one coalesced 64-byte access per node per query).
 func ImplicitSearchKernel[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, queries []K, out []int32, startLevel int, startIdx []int32) int64 {
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			q := queries[i]
-			idx := int32(0)
-			if startIdx != nil {
-				idx = startIdx[i]
-			}
-			for lvl := startLevel; lvl < desc.Height; lvl++ {
-				off := (int(desc.LevelOff[lvl]) + int(idx)) * desc.Kpn
-				node := iseg[off : off+desc.Kpn]
-				res := warpSearch(node, q)
-				idx = idx*int32(desc.Fanout) + int32(res)
-			}
-			if int(idx) >= desc.NumLeaves {
-				idx = int32(desc.NumLeaves - 1)
-			}
-			out[i] = idx
-		}
+	// The small-batch path runs inline without constructing the fan-out
+	// closure, keeping the steady-state serving pipeline allocation-free.
+	if d.runsInline(len(queries)) {
+		implicitSearchRange(iseg, desc, queries, out, startLevel, startIdx, 0, len(queries))
+	} else {
+		d.fanOut(len(queries), func(lo, hi int) {
+			implicitSearchRange(iseg, desc, queries, out, startLevel, startIdx, lo, hi)
+		})
 	}
-	d.fanOut(len(queries), run)
 	levels := desc.Height - startLevel
 	return int64(len(queries)) * int64(levels)
+}
+
+// implicitSearchRange resolves queries[lo:hi] against the implicit
+// I-segment; the kernel body shared by the inline and fanned-out paths.
+func implicitSearchRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, out []int32, startLevel int, startIdx []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		q := queries[i]
+		idx := int32(0)
+		if startIdx != nil {
+			idx = startIdx[i]
+		}
+		for lvl := startLevel; lvl < desc.Height; lvl++ {
+			off := (int(desc.LevelOff[lvl]) + int(idx)) * desc.Kpn
+			node := iseg[off : off+desc.Kpn]
+			res := warpSearch(node, q)
+			idx = idx*int32(desc.Fanout) + int32(res)
+		}
+		if int(idx) >= desc.NumLeaves {
+			idx = int32(desc.NumLeaves - 1)
+		}
+		out[i] = idx
+	}
 }
 
 // RegularDesc describes the regular HB+-tree inner segments resident in
@@ -94,36 +105,15 @@ type RegularDesc struct {
 // support the load-balanced mode. It returns the number of device-memory
 // transactions issued.
 func RegularSearchKernel[K keys.Key](d *Device, upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, startHeight int, startIdx []int32) int64 {
-	kpl := desc.Kpl
-	searchNode := func(pool []K, idx int32, q K) int {
-		base := int(idx) * desc.NodeSlots
-		s := warpSearch(pool[base:base+kpl], q)                     // index line
-		u := warpSearch(pool[base+kpl+s*kpl:base+kpl+(s+1)*kpl], q) // key line
-		return s*kpl + u
+	// As with the implicit kernel, the small-batch path avoids the
+	// fan-out closure so steady-state serving stays allocation-free.
+	if d.runsInline(len(queries)) {
+		regularSearchRange(upper, last, desc, queries, outLeaf, outLine, startHeight, startIdx, 0, len(queries))
+	} else {
+		d.fanOut(len(queries), func(lo, hi int) {
+			regularSearchRange(upper, last, desc, queries, outLeaf, outLine, startHeight, startIdx, lo, hi)
+		})
 	}
-	refOf := func(pool []K, idx int32, c int) int32 {
-		base := int(idx)*desc.NodeSlots + kpl + kpl*kpl
-		return int32(pool[base+c]) // reference fetch: third access
-	}
-	run := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			q := queries[i]
-			idx := desc.Root
-			h := desc.Height
-			if startIdx != nil {
-				idx = startIdx[i]
-				h = startHeight
-			}
-			for ; h >= 2; h-- {
-				c := searchNode(upper, idx, q)
-				idx = refOf(upper, idx, c)
-			}
-			c := searchNode(last, idx, q)
-			outLeaf[i] = idx
-			outLine[i] = int32(c)
-		}
-	}
-	d.fanOut(len(queries), run)
 	h := desc.Height
 	if startIdx != nil {
 		h = startHeight
@@ -131,14 +121,54 @@ func RegularSearchKernel[K keys.Key](d *Device, upper, last []K, desc RegularDes
 	return int64(len(queries)) * int64(h) * 3
 }
 
+// regularSearchNode runs the two dependent warp searches of one regular
+// inner node (index line, then key line), returning the child slot.
+func regularSearchNode[K keys.Key](pool []K, desc RegularDesc, idx int32, q K) int {
+	kpl := desc.Kpl
+	base := int(idx) * desc.NodeSlots
+	s := warpSearch(pool[base:base+kpl], q)                     // index line
+	u := warpSearch(pool[base+kpl+s*kpl:base+kpl+(s+1)*kpl], q) // key line
+	return s*kpl + u
+}
+
+// regularSearchRange resolves queries[lo:hi] against the regular
+// I-segment pools; the kernel body shared by the inline and fanned-out
+// paths.
+func regularSearchRange[K keys.Key](upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, startHeight int, startIdx []int32, lo, hi int) {
+	kpl := desc.Kpl
+	for i := lo; i < hi; i++ {
+		q := queries[i]
+		idx := desc.Root
+		h := desc.Height
+		if startIdx != nil {
+			idx = startIdx[i]
+			h = startHeight
+		}
+		for ; h >= 2; h-- {
+			c := regularSearchNode(upper, desc, idx, q)
+			base := int(idx)*desc.NodeSlots + kpl + kpl*kpl
+			idx = int32(upper[base+c]) // reference fetch: third access
+		}
+		c := regularSearchNode(last, desc, idx, q)
+		outLeaf[i] = idx
+		outLine[i] = int32(c)
+	}
+}
+
+// runsInline reports whether a kernel over n queries executes on the
+// calling goroutine (too small to be worth fanning out).
+func (d *Device) runsInline(n int) bool {
+	return d.workers <= 1 || n < 1024
+}
+
 // fanOut spreads the query range across the device's worker goroutines
 // (the SM array stand-in).
 func (d *Device) fanOut(n int, run func(lo, hi int)) {
-	w := d.workers
-	if w <= 1 || n < 1024 {
+	if d.runsInline(n) {
 		run(0, n)
 		return
 	}
+	w := d.workers
 	if w > n {
 		w = n
 	}

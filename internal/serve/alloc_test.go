@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+
+	"hbtree/internal/core"
+)
+
+// Allocation regression tests for the steady-state serving pipeline.
+// The bucket size is kept small (64, the minimum) so the simulated
+// kernel fan-out and the CPU leaf stage run inline — goroutine spawning
+// is a per-call allocation the small-batch path legitimately avoids.
+
+// TestLookupBatchIntoAllocFree pins zero allocations per call on the
+// scratch-pooled heterogeneous batch search, for both tree variants.
+func TestLookupBatchIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	for _, variant := range []core.Variant{core.Implicit, core.Regular} {
+		t.Run(variant.String(), func(t *testing.T) {
+			srv, pairs := newTestServer(t, variant, 1<<10)
+			const n = 64
+			queries := make([]uint64, n)
+			values := make([]uint64, n)
+			found := make([]bool, n)
+			for i := range queries {
+				queries[i] = pairs[(i*31)%len(pairs)].Key
+			}
+			// Warm the scratch pool.
+			if _, err := srv.LookupBatchInto(queries, values, found); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				if _, err := srv.LookupBatchInto(queries, values, found); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("LookupBatchInto allocates %.1f times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCoalescedLookupPathAllocFree pins zero allocations per request on
+// the full coalesced path: pooled reply cell, shard append, inline
+// flush through LookupBatchInto, result delivery. MaxBatch is 1 so
+// every call deterministically exercises the whole pipeline.
+func TestCoalescedLookupPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	srv, pairs := newTestServer(t, core.Implicit, 1<<10)
+	co := NewCoalescer(srv, Options{MaxBatch: 1, Shards: 1})
+	defer co.Close()
+
+	// Warm the reply, batch and scratch pools.
+	for i := 0; i < 32; i++ {
+		if _, _, err := co.Lookup(pairs[i].Key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		i++
+		if _, _, err := co.Lookup(pairs[i%len(pairs)].Key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("coalesced lookup allocates %.1f times per request, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,9 +21,9 @@ const DefaultWindow = 100 * time.Microsecond
 
 // Options configures a Coalescer.
 type Options struct {
-	// MaxBatch flushes a batch as soon as it holds this many requests;
-	// zero selects the tree's bucket size, so a full batch is exactly
-	// one bucket of the heterogeneous search.
+	// MaxBatch flushes a shard's batch as soon as it holds this many
+	// requests; zero selects the tree's bucket size, so a full batch is
+	// exactly one bucket of the heterogeneous search.
 	MaxBatch int
 
 	// Window is the deadline: the first request of a batch waits at
@@ -30,7 +31,16 @@ type Options struct {
 	// Zero selects DefaultWindow.
 	Window time.Duration
 
-	// Queue is the submission queue capacity; zero selects 2*MaxBatch.
+	// Shards is the number of independent pending queues; submissions
+	// are spread across them so concurrent producers do not serialise
+	// on one lock, and each shard flushes on its own size-or-deadline
+	// window. Zero selects GOMAXPROCS. Use 1 to reproduce the single-
+	// queue discipline (deterministic batch formation).
+	Shards int
+
+	// Queue is retained for compatibility with the channel-based
+	// coalescer; the sharded implementation has no submission queue and
+	// ignores it.
 	Queue int
 }
 
@@ -41,44 +51,62 @@ type Result[K keys.Key] struct {
 	Err   error
 }
 
-// request is one caller's pending lookup; reply has capacity 1 so the
-// flusher never blocks delivering it.
-type request[K keys.Key] struct {
-	key   K
-	reply chan Result[K]
+// pending is one shard's forming batch plus the result staging its
+// flush writes into. Instances are pooled: a flusher returns its batch
+// to the pool once every caller's result has been delivered.
+type pending[K keys.Key] struct {
+	keys    []K
+	replies []chan Result[K]
+	values  []K
+	found   []bool
+}
+
+// shard is one independent pending queue with its own deadline timer.
+// The timer is created once and re-armed on each batch's first request
+// (Go 1.23 timer semantics make Reset/Stop race-free without channel
+// draining); a per-shard goroutine waits on it and flushes
+// deadline-expired batches.
+type shard[K keys.Key] struct {
+	mu     sync.Mutex
+	cur    *pending[K] // nil after close
+	timer  *time.Timer
+	closed bool
 }
 
 // Coalescer collects point lookups arriving from many goroutines into
-// batches and serves each batch with one Server.LookupBatch call — the
-// request-coalescing discipline that recovers the paper's batched
-// throughput from a point-request workload. A batch is flushed when it
-// reaches MaxBatch requests or when its oldest request has waited for
-// the Window deadline, whichever comes first, so a lone request is
-// never starved.
+// batches and serves each batch with one Server.LookupBatchInto call —
+// the request-coalescing discipline that recovers the paper's batched
+// throughput from a point-request workload. Submissions are spread
+// round-robin over independent shards; a shard's batch is flushed when
+// it reaches MaxBatch requests (inline, by the submitter that filled
+// it) or when its oldest request has waited for the Window deadline
+// (by the shard's flusher goroutine), whichever comes first, so a lone
+// request is never starved.
 //
 // Close stops intake: later submissions fail fast with ErrClosed, and
-// requests still queued when Close runs are failed with ErrClosed
-// rather than left hanging.
+// requests still pending when Close runs are failed with ErrClosed
+// rather than left hanging. A batch already being flushed completes
+// normally.
 type Coalescer[K keys.Key] struct {
 	srv *Server[K]
 	opt Options
 
-	// sendMu makes Close mutually exclusive with in-flight
-	// submissions: Submit sends while holding the read side, Close
-	// flips closed and closes reqs while holding the write side, so
-	// nothing ever sends on the closed channel.
-	sendMu sync.RWMutex
-	closed bool
+	shards []shard[K]
+	next   atomic.Uint64 // round-robin shard cursor
 
-	reqs chan request[K]
-	done chan struct{} // closed when the flusher has exited
+	batchPool sync.Pool // *pending[K]
+	replyPool sync.Pool // chan Result[K], capacity 1
+
+	done      chan struct{} // closed when Close runs; stops the flushers
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	batches atomic.Int64 // batches flushed
 	queries atomic.Int64 // requests served through batches
 }
 
 // NewCoalescer starts a coalescer over srv. The caller must Close it to
-// stop the flusher goroutine.
+// stop the per-shard flusher goroutines.
 func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
 	if opt.MaxBatch <= 0 {
 		opt.MaxBatch = srv.Options().BucketSize
@@ -86,17 +114,40 @@ func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
 	if opt.Window <= 0 {
 		opt.Window = DefaultWindow
 	}
-	if opt.Queue <= 0 {
-		opt.Queue = 2 * opt.MaxBatch
+	if opt.Shards <= 0 {
+		opt.Shards = runtime.GOMAXPROCS(0)
 	}
 	c := &Coalescer[K]{
-		srv:  srv,
-		opt:  opt,
-		reqs: make(chan request[K], opt.Queue),
-		done: make(chan struct{}),
+		srv:    srv,
+		opt:    opt,
+		shards: make([]shard[K], opt.Shards),
+		done:   make(chan struct{}),
 	}
-	go c.run()
+	c.batchPool.New = func() any {
+		return &pending[K]{
+			keys:    make([]K, 0, opt.MaxBatch),
+			replies: make([]chan Result[K], 0, opt.MaxBatch),
+			values:  make([]K, opt.MaxBatch),
+			found:   make([]bool, opt.MaxBatch),
+		}
+	}
+	c.replyPool.New = func() any { return make(chan Result[K], 1) }
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cur = c.getBatch()
+		sh.timer = time.NewTimer(time.Hour)
+		sh.timer.Stop()
+		c.wg.Add(1)
+		go c.flusher(sh)
+	}
 	return c
+}
+
+func (c *Coalescer[K]) getBatch() *pending[K] {
+	p := c.batchPool.Get().(*pending[K])
+	p.keys = p.keys[:0]
+	p.replies = p.replies[:0]
+	return p
 }
 
 // Submit enqueues one lookup and returns the channel its Result will be
@@ -104,35 +155,126 @@ func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
 // receives ErrClosed.
 func (c *Coalescer[K]) Submit(key K) <-chan Result[K] {
 	reply := make(chan Result[K], 1)
-	c.sendMu.RLock()
-	if c.closed {
-		c.sendMu.RUnlock()
+	if !c.submit(key, reply) {
 		reply <- Result[K]{Err: ErrClosed}
-		return reply
 	}
-	c.reqs <- request[K]{key: key, reply: reply}
-	c.sendMu.RUnlock()
 	return reply
 }
 
-// Lookup submits one query and blocks for its coalesced result.
+// Lookup submits one query and blocks for its coalesced result. The
+// reply cell is pooled, so the steady-state path allocates nothing.
 func (c *Coalescer[K]) Lookup(key K) (K, bool, error) {
-	res := <-c.Submit(key)
+	reply := c.replyPool.Get().(chan Result[K])
+	if !c.submit(key, reply) {
+		c.replyPool.Put(reply)
+		var zero K
+		return zero, false, ErrClosed
+	}
+	res := <-reply
+	c.replyPool.Put(reply)
 	return res.Value, res.Found, res.Err
 }
 
+// submit appends the request to a shard's forming batch, arming the
+// shard's deadline timer on the batch's first request and flushing
+// inline when the batch fills. It reports false when the coalescer is
+// closed (nothing will be delivered on reply).
+func (c *Coalescer[K]) submit(key K, reply chan Result[K]) bool {
+	sh := &c.shards[c.next.Add(1)%uint64(len(c.shards))]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return false
+	}
+	p := sh.cur
+	p.keys = append(p.keys, key)
+	p.replies = append(p.replies, reply)
+	if len(p.keys) >= c.opt.MaxBatch {
+		// The submitter that filled the batch flushes it inline: the
+		// shard gets a fresh batch and the lock is dropped before the
+		// heterogeneous search runs.
+		sh.cur = c.getBatch()
+		sh.timer.Stop()
+		sh.mu.Unlock()
+		c.flush(p)
+		return true
+	}
+	if len(p.keys) == 1 {
+		sh.timer.Reset(c.opt.Window)
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// flusher is a shard's deadline goroutine: it waits for the shard's
+// reused timer to fire and flushes whatever has accumulated. An empty
+// or already-stolen batch is a benign wakeup.
+func (c *Coalescer[K]) flusher(sh *shard[K]) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-sh.timer.C:
+			sh.mu.Lock()
+			p := sh.cur
+			if sh.closed || len(p.keys) == 0 {
+				sh.mu.Unlock()
+				continue
+			}
+			sh.cur = c.getBatch()
+			sh.mu.Unlock()
+			c.flush(p)
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// flush serves one batch with the allocation-free batch search and
+// distributes each caller's result, then recycles the batch.
+func (c *Coalescer[K]) flush(p *pending[K]) {
+	n := len(p.keys)
+	values, found := p.values[:n], p.found[:n]
+	_, err := c.srv.LookupBatchInto(p.keys, values, found)
+	if err != nil {
+		c.fail(p, err)
+		return
+	}
+	for i, reply := range p.replies {
+		reply <- Result[K]{Value: values[i], Found: found[i]}
+	}
+	c.batches.Add(1)
+	c.queries.Add(int64(n))
+	c.batchPool.Put(p)
+}
+
+// fail delivers err to every caller in the batch and recycles it.
+func (c *Coalescer[K]) fail(p *pending[K], err error) {
+	for _, reply := range p.replies {
+		reply <- Result[K]{Err: err}
+	}
+	c.batchPool.Put(p)
+}
+
 // Close stops intake, fails all pending requests with ErrClosed and
-// waits for the flusher to exit. A batch already being flushed
+// waits for the flushers to exit. A batch already being flushed
 // completes normally. Close is idempotent.
 func (c *Coalescer[K]) Close() {
-	c.sendMu.Lock()
-	already := c.closed
-	c.closed = true
-	c.sendMu.Unlock()
-	if !already {
-		close(c.reqs)
-	}
-	<-c.done
+	c.closeOnce.Do(func() {
+		close(c.done)
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			sh.closed = true
+			p := sh.cur
+			sh.cur = nil
+			sh.timer.Stop()
+			sh.mu.Unlock()
+			if p != nil && len(p.keys) > 0 {
+				c.fail(p, ErrClosed)
+			}
+		}
+	})
+	c.wg.Wait()
 }
 
 // Batches returns the number of flushed batches.
@@ -140,64 +282,3 @@ func (c *Coalescer[K]) Batches() int64 { return c.batches.Load() }
 
 // Queries returns the number of requests served through batches.
 func (c *Coalescer[K]) Queries() int64 { return c.queries.Load() }
-
-// run is the flusher: it blocks for a batch's first request, collects
-// companions until the batch is full or the deadline fires, and serves
-// the batch with one LookupBatch call under the server's read lock.
-func (c *Coalescer[K]) run() {
-	defer close(c.done)
-	batchKeys := make([]K, 0, c.opt.MaxBatch)
-	replies := make([]chan Result[K], 0, c.opt.MaxBatch)
-	for {
-		first, ok := <-c.reqs
-		if !ok {
-			return
-		}
-		batchKeys = append(batchKeys[:0], first.key)
-		replies = append(replies[:0], first.reply)
-
-		if len(batchKeys) < c.opt.MaxBatch {
-			timer := time.NewTimer(c.opt.Window)
-		collect:
-			for len(batchKeys) < c.opt.MaxBatch {
-				select {
-				case r, ok := <-c.reqs:
-					if !ok {
-						// Closed with requests pending: fail them
-						// rather than hang their callers.
-						timer.Stop()
-						c.fail(replies, ErrClosed)
-						return
-					}
-					batchKeys = append(batchKeys, r.key)
-					replies = append(replies, r.reply)
-				case <-timer.C:
-					break collect
-				}
-			}
-			timer.Stop()
-		}
-		c.flush(batchKeys, replies)
-	}
-}
-
-// flush serves one batch and distributes each caller's result.
-func (c *Coalescer[K]) flush(batchKeys []K, replies []chan Result[K]) {
-	values, found, _, err := c.srv.LookupBatch(batchKeys)
-	if err != nil {
-		c.fail(replies, err)
-		return
-	}
-	for i, reply := range replies {
-		reply <- Result[K]{Value: values[i], Found: found[i]}
-	}
-	c.batches.Add(1)
-	c.queries.Add(int64(len(batchKeys)))
-}
-
-// fail delivers err to every pending caller.
-func (c *Coalescer[K]) fail(replies []chan Result[K], err error) {
-	for _, reply := range replies {
-		reply <- Result[K]{Err: err}
-	}
-}

@@ -50,11 +50,12 @@ func TestLoneRequestFlushesAtDeadline(t *testing.T) {
 
 // TestFullBatchFlushesImmediately: when MaxBatch requests are pending
 // the batch must flush without waiting for the (deliberately enormous)
-// window.
+// window. Shards is pinned to 1 so the submissions deterministically
+// fill one shard's batch.
 func TestFullBatchFlushesImmediately(t *testing.T) {
 	srv, pairs := newTestServer(t, core.Implicit, 1<<10)
 	const maxBatch = 8
-	c := NewCoalescer(srv, Options{MaxBatch: maxBatch, Window: time.Hour})
+	c := NewCoalescer(srv, Options{MaxBatch: maxBatch, Window: time.Hour, Shards: 1})
 	defer c.Close()
 
 	chans := make([]<-chan Result[uint64], maxBatch)

@@ -1,7 +1,7 @@
 // Package serve is the concurrency layer over the HB+-tree: it wraps a
-// core.Tree behind an explicit reader/writer contract and coalesces
-// point lookups arriving from many goroutines into the bucket-sized
-// batches the heterogeneous search path is built for.
+// core.Tree behind a reader/writer contract and coalesces point lookups
+// arriving from many goroutines into the bucket-sized batches the
+// heterogeneous search path is built for.
 //
 // The paper's throughput argument rests on batched lookups (Section
 // 5.4): the four-step CPU-GPU search amortises the PCIe transfer and
@@ -9,11 +9,26 @@
 // deployment, however, receives point requests from many concurrent
 // connections, and core.Tree — like the paper's prototype — is written
 // for one caller at a time when it mutates state. Server provides the
-// locking contract: read operations (point, range and batch lookups,
-// scans, stats) share the tree; batch updates and rebuilds exclude
-// readers. Coalescer turns concurrent point lookups into LookupBatch
+// contract; Coalescer turns concurrent point lookups into LookupBatch
 // calls under a size-or-deadline window, so the serving layer recovers
 // the paper's batched throughput from a point-request workload.
+//
+// # Snapshot reads
+//
+// The default Server publishes the tree behind an atomic pointer with
+// reference-counted snapshots (RCU-style): read operations acquire the
+// current snapshot, run against it without blocking, and release it;
+// batch updates and rebuilds construct a successor tree aside — a
+// clone patched with the batch, or a fresh build — and atomically swap
+// it in. Readers that acquired the old snapshot finish on it
+// undisturbed; its device-resident I-segment replica is released when
+// the last such reader drains. This mirrors the paper's asynchronous
+// update mode (Section 5.6) at the serving layer: the index remains
+// searchable for the full duration of a batch update, at the cost of
+// the clone/rebuild work and a transiently doubled I-segment footprint
+// on the device. NewLockedServer retains the PR-1 discipline — one
+// sync.RWMutex, writers excluding all readers — as the comparison
+// baseline and for memory-constrained deployments.
 //
 // Virtual-time accounting follows requests through the layer: point
 // lookups served individually are charged the modelled serial descent
@@ -34,34 +49,132 @@ import (
 	"hbtree/internal/vclock"
 )
 
-// Server wraps a core.Tree with a reader/writer contract: the read
-// operations share the tree and may run concurrently; Update and
-// Rebuild take the writer side and exclude all readers for the duration
-// of the batch. The zero value is not usable; construct with NewServer.
+// snapshot is one published version of the tree. refs starts at 1 (the
+// server's publication reference); every reader adds one for the span
+// of its operation. When the snapshot has been retired (superseded or
+// the server closed) and the last reference drains, the tree's device
+// buffers are released.
+type snapshot[K keys.Key] struct {
+	tree    *core.Tree[K]
+	refs    atomic.Int64
+	retired atomic.Bool
+	once    sync.Once
+}
+
+func newSnapshot[K keys.Key](t *core.Tree[K]) *snapshot[K] {
+	sn := &snapshot[K]{tree: t}
+	sn.refs.Store(1)
+	return sn
+}
+
+// release drops one reference; the snapshot's tree is closed when the
+// count reaches zero after retirement. The server's own reference is
+// dropped only after retired is set, so a reader observing zero always
+// observes retired too.
+func (sn *snapshot[K]) release() {
+	if sn.refs.Add(-1) == 0 && sn.retired.Load() {
+		sn.once.Do(sn.tree.Close)
+	}
+}
+
+// Server wraps a core.Tree with a reader/writer contract. In the
+// default snapshot mode, read operations run against an atomically
+// published snapshot and never block on writers; Update and Rebuild
+// build a successor version aside and swap it in. In locked mode
+// (NewLockedServer), a sync.RWMutex is used instead and writers exclude
+// all readers. The zero value is not usable; construct with NewServer
+// or NewLockedServer.
 type Server[K keys.Key] struct {
+	locked bool
+
+	// Locked mode: the PR-1 reader/writer lock over one tree.
 	mu   sync.RWMutex
 	tree *core.Tree[K]
 
+	// Snapshot mode: the current version and the writer serialisation.
+	cur atomic.Pointer[snapshot[K]]
+	wmu sync.Mutex
+
+	opt       core.Options
 	pointCost vclock.Duration // modelled cost of one per-request lookup
 
-	// Serving metrics (atomic: updated under the read lock).
+	// Serving metrics (atomic: updated outside the locks).
 	vtimeNs atomic.Int64 // accumulated virtual serving time, ns
 	lookups atomic.Int64 // point lookups served individually
 	batched atomic.Int64 // queries served through LookupBatch
 	batches atomic.Int64 // LookupBatch calls
 	updates atomic.Int64 // update/rebuild operations applied
+	swaps   atomic.Int64 // snapshot publications (snapshot mode)
 }
 
-// NewServer wraps t. Load-balance parameters are resolved eagerly when
-// the balanced mode is enabled, so the first concurrent lookups never
-// contend on discovery.
+// NewServer wraps t in snapshot mode: reads never block on batch
+// updates or rebuilds. Load-balance parameters are resolved eagerly
+// when the balanced mode is enabled, so the first concurrent lookups
+// never contend on discovery.
 func NewServer[K keys.Key](t *core.Tree[K]) *Server[K] {
+	s := newServer(t)
+	s.cur.Store(newSnapshot(t))
+	return s
+}
+
+// NewLockedServer wraps t behind the PR-1 sync.RWMutex contract:
+// writers exclude all readers for the duration of a batch. It exists as
+// the A/B baseline for the snapshot mode and for deployments that
+// cannot afford a second I-segment replica during updates.
+func NewLockedServer[K keys.Key](t *core.Tree[K]) *Server[K] {
+	s := newServer(t)
+	s.locked = true
+	s.tree = t
+	return s
+}
+
+func newServer[K keys.Key](t *core.Tree[K]) *Server[K] {
 	if t.Options().LoadBalance {
 		if _, ok := t.Balance(); !ok {
 			t.Discover()
 		}
 	}
-	return &Server[K]{tree: t, pointCost: t.PointLookupCost()}
+	return &Server[K]{opt: t.Options(), pointCost: t.PointLookupCost()}
+}
+
+// acquire pins the current tree version for one read operation. In
+// snapshot mode the returned snapshot must be released; in locked mode
+// the snapshot is nil and the read lock is held until releaseRead.
+func (s *Server[K]) acquire() (*core.Tree[K], *snapshot[K]) {
+	if s.locked {
+		s.mu.RLock()
+		return s.tree, nil
+	}
+	for {
+		sn := s.cur.Load()
+		sn.refs.Add(1)
+		if s.cur.Load() == sn {
+			// Still the published version: the reference taken above
+			// keeps it alive for the span of this read.
+			return sn.tree, sn
+		}
+		// A writer swapped between the load and the reference; drop it
+		// and retry on the new version.
+		sn.release()
+	}
+}
+
+func (s *Server[K]) releaseRead(sn *snapshot[K]) {
+	if sn == nil {
+		s.mu.RUnlock()
+		return
+	}
+	sn.release()
+}
+
+// publish retires the current snapshot in favour of t. Callers hold
+// wmu. In-flight readers of the old version finish on it; its device
+// buffers are released when the last one drains.
+func (s *Server[K]) publish(t *core.Tree[K]) {
+	old := s.cur.Swap(newSnapshot(t))
+	s.swaps.Add(1)
+	old.retired.Store(true)
+	old.release()
 }
 
 // Metrics is a snapshot of the serving counters.
@@ -70,6 +183,7 @@ type Metrics struct {
 	BatchedQueries int64 // queries served through LookupBatch
 	Batches        int64 // LookupBatch calls
 	Updates        int64 // update/rebuild operations applied
+	Swaps          int64 // snapshot publications (snapshot mode only)
 
 	// VirtualTime is the accumulated virtual serving time: per-request
 	// lookups charge the modelled serial descent, batches charge their
@@ -84,6 +198,7 @@ func (s *Server[K]) Metrics() Metrics {
 		BatchedQueries: s.batched.Load(),
 		Batches:        s.batches.Load(),
 		Updates:        s.updates.Load(),
+		Swaps:          s.swaps.Load(),
 		VirtualTime:    vclock.Duration(s.vtimeNs.Load()),
 	}
 }
@@ -95,6 +210,7 @@ func (s *Server[K]) ResetMetrics() {
 	s.batched.Store(0)
 	s.batches.Store(0)
 	s.updates.Store(0)
+	s.swaps.Store(0)
 }
 
 // VirtualTime returns the accumulated virtual serving time.
@@ -112,25 +228,28 @@ func (s *Server[K]) addVirtual(d vclock.Duration) {
 // individually served lookup.
 func (s *Server[K]) PointLookupCost() vclock.Duration { return s.pointCost }
 
-// Lookup resolves one query on the CPU path under the read lock. Each
-// call is charged the full serial descent on the virtual clock — the
-// per-request serving cost a Coalescer amortises away.
+// Swaps returns how many snapshot versions have been published.
+func (s *Server[K]) Swaps() int64 { return s.swaps.Load() }
+
+// Lookup resolves one query on the CPU path against the current
+// version. Each call is charged the full serial descent on the virtual
+// clock — the per-request serving cost a Coalescer amortises away.
 func (s *Server[K]) Lookup(q K) (K, bool) {
-	s.mu.RLock()
-	v, ok := s.tree.Lookup(q)
-	s.mu.RUnlock()
+	tree, sn := s.acquire()
+	v, ok := tree.Lookup(q)
+	s.releaseRead(sn)
 	s.lookups.Add(1)
 	s.addVirtual(s.pointCost)
 	return v, ok
 }
 
-// LookupBatch runs the heterogeneous batch search under the read lock;
-// concurrent batches share the device and keep isolated stats. The
-// batch's simulated makespan is charged to the virtual clock.
+// LookupBatch runs the heterogeneous batch search against the current
+// version; concurrent batches share the device and keep isolated stats.
+// The batch's simulated makespan is charged to the virtual clock.
 func (s *Server[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchStats, error) {
-	s.mu.RLock()
-	values, found, stats, err := s.tree.LookupBatch(queries)
-	s.mu.RUnlock()
+	tree, sn := s.acquire()
+	values, found, stats, err := tree.LookupBatch(queries)
+	s.releaseRead(sn)
 	if err == nil {
 		s.batched.Add(int64(len(queries)))
 		s.batches.Add(1)
@@ -139,20 +258,35 @@ func (s *Server[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchStats, err
 	return values, found, stats, err
 }
 
-// RangeQuery returns up to count pairs with key >= start under the read
-// lock.
-func (s *Server[K]) RangeQuery(start K, count int) []keys.Pair[K] {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tree.RangeQuery(start, count, nil)
+// LookupBatchInto is the allocation-free batch search: results land in
+// the caller's slices (at least len(queries) long each) and the steady
+// state allocates nothing — the path the Coalescer's flushers use.
+func (s *Server[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
+	tree, sn := s.acquire()
+	stats, err := tree.LookupBatchInto(queries, values, found)
+	s.releaseRead(sn)
+	if err == nil {
+		s.batched.Add(int64(len(queries)))
+		s.batches.Add(1)
+		s.addVirtual(stats.SimTime)
+	}
+	return stats, err
 }
 
-// RangeQueryBatch runs the hybrid batched range search under the read
-// lock, charging its simulated makespan.
+// RangeQuery returns up to count pairs with key >= start against the
+// current version.
+func (s *Server[K]) RangeQuery(start K, count int) []keys.Pair[K] {
+	tree, sn := s.acquire()
+	defer s.releaseRead(sn)
+	return tree.RangeQuery(start, count, nil)
+}
+
+// RangeQueryBatch runs the hybrid batched range search against the
+// current version, charging its simulated makespan.
 func (s *Server[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], core.RangeStats, error) {
-	s.mu.RLock()
-	out, stats, err := s.tree.RangeQueryBatch(starts, count)
-	s.mu.RUnlock()
+	tree, sn := s.acquire()
+	out, stats, err := tree.RangeQueryBatch(starts, count)
+	s.releaseRead(sn)
 	if err == nil {
 		s.addVirtual(stats.SimTime)
 	}
@@ -160,13 +294,14 @@ func (s *Server[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], co
 }
 
 // Scan collects up to count pairs starting at the first key >= start by
-// walking a cursor under the read lock. Cursors must not outlive the
-// lock, so the walk is materialised before returning.
+// walking a cursor against the current version. Cursors must not
+// outlive the version pin, so the walk is materialised before
+// returning.
 func (s *Server[K]) Scan(start K, count int) []keys.Pair[K] {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	tree, sn := s.acquire()
+	defer s.releaseRead(sn)
 	out := make([]keys.Pair[K], 0, count)
-	cur := s.tree.Seek(start)
+	cur := tree.Seek(start)
 	for len(out) < count {
 		p, ok := cur.Next()
 		if !ok {
@@ -177,75 +312,122 @@ func (s *Server[K]) Scan(start K, count int) []keys.Pair[K] {
 	return out
 }
 
-// Update applies a batch of updates to the regular variant under the
-// writer lock, excluding all readers until the device replica is
-// synchronised again.
+// Update applies a batch of updates to the regular variant. In snapshot
+// mode the batch executes on a clone of the current version and the
+// patched clone is atomically published — readers proceed against the
+// old version for the whole duration, and a failed batch leaves the
+// published version untouched. In locked mode the update runs in place
+// under the writer lock, excluding all readers.
 func (s *Server[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
-	s.mu.Lock()
-	stats, err := s.tree.Update(ops, method)
-	s.mu.Unlock()
-	if err == nil {
-		s.updates.Add(int64(len(ops)))
-		s.addVirtual(stats.Total())
+	if s.locked {
+		s.mu.Lock()
+		stats, err := s.tree.Update(ops, method)
+		s.mu.Unlock()
+		s.noteUpdate(len(ops), stats, err)
+		return stats, err
 	}
-	return stats, err
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	clone, err := s.cur.Load().tree.Clone()
+	if err != nil {
+		return core.UpdateStats{}, err
+	}
+	stats, err := clone.Update(ops, method)
+	if err != nil {
+		clone.Close()
+		return stats, err
+	}
+	s.publish(clone)
+	s.noteUpdate(len(ops), stats, err)
+	return stats, nil
 }
 
-// Rebuild replaces the implicit variant's contents under the writer
-// lock.
+// Rebuild replaces the implicit variant's contents. In snapshot mode
+// the replacement tree is built aside and atomically published; in
+// locked mode the rebuild runs in place under the writer lock.
 func (s *Server[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, error) {
-	s.mu.Lock()
-	stats, err := s.tree.Rebuild(pairs)
-	s.mu.Unlock()
+	if s.locked {
+		s.mu.Lock()
+		stats, err := s.tree.Rebuild(pairs)
+		s.mu.Unlock()
+		s.noteUpdate(len(pairs), stats, err)
+		return stats, err
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	nt, stats, err := s.cur.Load().tree.Rebuilt(pairs)
+	if err != nil {
+		return stats, err
+	}
+	s.publish(nt)
+	s.noteUpdate(len(pairs), stats, err)
+	return stats, nil
+}
+
+func (s *Server[K]) noteUpdate(ops int, stats core.UpdateStats, err error) {
 	if err == nil {
-		s.updates.Add(int64(len(pairs)))
+		s.updates.Add(int64(ops))
 		s.addVirtual(stats.Total())
 	}
-	return stats, err
 }
 
-// Stats reports the tree geometry under the read lock.
+// Stats reports the tree geometry of the current version.
 func (s *Server[K]) Stats() cpubtree.Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tree.Stats()
+	tree, sn := s.acquire()
+	defer s.releaseRead(sn)
+	return tree.Stats()
 }
 
-// Describe returns the tree's human-readable report under the read
-// lock.
+// Describe returns the current version's human-readable report.
 func (s *Server[K]) Describe() string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tree.Describe()
+	tree, sn := s.acquire()
+	defer s.releaseRead(sn)
+	return tree.Describe()
 }
 
-// NumPairs returns the stored pair count under the read lock.
+// NumPairs returns the stored pair count of the current version.
 func (s *Server[K]) NumPairs() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tree.NumPairs()
+	tree, sn := s.acquire()
+	defer s.releaseRead(sn)
+	return tree.NumPairs()
 }
 
-// DeviceCounters snapshots the simulated GPU's hardware counters.
+// DeviceCounters snapshots the simulated GPU's hardware counters. The
+// device is shared by every snapshot, so the counters span versions.
 func (s *Server[K]) DeviceCounters() gpusim.Counters {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.tree.Device().Counters()
+	tree, sn := s.acquire()
+	defer s.releaseRead(sn)
+	return tree.Device().Counters()
 }
 
-// Options returns the wrapped tree's configuration.
-func (s *Server[K]) Options() core.Options {
-	return s.tree.Options()
+// Options returns the wrapped tree's configuration (fixed across
+// snapshot versions).
+func (s *Server[K]) Options() core.Options { return s.opt }
+
+// Tree exposes the current version's tree. Callers bypass the
+// reader/writer contract when touching it directly; do so only while
+// nothing else uses the server.
+func (s *Server[K]) Tree() *core.Tree[K] {
+	if s.locked {
+		return s.tree
+	}
+	return s.cur.Load().tree
 }
 
-// Tree exposes the wrapped tree. Callers bypass the reader/writer
-// contract when touching it directly; do so only while nothing else
-// uses the server.
-func (s *Server[K]) Tree() *core.Tree[K] { return s.tree }
-
-// Close releases the tree's device buffers under the writer lock.
+// Close releases the current version's device buffers. In snapshot
+// mode, readers still pinning the version finish first — the buffers
+// are released when the last reference drains. Close is idempotent.
 func (s *Server[K]) Close() {
-	s.mu.Lock()
-	s.tree.Close()
-	s.mu.Unlock()
+	if s.locked {
+		s.mu.Lock()
+		s.tree.Close()
+		s.mu.Unlock()
+		return
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.cur.Load()
+	if cur.retired.CompareAndSwap(false, true) {
+		cur.release() // drop the publication reference
+	}
 }

@@ -1,0 +1,361 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbtree/internal/core"
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/keys"
+)
+
+// Wall-clock measurement of the serving layer. Unlike the rest of the
+// reproduction, which accounts performance on the paper's virtual
+// clock, this driver measures what the ROADMAP's north star asks for —
+// real throughput and latency of the serving pipeline on the machine it
+// runs on: C client goroutines issue point lookups through a Coalescer
+// while a fraction of their operations are routed to an update pump
+// that batches them (the paper's batch-update design, Section 5.6) and
+// applies each batch through Server.Update. Two configurations are
+// comparable: the locked baseline (PR-1 discipline: one RWMutex, one
+// coalescer queue) and the fast path (snapshot reads, sharded
+// coalescer, allocation-free batches).
+
+// WallOptions configures one wall-clock serving run.
+type WallOptions struct {
+	// Clients is the number of concurrent client goroutines (8 default).
+	Clients int
+
+	// Duration is the measurement length (1s default).
+	Duration time.Duration
+
+	// UpdateFrac routes this fraction of client operations to the
+	// update pump (e.g. 0.1 for a 10% update mix). Requires the
+	// regular tree variant when non-zero.
+	UpdateFrac float64
+
+	// Locked selects the baseline: NewLockedServer plus a single-shard
+	// coalescer — the PR-1 serving discipline. The default is the fast
+	// path: snapshot server plus a GOMAXPROCS-sharded coalescer.
+	Locked bool
+
+	// MaxBatch and Window configure the coalescer (1024 and 200µs
+	// defaults: wall-clock serving wants smaller flush quanta than the
+	// 16K virtual-clock bucket).
+	MaxBatch int
+	Window   time.Duration
+
+	// Depth is the number of lookups each client keeps in flight (512
+	// default). Pipelined submission is what makes coalescing effective
+	// in wall-clock terms: with one blocking request per client, every
+	// batch waits out the deadline window half-empty.
+	Depth int
+
+	// UpdateBatch is the update pump's batch size (4096 default).
+	UpdateBatch int
+
+	// RebuildEvery, when non-zero, rebuilds the whole tree from the
+	// original pairs on this period (implicit variant only). This is the
+	// reader-stall stress: under the locked baseline every rebuild
+	// blocks all lookups for its full duration; under snapshot reads the
+	// replacement is built aside and swapped in.
+	RebuildEvery time.Duration
+}
+
+func (o *WallOptions) fillDefaults() {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.Window <= 0 {
+		o.Window = 200 * time.Microsecond
+	}
+	if o.Depth <= 0 {
+		o.Depth = 512
+	}
+	if o.UpdateBatch <= 0 {
+		o.UpdateBatch = 4096
+	}
+}
+
+// WallResult is one wall-clock serving measurement.
+type WallResult struct {
+	Lookups int64         // point lookups served
+	Updates int64         // update operations pumped
+	Elapsed time.Duration // measured span
+
+	MQPS float64 // Lookups / Elapsed, in millions/s
+
+	P50, P99 time.Duration // lookup latency percentiles
+
+	// DuringWriteP50/P99 are percentiles over lookups issued while a
+	// write (update batch or rebuild) was executing — the reader-stall
+	// measure: under the locked baseline these queue behind the writer;
+	// under snapshot reads they proceed against the old version.
+	// DuringWriteSamples counts them: a locked server admits almost no
+	// reads inside a write span (clients stall before they can even
+	// submit), so a high sample count is itself the signature of
+	// non-blocking reads.
+	DuringWriteP50     time.Duration
+	DuringWriteP99     time.Duration
+	DuringWriteSamples int
+
+	// WriteTime is the total wall time spent inside write spans.
+	WriteTime time.Duration
+
+	Batches  int64 // coalescer batches flushed
+	Swaps    int64 // snapshot publications (0 for the locked baseline)
+	Rebuilds int64 // full rebuilds executed (RebuildEvery runs)
+}
+
+func (r WallResult) String() string {
+	return fmt.Sprintf("%.2f MQPS (%d lookups, %d updates in %v), p50 %v p99 %v, during-write p50 %v p99 %v (%d samples over %v of writes), %d batches, %d swaps",
+		r.MQPS, r.Lookups, r.Updates, r.Elapsed.Round(time.Millisecond),
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.DuringWriteP50.Round(time.Microsecond), r.DuringWriteP99.Round(time.Microsecond),
+		r.DuringWriteSamples, r.WriteTime.Round(time.Millisecond), r.Batches, r.Swaps)
+}
+
+// maxWallSamples caps the per-client latency record so a long run's
+// sample storage stays bounded; throughput counters are exact.
+const maxWallSamples = 1 << 17
+
+// RunWall builds a tree from pairs and drives it with opt's client mix
+// for opt.Duration of wall-clock time.
+func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOptions) (WallResult, error) {
+	opt.fillDefaults()
+	if opt.UpdateFrac > 0 && treeOpt.Variant != core.Regular {
+		return WallResult{}, fmt.Errorf("serve: wall run with updates requires the regular variant")
+	}
+	if opt.RebuildEvery > 0 && treeOpt.Variant != core.Implicit {
+		return WallResult{}, fmt.Errorf("serve: wall run with rebuilds requires the implicit variant")
+	}
+	tree, err := core.Build(pairs, treeOpt)
+	if err != nil {
+		return WallResult{}, err
+	}
+	defer tree.Close()
+
+	var srv *Server[K]
+	shards := 0 // GOMAXPROCS
+	if opt.Locked {
+		srv = NewLockedServer(tree)
+		shards = 1
+	} else {
+		srv = NewServer(tree)
+	}
+	defer srv.Close()
+	co := NewCoalescer(srv, Options{MaxBatch: opt.MaxBatch, Window: opt.Window, Shards: shards})
+	defer co.Close()
+
+	// The update pump: clients hand write ops to a channel; one
+	// goroutine forms batches of UpdateBatch (or whatever accumulated
+	// in ~2ms) and applies each with one Server.Update — the paper's
+	// batch-update discipline. writing is set for the span of each
+	// batch so clients can tag lookups that overlapped a write.
+	var writing atomic.Bool
+	var updateErr error
+	var rebuilds int64
+	var writeNs int64
+	updates := make(chan cpubtree.Op[K], 4*opt.UpdateBatch)
+	pumpDone := make(chan struct{})
+	var pumpWG sync.WaitGroup
+	pumpWG.Add(1)
+	go func() {
+		defer pumpWG.Done()
+		batch := make([]cpubtree.Op[K], 0, opt.UpdateBatch)
+		var stale int
+		flush := func() {
+			stale = 0
+			if len(batch) == 0 || updateErr != nil {
+				batch = batch[:0]
+				return
+			}
+			writing.Store(true)
+			w0 := time.Now()
+			_, err := srv.Update(batch, core.AsyncParallel)
+			writeNs += time.Since(w0).Nanoseconds()
+			writing.Store(false)
+			if err != nil {
+				updateErr = err
+			}
+			batch = batch[:0]
+		}
+		// The straggler ticker bounds update latency when clients
+		// trickle. Ticker flushes are gated on fill level: in snapshot
+		// mode every flush pays a whole-tree clone, so flushing a
+		// near-empty batch every tick would turn the swap rate into a
+		// function of the tick rate instead of the update rate. A
+		// quarter-full batch flushes immediately; anything smaller waits
+		// up to four ticks (~40ms).
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		var rebuildC <-chan time.Time
+		if opt.RebuildEvery > 0 {
+			rt := time.NewTicker(opt.RebuildEvery)
+			defer rt.Stop()
+			rebuildC = rt.C
+		}
+		for {
+			select {
+			case op := <-updates:
+				batch = append(batch, op)
+				if len(batch) >= opt.UpdateBatch {
+					flush()
+				}
+			case <-ticker.C:
+				stale++
+				if len(batch) >= opt.UpdateBatch/4 || stale >= 4 {
+					flush()
+				}
+			case <-rebuildC:
+				if updateErr != nil {
+					continue
+				}
+				writing.Store(true)
+				w0 := time.Now()
+				_, err := srv.Rebuild(pairs)
+				writeNs += time.Since(w0).Nanoseconds()
+				writing.Store(false)
+				if err != nil {
+					updateErr = err
+				}
+				rebuilds++
+			case <-pumpDone:
+				for {
+					select {
+					case op := <-updates:
+						batch = append(batch, op)
+					default:
+						flush()
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	type clientStats struct {
+		lookups   int64
+		updates   int64
+		lats      []time.Duration
+		writeLats []time.Duration
+		err       error
+	}
+	// inflight is one pipelined request awaiting its reply.
+	type inflight struct {
+		ch     <-chan Result[K]
+		t0     time.Time
+		during bool
+	}
+	stats := make([]clientStats, opt.Clients)
+	var running atomic.Bool
+	running.Store(true)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			st.lats = make([]time.Duration, 0, maxWallSamples)
+			st.writeLats = make([]time.Duration, 0, maxWallSamples/8)
+			rng := rand.New(rand.NewSource(int64(c)*0x9E3779B9 + 1))
+			// Ring of in-flight submissions: each client keeps Depth
+			// lookups pipelined, so coalescer batches fill by size
+			// instead of timing out half-empty.
+			ring := make([]inflight, opt.Depth)
+			var head, n int
+			drain := func() bool {
+				fl := ring[head]
+				head = (head + 1) % opt.Depth
+				n--
+				res := <-fl.ch
+				if res.Err != nil {
+					st.err = res.Err
+					return false
+				}
+				lat := time.Since(fl.t0)
+				st.lookups++
+				if len(st.lats) < cap(st.lats) {
+					st.lats = append(st.lats, lat)
+				}
+				if fl.during && len(st.writeLats) < cap(st.writeLats) {
+					st.writeLats = append(st.writeLats, lat)
+				}
+				return true
+			}
+			for running.Load() {
+				p := pairs[rng.Intn(len(pairs))]
+				if opt.UpdateFrac > 0 && rng.Float64() < opt.UpdateFrac {
+					// Blocking hand-off: client-perceived update cost is
+					// the enqueue; the pump amortises the batch.
+					updates <- cpubtree.Op[K]{Key: p.Key, Value: p.Value + 1}
+					st.updates++
+					continue
+				}
+				if n == opt.Depth && !drain() {
+					return
+				}
+				ring[(head+n)%opt.Depth] = inflight{ch: co.Submit(p.Key), t0: time.Now(), during: writing.Load()}
+				n++
+			}
+			for n > 0 {
+				if !drain() {
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(opt.Duration)
+	running.Store(false)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(pumpDone)
+	pumpWG.Wait()
+	if updateErr != nil {
+		return WallResult{}, updateErr
+	}
+
+	var res WallResult
+	res.Elapsed = elapsed
+	var lats, writeLats []time.Duration
+	for i := range stats {
+		st := &stats[i]
+		if st.err != nil {
+			return WallResult{}, st.err
+		}
+		res.Lookups += st.lookups
+		res.Updates += st.updates
+		lats = append(lats, st.lats...)
+		writeLats = append(writeLats, st.writeLats...)
+	}
+	res.MQPS = float64(res.Lookups) / elapsed.Seconds() / 1e6
+	res.P50, res.P99 = percentiles(lats)
+	res.DuringWriteP50, res.DuringWriteP99 = percentiles(writeLats)
+	res.DuringWriteSamples = len(writeLats)
+	res.WriteTime = time.Duration(writeNs)
+	res.Batches = co.Batches()
+	res.Swaps = srv.Swaps()
+	res.Rebuilds = rebuilds
+	return res, nil
+}
+
+// percentiles returns the p50 and p99 of the samples (0 when empty).
+// The slice is sorted in place.
+func percentiles(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	slices.Sort(lats)
+	return lats[len(lats)/2], lats[int(float64(len(lats)-1)*0.99)]
+}

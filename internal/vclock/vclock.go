@@ -215,12 +215,14 @@ func (t *Timeline) Ops() []Op {
 }
 
 // Reset returns the timeline to virtual time zero, discarding history.
+// The stream table and trace storage are retained (cleared, not
+// reallocated) so a pooled timeline can be reused without allocating.
 func (t *Timeline) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i := range t.resource {
 		t.resource[i] = 0
 	}
-	t.stream = make(map[int]Duration)
-	t.ops = nil
+	clear(t.stream)
+	t.ops = t.ops[:0]
 }

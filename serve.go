@@ -7,7 +7,8 @@ import (
 // This file is the facade over internal/serve: the concurrency layer
 // that makes a Tree safe to share between goroutines. A bare Tree
 // follows the package's single-writer contract (see the package
-// documentation); NewServer wraps it behind a reader/writer lock, and a
+// documentation); NewServer publishes it behind an atomic snapshot
+// pointer (readers never block on batch updates or rebuilds), and a
 // Coalescer batches concurrent point lookups into the bucket-sized
 // LookupBatch calls the heterogeneous search path is built for.
 
@@ -16,7 +17,7 @@ import (
 var ErrServerClosed = serve.ErrClosed
 
 // CoalescerOptions configures Server.Coalesce: the size-or-deadline
-// flush window and the submission queue depth.
+// flush window and the shard count across which submissions spread.
 type CoalescerOptions = serve.Options
 
 // ServerMetrics is a snapshot of a Server's serving counters, including
@@ -25,17 +26,27 @@ type CoalescerOptions = serve.Options
 type ServerMetrics = serve.Metrics
 
 // Server makes a Tree safe for concurrent use: read operations (point,
-// range and batch lookups, scans, stats) run concurrently under a
-// shared lock; Update and Rebuild exclude all readers until the GPU
-// replica is consistent again.
+// range and batch lookups, scans, stats) run concurrently against the
+// current snapshot; Update and Rebuild construct a successor version
+// aside and atomically publish it, so readers are never blocked for the
+// duration of a batch write.
 type Server[K Key] struct {
 	*serve.Server[K]
 }
 
-// NewServer wraps t behind the reader/writer contract. The tree must
+// NewServer wraps t behind the snapshot-read contract. The tree must
 // not be used directly while the server is serving.
 func NewServer[K Key](t *Tree[K]) *Server[K] {
 	return &Server[K]{serve.NewServer(t.Tree)}
+}
+
+// NewLockedServer wraps t behind the original sync.RWMutex contract,
+// where Update and Rebuild exclude all readers for the duration of the
+// batch. It is the A/B baseline for the snapshot mode and suits
+// deployments that cannot spare a second I-segment replica during
+// updates.
+func NewLockedServer[K Key](t *Tree[K]) *Server[K] {
+	return &Server[K]{serve.NewLockedServer(t.Tree)}
 }
 
 // Coalescer batches concurrent point lookups into LookupBatch calls

@@ -82,7 +82,10 @@ func perRequestVMQPS(tb testing.TB, srv *hbtree.Server[uint64], pairs []hbtree.P
 func coalescedVMQPS(tb testing.TB, srv *hbtree.Server[uint64], pairs []hbtree.Pair[uint64], clients, perClient int) float64 {
 	tb.Helper()
 	srv.ResetMetrics()
-	co := srv.Coalesce(hbtree.CoalescerOptions{MaxBatch: serveBatch, Window: serveBenchWindow})
+	// Shards is pinned to 1: the virtual-clock comparison measures the
+	// batching discipline itself, so batch formation is kept
+	// deterministic (one queue, bucket-sized flushes).
+	co := srv.Coalesce(hbtree.CoalescerOptions{MaxBatch: serveBatch, Window: serveBenchWindow, Shards: 1})
 	defer co.Close()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
