@@ -15,9 +15,10 @@
 // With -wall the command leaves the paper's virtual clock and measures
 // the serving layer on the host's: pipelined clients drive lookups
 // through the coalescer (plus an optional batched update mix) against
-// both the locked baseline and the snapshot fast path, reporting real
-// MQPS and latency percentiles. -cpuprofile/-memprofile capture pprof
-// profiles of either mode.
+// the locked baseline, the snapshot fast path and — with -shards T —
+// the key-space sharded server, reporting real MQPS, latency
+// percentiles and per-shard swap/update counts.
+// -cpuprofile/-memprofile capture pprof profiles of any mode.
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 		clients    = flag.Int("clients", 8, "concurrent client goroutines (-wall)")
 		updateFrac = flag.Float64("update-frac", 0, "fraction of client ops routed to batched updates (-wall; uses the regular variant)")
 		rebuildEvr = flag.Duration("rebuild-every", 0, "rebuild the tree on this period (-wall; implicit variant)")
+		wallShards = flag.Int("shards", 0, "also run the key-space sharded configuration with this many shards (-wall; 0 = skip)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -88,7 +90,7 @@ func main() {
 	}
 
 	if *wall {
-		if err := runWall(*wallN, *seed, *clients, *wallDur, *updateFrac, *rebuildEvr); err != nil {
+		if err := runWall(*wallN, *seed, *clients, *wallDur, *updateFrac, *rebuildEvr, *wallShards); err != nil {
 			fmt.Fprintln(os.Stderr, "hbbench:", err)
 			os.Exit(1)
 		}
@@ -165,9 +167,10 @@ func main() {
 }
 
 // runWall measures wall-clock serving throughput and latency for the
-// locked baseline and the snapshot fast path under the same client mix,
-// printing one row per configuration.
-func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac float64, rebuildEvery time.Duration) error {
+// locked baseline, the snapshot fast path and (with shards > 1) the
+// key-space sharded server under the same client mix, printing one row
+// per configuration plus a per-shard breakdown for the sharded run.
+func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac float64, rebuildEvery time.Duration, shards int) error {
 	if updateFrac > 0 && rebuildEvery > 0 {
 		return fmt.Errorf("-update-frac and -rebuild-every are mutually exclusive")
 	}
@@ -175,24 +178,39 @@ func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac floa
 	if updateFrac > 0 {
 		treeOpt.Variant = hbtree.Regular
 	}
-	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, GOMAXPROCS %d\n",
-		n, clients, dur, updateFrac, rebuildEvery, runtime.GOMAXPROCS(0))
+	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, shards %d, GOMAXPROCS %d\n",
+		n, clients, dur, updateFrac, rebuildEvery, shards, runtime.GOMAXPROCS(0))
 	pairs := hbtree.GeneratePairs[uint64](n, seed)
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		name   string
 		locked bool
-	}{{"locked", true}, {"fast", false}} {
+		shards int
+	}{{"locked", true, 0}, {"fast", false, 0}}
+	if shards > 1 {
+		cfgs = append(cfgs, struct {
+			name   string
+			locked bool
+			shards int
+		}{"sharded", false, shards})
+	}
+	for _, cfg := range cfgs {
 		res, err := serve.RunWall(pairs, treeOpt, serve.WallOptions{
 			Clients:      clients,
 			Duration:     dur,
 			UpdateFrac:   updateFrac,
 			RebuildEvery: rebuildEvery,
 			Locked:       cfg.locked,
+			Shards:       cfg.shards,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.name, err)
 		}
-		fmt.Printf("  %-6s  %s\n", cfg.name, res)
+		fmt.Printf("  %-7s  %s\n", cfg.name, res)
+		if res.Shards > 0 {
+			for i := 0; i < res.Shards; i++ {
+				fmt.Printf("    shard %d: %d swaps, %d update ops\n", i, res.ShardSwaps[i], res.ShardUpdates[i])
+			}
+		}
 	}
 	return nil
 }

@@ -12,25 +12,31 @@ import (
 
 // TestHandleLineGETAllocFree pins zero allocations per request on the
 // full line-protocol hot path — tokenize, parse, lookup, encode — for
-// both the direct and the coalesced GET route. The small bucket size
-// keeps the simulated kernel and the CPU leaf stage inline, matching
-// the serving layer's own allocation regression tests.
+// the direct, coalesced and sharded GET routes (the sharded route adds
+// the key-to-shard binary search, which must stay allocation-free). The
+// small bucket size keeps the simulated kernel and the CPU leaf stage
+// inline, matching the serving layer's own allocation regression tests.
 func TestHandleLineGETAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates")
 	}
 	pairs := hbtree.GeneratePairs[uint64](1<<10, 42)
-	for _, coalesce := range []bool{false, true} {
-		name := "direct"
-		if coalesce {
-			name = "coalesced"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		cfg  serveConfig
+	}{
+		{"direct", serveConfig{}},
+		{"coalesced", serveConfig{coalesce: true, window: 100 * time.Microsecond, maxBatch: 1}},
+		{"sharded", serveConfig{shards: 4}},
+		{"sharded-coalesced", serveConfig{shards: 4, coalesce: true, window: 100 * time.Microsecond, maxBatch: 1}},
+		{"coalesced-bounded", serveConfig{coalesce: true, window: 100 * time.Microsecond, maxBatch: 1, maxPending: 256}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
 			tree, err := hbtree.New(pairs, hbtree.Options{BucketSize: 64})
 			if err != nil {
 				t.Fatal(err)
 			}
-			s := newServer(tree, coalesce, 100*time.Microsecond, 1)
+			s := mustServer(t, tree, cfg.cfg)
 			defer s.shutdown()
 			w := bufio.NewWriter(io.Discard)
 			line := fmt.Sprintf("GET %d", pairs[17].Key)

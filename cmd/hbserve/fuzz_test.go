@@ -24,7 +24,10 @@ func fuzzServerInit(f *testing.F) *server {
 		if err != nil {
 			f.Fatal(err)
 		}
-		fuzzSrv = newServer(tree, false, 0, 0)
+		fuzzSrv, err = newServer(tree, serveConfig{})
+		if err != nil {
+			f.Fatal(err)
+		}
 	})
 	return fuzzSrv
 }
@@ -57,6 +60,7 @@ func FuzzServeProtocol(f *testing.F) {
 		"SCAN a b",
 		"DESCRIBE",
 		"STATS",
+		"SHARDSTATS",
 		"QUIT",
 		"quit",
 		"FLY me to the moon",
@@ -91,7 +95,7 @@ func FuzzServeProtocol(f *testing.F) {
 		}
 		cmd := strings.ToUpper(fields[0])
 		switch cmd {
-		case "GET", "PUT", "DEL", "RANGE", "SCAN", "DESCRIBE", "STATS", "QUIT":
+		case "GET", "PUT", "DEL", "RANGE", "SCAN", "DESCRIBE", "STATS", "SHARDSTATS", "QUIT":
 			// Known commands reply per-protocol; checked by the unit
 			// tests. Here only the no-panic/no-silence contract applies.
 		default:

@@ -12,14 +12,21 @@
 //	SCAN <start> <n>     -> like RANGE but streamed through a cursor
 //	DESCRIBE             -> multi-line tree report, then END
 //	STATS                -> tree geometry, device counters, serving metrics
+//	SHARDSTATS           -> one "SHARD <i> ..." line per shard, then END
 //	QUIT                 -> closes the connection
 //
 // Connections are served concurrently through the hbtree.Server
 // reader/writer contract; with -coalesce, GETs from all connections are
 // coalesced into bucket-sized heterogeneous batch searches (the paper's
-// intended operating point). PUT/DEL drive the regular variant's batch
-// update path through the writer lock. SIGINT/SIGTERM trigger a
-// graceful shutdown that drains in-flight requests before exiting.
+// intended operating point), and -coalesce-pending bounds each window
+// with backpressure or (-coalesce-shed) fail-fast shedding. -shards T
+// replaces the single tree with a key-space sharded server: T trees,
+// each with its own snapshot pointer and update pump, so writes clone
+// 1/T of the data and rebuilds overlap. PUT/DEL drive the regular
+// variant's batch update path through the per-mode writer discipline.
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests — including dispatched per-shard update jobs — before
+// exiting.
 //
 // The server bulk-loads a synthetic uniform dataset at startup, or
 // restores a snapshot written by -save via -load.
@@ -51,6 +58,8 @@ import (
 	"unicode/utf8"
 
 	"hbtree"
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/gpusim"
 )
 
 // sentinelKey is the maximum key, reserved internally as the +infinity
@@ -60,27 +69,84 @@ const sentinelKey = ^uint64(0)
 // maxCount bounds RANGE/SCAN result sizes.
 const maxCount = 1 << 20
 
+// backend is the serving surface the protocol handlers drive; the
+// single-tree hbtree.Server and the key-space hbtree.ShardedServer
+// both satisfy it, so every command works identically in either mode.
+type backend interface {
+	Lookup(uint64) (uint64, bool)
+	Update([]hbtree.Op[uint64], hbtree.UpdateMethod) (hbtree.UpdateStats, error)
+	RangeQuery(uint64, int) []hbtree.Pair[uint64]
+	Scan(uint64, int) []hbtree.Pair[uint64]
+	Describe() string
+	Stats() cpubtree.Stats
+	Metrics() hbtree.ServerMetrics
+	DeviceCounters() gpusim.Counters
+	Options() hbtree.Options
+	Swaps() int64
+	Close()
+}
+
+// coalescer is the coalesced-GET surface (single-tree Coalescer or the
+// sharded per-shard group).
+type coalescer interface {
+	Lookup(uint64) (uint64, bool, error)
+	Close()
+}
+
 // server wires the serving layer to the TCP front end: all reads go
 // through srv (and, when enabled, the coalescer), all writes through
-// the writer lock, and open connections are tracked for shutdown.
+// the per-mode writer discipline, and open connections are tracked for
+// shutdown.
 type server struct {
-	srv *hbtree.Server[uint64]
-	co  *hbtree.Coalescer[uint64] // nil when -coalesce is off
+	srv     backend
+	co      coalescer                      // nil when -coalesce is off
+	sharded *hbtree.ShardedServer[uint64]  // non-nil in sharded mode
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
 }
 
-func newServer(tree *hbtree.Tree[uint64], coalesce bool, window time.Duration, maxBatch int) *server {
-	s := &server{
-		srv:   hbtree.NewServer(tree),
-		conns: make(map[net.Conn]struct{}),
+// serveConfig selects the serving mode and its coalescing/admission
+// parameters.
+type serveConfig struct {
+	coalesce   bool
+	window     time.Duration
+	maxBatch   int
+	shards     int  // > 1 selects the key-space sharded server
+	maxPending int  // coalescer admission window (0 = unbounded)
+	shed       bool // fail fast with ERR overloaded instead of blocking
+}
+
+// newServer builds the serving stack for cfg. In sharded mode the
+// tree's pairs are resharded across cfg.shards trees and the original
+// tree is closed; the caller must not use it afterwards.
+func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
+	s := &server{conns: make(map[net.Conn]struct{})}
+	coOpt := hbtree.CoalescerOptions{
+		MaxBatch:   cfg.maxBatch,
+		Window:     cfg.window,
+		MaxPending: cfg.maxPending,
+		Shed:       cfg.shed,
 	}
-	if coalesce {
-		s.co = s.srv.Coalesce(hbtree.CoalescerOptions{MaxBatch: maxBatch, Window: window})
+	if cfg.shards > 1 {
+		sh, err := tree.Sharded(cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		tree.Close()
+		s.srv, s.sharded = sh, sh
+		if cfg.coalesce {
+			s.co = sh.Coalesce(coOpt)
+		}
+		return s, nil
 	}
-	return s
+	srv := hbtree.NewServer(tree)
+	s.srv = srv
+	if cfg.coalesce {
+		s.co = srv.Coalesce(coOpt)
+	}
+	return s, nil
 }
 
 // acceptLoop accepts until the listener is closed. Transient accept
@@ -125,19 +191,35 @@ func (s *server) untrack(conn net.Conn) {
 	s.wg.Done()
 }
 
-// shutdown closes every open connection, waits for their handlers to
-// drain, then stops the coalescer (failing nothing: all submitters have
-// returned) and releases the tree.
+// shutdown is the graceful drain, ordered so that a SIGINT arriving
+// mid-write never drops an acked operation and never hangs on a parked
+// read:
+//
+//  1. close every open connection — no new lines are read once each
+//     handler finishes its current one;
+//  2. close the coalescer — a handler parked inside a coalesced GET
+//     (admitted to a batch whose deadline window has not fired) only
+//     unblocks when the coalescer delivers or fails its request, so
+//     Close must run before waiting on the handlers: parked reads fail
+//     with ErrClosed instead of holding the drain for the rest of the
+//     window. Writes never touch the coalescer, so this cannot fail an
+//     acked PUT/DEL;
+//  3. wait for the handlers — after wg.Wait() no handler is inside a
+//     Lookup or Update, so every OK the client saw was fully applied;
+//  4. close the serving backend — for the sharded server this blocks
+//     until every per-shard update pump has drained its dispatched
+//     jobs (a rebuild in flight on one shard completes and publishes
+//     before the shard's snapshot is released).
 func (s *server) shutdown() {
 	s.mu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
 	if s.co != nil {
 		s.co.Close()
 	}
+	s.wg.Wait()
 	s.srv.Close()
 }
 
@@ -283,6 +365,10 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		var ok bool
 		if s.co != nil {
 			v, ok, err = s.co.Lookup(k)
+			if errors.Is(err, hbtree.ErrServerOverloaded) {
+				io.WriteString(w, "ERR overloaded, retry later\n")
+				break
+			}
 			if err != nil {
 				io.WriteString(w, "ERR server shutting down\n")
 				break
@@ -366,10 +452,32 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		st := s.srv.Stats()
 		c := s.srv.DeviceCounters()
 		m := s.srv.Metrics()
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d vtime=%s\n",
+		shards := 1
+		if s.sharded != nil {
+			shards = s.sharded.Shards()
+		}
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
-			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, m.VirtualTime)
+			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime)
+	case cmdIs(cmd, "SHARDSTATS"):
+		if s.sharded == nil {
+			io.WriteString(w, "ERR not sharded (-shards > 1)\n")
+			break
+		}
+		bounds := s.sharded.Bounds()
+		stats := s.sharded.ShardStats()
+		metrics := s.sharded.ShardMetrics()
+		for i := range stats {
+			var lo uint64
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			fmt.Fprintf(w, "SHARD %d low=%d pairs=%d height=%d lookups=%d batched=%d updates=%d swaps=%d\n",
+				i, lo, stats[i].NumPairs, stats[i].Height,
+				metrics[i].Lookups, metrics[i].BatchedQueries, metrics[i].Updates, metrics[i].Swaps)
+		}
+		io.WriteString(w, "END\n")
 	case cmdIs(cmd, "QUIT"):
 		io.WriteString(w, "BYE\n")
 		return true
@@ -413,6 +521,9 @@ func main() {
 		coalesce = flag.Bool("coalesce", false, "coalesce concurrent GETs into heterogeneous batch searches")
 		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "max time a GET waits for batch companions")
 		maxBatch = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
+		pending  = flag.Int("coalesce-pending", 0, "max in-flight GETs per coalescer window (0 = unbounded)")
+		shed     = flag.Bool("coalesce-shed", false, "past -coalesce-pending, fail GETs with ERR overloaded instead of blocking")
+		shards   = flag.Int("shards", 1, "key-space shards, each with its own snapshot pointer and update pump (1 = single tree)")
 		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
 		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
 		pprofTo  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
@@ -477,13 +588,23 @@ func main() {
 	log.Printf("hbserve: height %d, I-segment %d bytes, L-segment %d bytes",
 		st.Height, st.InnerBytes, st.LeafBytes)
 
-	s := newServer(tree, *coalesce, *window, *maxBatch)
+	s, err := newServer(tree, serveConfig{
+		coalesce:   *coalesce,
+		window:     *window,
+		maxBatch:   *maxBatch,
+		shards:     *shards,
+		maxPending: *pending,
+		shed:       *shed,
+	})
+	if err != nil {
+		log.Fatalf("hbserve: serve setup: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("hbserve: listen: %v", err)
 	}
-	log.Printf("hbserve: listening on %s (variant=%s coalesce=%v)", ln.Addr(), *variant, *coalesce)
+	log.Printf("hbserve: listening on %s (variant=%s coalesce=%v shards=%d)", ln.Addr(), *variant, *coalesce, *shards)
 
 	// SIGINT/SIGTERM close the listener; the accept loop then returns
 	// and the graceful drain below runs.

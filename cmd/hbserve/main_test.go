@@ -25,6 +25,16 @@ func newTestTree(t *testing.T, variant hbtree.Variant, seed uint64) (*hbtree.Tre
 	return tree, pairs
 }
 
+// mustServer is newServer or t.Fatal.
+func mustServer(t *testing.T, tree *hbtree.Tree[uint64], cfg serveConfig) *server {
+	t.Helper()
+	s, err := newServer(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // startServer runs s.acceptLoop on an ephemeral listener and returns a
 // dialer. The listener closes (and the loop exits) at test cleanup; the
 // server itself is shut down there too.
@@ -70,7 +80,7 @@ func sendLine(t *testing.T, conn net.Conn, r *bufio.Reader, line string) string 
 // in-process listener.
 func TestServeProtocol(t *testing.T) {
 	tree, pairs := newTestTree(t, hbtree.Implicit, 42)
-	s := newServer(tree, false, 0, 0)
+	s := mustServer(t, tree, serveConfig{})
 	dial := startServer(t, s)
 	conn, r := dial()
 	send := func(line string) string { return sendLine(t, conn, r, line) }
@@ -134,7 +144,7 @@ func TestServeProtocol(t *testing.T) {
 // the sentinel key is rejected.
 func TestPutDelProtocol(t *testing.T) {
 	tree, pairs := newTestTree(t, hbtree.Regular, 7)
-	s := newServer(tree, false, 0, 0)
+	s := mustServer(t, tree, serveConfig{})
 	dial := startServer(t, s)
 	conn, r := dial()
 	send := func(line string) string { return sendLine(t, conn, r, line) }
@@ -177,7 +187,7 @@ func TestPutDelProtocol(t *testing.T) {
 		t.Fatalf("bad DEL = %q", got)
 	}
 	// The GPU replica stayed consistent through the updates.
-	if err := s.srv.Tree().VerifyReplica(); err != nil {
+	if err := s.srv.(*hbtree.Server[uint64]).Tree().VerifyReplica(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -187,7 +197,7 @@ func TestPutDelProtocol(t *testing.T) {
 // actually batched the requests.
 func TestCoalescedConnections(t *testing.T) {
 	tree, pairs := newTestTree(t, hbtree.Implicit, 3)
-	s := newServer(tree, true, 200*time.Microsecond, 64)
+	s := mustServer(t, tree, serveConfig{coalesce: true, window: 200 * time.Microsecond, maxBatch: 64})
 	dial := startServer(t, s)
 
 	const clients, perClient = 4, 50
@@ -255,7 +265,7 @@ func (l *scriptedListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zer
 // listener ends the loop cleanly.
 func TestAcceptLoopRetries(t *testing.T) {
 	tree, pairs := newTestTree(t, hbtree.Implicit, 11)
-	s := newServer(tree, false, 0, 0)
+	s := mustServer(t, tree, serveConfig{})
 	defer s.shutdown()
 
 	client, srvConn := net.Pipe()
@@ -297,7 +307,7 @@ func TestAcceptLoopRetries(t *testing.T) {
 // coalescer, and returns.
 func TestGracefulShutdown(t *testing.T) {
 	tree, pairs := newTestTree(t, hbtree.Implicit, 5)
-	s := newServer(tree, true, 100*time.Microsecond, 32)
+	s := mustServer(t, tree, serveConfig{coalesce: true, window: 100 * time.Microsecond, maxBatch: 32})
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -370,7 +380,7 @@ func TestSnapshotAndScan(t *testing.T) {
 	}
 
 	// Serve SCAN and DESCRIBE against the restored tree.
-	s := newServer(restored, false, 0, 0)
+	s := mustServer(t, restored, serveConfig{})
 	dial := startServer(t, s)
 	conn, r := dial()
 
@@ -405,5 +415,144 @@ func TestSnapshotAndScan(t *testing.T) {
 	}
 	if !sawTree {
 		t.Fatal("DESCRIBE output missing tree header")
+	}
+}
+
+// TestShardedProtocol drives the full protocol against the key-space
+// sharded server: point reads route by key, writes land on the owning
+// shard, RANGE stitches across shard boundaries, and STATS/SHARDSTATS
+// report the per-shard layout.
+func TestShardedProtocol(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Regular, 9)
+	s := mustServer(t, tree, serveConfig{shards: 4, coalesce: true, window: 100 * time.Microsecond, maxBatch: 32})
+	if s.sharded == nil || s.sharded.Shards() != 4 {
+		t.Fatal("sharded mode not active")
+	}
+	dial := startServer(t, s)
+	conn, r := dial()
+	send := func(line string) string { return sendLine(t, conn, r, line) }
+
+	// Coalesced GETs route to the owning shard.
+	for _, i := range []int{0, len(pairs) / 3, 2 * len(pairs) / 3, len(pairs) - 1} {
+		want := fmt.Sprintf("VALUE %d", pairs[i].Value)
+		if got := send(fmt.Sprintf("GET %d", pairs[i].Key)); got != want {
+			t.Fatalf("GET pairs[%d] = %q, want %q", i, got, want)
+		}
+	}
+	// Writes hit the owning shard's update pump and become visible.
+	k := pairs[len(pairs)/2].Key
+	if got := send(fmt.Sprintf("PUT %d 424242", k)); got != "OK" {
+		t.Fatalf("PUT = %q", got)
+	}
+	if got := send(fmt.Sprintf("GET %d", k)); got != "VALUE 424242" {
+		t.Fatalf("GET after PUT = %q", got)
+	}
+	if got := send(fmt.Sprintf("DEL %d", k)); got != "OK" {
+		t.Fatalf("DEL = %q", got)
+	}
+	if got := send(fmt.Sprintf("GET %d", k)); got != "NOTFOUND" {
+		t.Fatalf("GET after DEL = %q", got)
+	}
+	// RANGE starting before the last shard boundary and spanning past it
+	// must stitch in key order. pairs is sorted, so compare directly
+	// (skipping the deleted key).
+	bounds := s.sharded.Bounds()
+	var startIdx int
+	for startIdx = range pairs {
+		if pairs[startIdx].Key >= bounds[len(bounds)-1] {
+			break
+		}
+	}
+	startIdx -= 2 // two pairs before the boundary, crossing into the last shard
+	if _, err := fmt.Fprintf(conn, "RANGE %d 5\n", pairs[startIdx].Key); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, 0, 5)
+	for i := startIdx; len(want) < 5; i++ {
+		if pairs[i].Key == k {
+			continue
+		}
+		want = append(want, fmt.Sprintf("PAIR %d %d", pairs[i].Key, pairs[i].Value))
+	}
+	for i := 0; i < 5; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimSpace(line) != want[i] {
+			t.Fatalf("stitched RANGE line %d = %q, want %q", i, strings.TrimSpace(line), want[i])
+		}
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("RANGE terminator = %q", line)
+	}
+	// STATS aggregates across shards and reports the shard count.
+	got := send("STATS")
+	if !strings.Contains(got, "shards=4") || !strings.Contains(got, fmt.Sprintf("pairs=%d", len(pairs)-1)) {
+		t.Fatalf("STATS = %q", got)
+	}
+	// SHARDSTATS lists one line per shard then END.
+	if _, err := fmt.Fprintln(conn, "SHARDSTATS"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(line, fmt.Sprintf("SHARD %d ", i)) {
+			t.Fatalf("SHARDSTATS line %d = %q", i, line)
+		}
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("SHARDSTATS terminator = %q", line)
+	}
+}
+
+// TestShardStatsNotSharded: SHARDSTATS on a single-tree server is a
+// protocol error, not a panic.
+func TestShardStatsNotSharded(t *testing.T) {
+	tree, _ := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{})
+	dial := startServer(t, s)
+	conn, r := dial()
+	if got := sendLine(t, conn, r, "SHARDSTATS"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("SHARDSTATS unsharded = %q", got)
+	}
+}
+
+// TestShutdownUnblocksParkedCoalescedGET: regression for the graceful
+// drain hanging behind the coalescing window. A GET admitted to a
+// batch whose deadline has not fired (lone request, one-hour window)
+// leaves its connection handler parked inside the coalescer, and a
+// closed client socket does not unpark it — only the coalescer's Close
+// does. shutdown must therefore close the coalescer before waiting on
+// the handlers, failing the parked read instead of waiting out the
+// window.
+func TestShutdownUnblocksParkedCoalescedGET(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{coalesce: true, window: time.Hour, maxBatch: 64})
+	dial := startServer(t, s)
+	conn, r := dial()
+	if _, err := fmt.Fprintf(conn, "GET %d\n", pairs[0].Key); err != nil {
+		t.Fatal(err)
+	}
+	// No reply can arrive before the hour-long window fires; give the
+	// handler a moment to park inside the coalesced lookup.
+	time.Sleep(50 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		s.shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung behind a parked coalesced GET")
+	}
+	// The parked read was failed, not served: the client sees the
+	// shutdown error, or EOF if its conn was torn down first.
+	if resp, err := r.ReadString('\n'); err == nil && strings.TrimSpace(resp) != "ERR server shutting down" {
+		t.Fatalf("parked GET reply = %q", resp)
 	}
 }

@@ -72,3 +72,70 @@ func TestCoalescedLookupPathAllocFree(t *testing.T) {
 		t.Fatalf("coalesced lookup allocates %.1f times per request, want 0", allocs)
 	}
 }
+
+// TestShardedLookupAllocFree pins zero allocations per request on the
+// sharded point-lookup route: the key-to-shard binary search plus the
+// shard Server's snapshot-pinned lookup.
+func TestShardedLookupAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	s, pairs := newShardedServer(t, core.Implicit, 1<<10, 4)
+	keys := [4]uint64{pairs[1].Key, pairs[400].Key, pairs[700].Key, pairs[1000].Key}
+	// Warm the per-shard lookup scratch.
+	for _, k := range keys {
+		s.Lookup(k)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			if _, ok := s.Lookup(k); !ok {
+				t.Fatal("lookup missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded Lookup allocates %.2f times per run, want 0", allocs)
+	}
+}
+
+// TestShardedCoalescedLookupAllocFree pins zero allocations per request
+// on the full sharded coalesced route — key routing, pooled reply cell,
+// per-shard batch append, inline flush — including with an admission
+// window engaged (token acquire/release must not allocate).
+func TestShardedCoalescedLookupAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	for _, cfg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"unbounded", Options{MaxBatch: 1, Shards: 1}},
+		{"bounded", Options{MaxBatch: 1, Shards: 1, MaxPending: 64}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			s, pairs := newShardedServer(t, core.Implicit, 1<<10, 4)
+			co := s.Coalesce(cfg.opt)
+			defer co.Close()
+			keys := [4]uint64{pairs[1].Key, pairs[400].Key, pairs[700].Key, pairs[1000].Key}
+			// Warm the reply, batch and scratch pools of every shard.
+			for i := 0; i < 32; i++ {
+				for _, k := range keys {
+					if _, _, err := co.Lookup(k); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				for _, k := range keys {
+					if _, _, err := co.Lookup(k); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("sharded coalesced Lookup allocates %.2f times per run, want 0", allocs)
+			}
+		})
+	}
+}

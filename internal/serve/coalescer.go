@@ -15,6 +15,12 @@ import (
 // when Close ran.
 var ErrClosed = errors.New("serve: coalescer closed")
 
+// ErrOverloaded is returned for requests shed by admission control: the
+// shard's in-flight window is at Options.MaxPending and Options.Shed
+// selected fail-fast over backpressure. The request was never queued;
+// the caller may retry or degrade.
+var ErrOverloaded = errors.New("serve: coalescer overloaded")
+
 // DefaultWindow is the default coalescing deadline: a lone request
 // waits at most this long for companions before its batch is flushed.
 const DefaultWindow = 100 * time.Microsecond
@@ -42,6 +48,22 @@ type Options struct {
 	// coalescer; the sharded implementation has no submission queue and
 	// ignores it.
 	Queue int
+
+	// MaxPending bounds each shard's in-flight window: the number of
+	// accepted requests whose result has not yet been delivered,
+	// whether still in the forming batch or inside a flush. Zero leaves
+	// the window unbounded — the prior behaviour, where a deep client
+	// pipeline makes tail latency a function of queue depth (the
+	// ROADMAP's 52-110ms p99 at depth 512). With a bound, latency is
+	// capped at roughly (MaxPending/MaxBatch + 1) flush spans.
+	MaxPending int
+
+	// Shed selects the response at the MaxPending bound: false (the
+	// default) blocks the submitter until the window drains —
+	// backpressure, the right mode for cooperating in-process clients;
+	// true fails the excess request immediately with ErrOverloaded so
+	// an external caller can retry against another replica or degrade.
+	Shed bool
 }
 
 // Result is the outcome of one coalesced lookup.
@@ -71,6 +93,12 @@ type shard[K keys.Key] struct {
 	cur    *pending[K] // nil after close
 	timer  *time.Timer
 	closed bool
+
+	// slots is the admission window: capacity MaxPending, one token
+	// held per accepted-but-undelivered request. nil when unbounded.
+	// Tokens are acquired before the shard lock (a blocked submitter
+	// must not hold it) and released after result delivery.
+	slots chan struct{}
 }
 
 // Coalescer collects point lookups arriving from many goroutines into
@@ -82,6 +110,11 @@ type shard[K keys.Key] struct {
 // it) or when its oldest request has waited for the Window deadline
 // (by the shard's flusher goroutine), whichever comes first, so a lone
 // request is never starved.
+//
+// With Options.MaxPending set, each shard admits at most that many
+// undelivered requests; excess submissions block for backpressure or,
+// with Options.Shed, fail fast with ErrOverloaded — the admission
+// control that keeps tail latency bounded under deep client pipelines.
 //
 // Close stops intake: later submissions fail fast with ErrClosed, and
 // requests still pending when Close runs are failed with ErrClosed
@@ -137,6 +170,9 @@ func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
 		sh.cur = c.getBatch()
 		sh.timer = time.NewTimer(time.Hour)
 		sh.timer.Stop()
+		if opt.MaxPending > 0 {
+			sh.slots = make(chan struct{}, opt.MaxPending)
+		}
 		c.wg.Add(1)
 		go c.flusher(sh)
 	}
@@ -152,11 +188,12 @@ func (c *Coalescer[K]) getBatch() *pending[K] {
 
 // Submit enqueues one lookup and returns the channel its Result will be
 // delivered on. The channel receives exactly one Result; after Close it
-// receives ErrClosed.
+// receives ErrClosed, and past the admission bound in shed mode it
+// receives ErrOverloaded.
 func (c *Coalescer[K]) Submit(key K) <-chan Result[K] {
 	reply := make(chan Result[K], 1)
-	if !c.submit(key, reply) {
-		reply <- Result[K]{Err: ErrClosed}
+	if err := c.submit(key, reply); err != nil {
+		reply <- Result[K]{Err: err}
 	}
 	return reply
 }
@@ -165,10 +202,10 @@ func (c *Coalescer[K]) Submit(key K) <-chan Result[K] {
 // reply cell is pooled, so the steady-state path allocates nothing.
 func (c *Coalescer[K]) Lookup(key K) (K, bool, error) {
 	reply := c.replyPool.Get().(chan Result[K])
-	if !c.submit(key, reply) {
+	if err := c.submit(key, reply); err != nil {
 		c.replyPool.Put(reply)
 		var zero K
-		return zero, false, ErrClosed
+		return zero, false, err
 	}
 	res := <-reply
 	c.replyPool.Put(reply)
@@ -177,14 +214,35 @@ func (c *Coalescer[K]) Lookup(key K) (K, bool, error) {
 
 // submit appends the request to a shard's forming batch, arming the
 // shard's deadline timer on the batch's first request and flushing
-// inline when the batch fills. It reports false when the coalescer is
-// closed (nothing will be delivered on reply).
-func (c *Coalescer[K]) submit(key K, reply chan Result[K]) bool {
+// inline when the batch fills. A non-nil error (ErrClosed,
+// ErrOverloaded) means the request was not queued and nothing will be
+// delivered on reply.
+func (c *Coalescer[K]) submit(key K, reply chan Result[K]) error {
 	sh := &c.shards[c.next.Add(1)%uint64(len(c.shards))]
+	if sh.slots != nil {
+		// Admission: take a window token before the shard lock so a
+		// blocked submitter never holds the lock the flusher needs.
+		if c.opt.Shed {
+			select {
+			case sh.slots <- struct{}{}:
+			default:
+				return ErrOverloaded
+			}
+		} else {
+			select {
+			case sh.slots <- struct{}{}:
+			case <-c.done:
+				return ErrClosed
+			}
+		}
+	}
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
-		return false
+		if sh.slots != nil {
+			<-sh.slots
+		}
+		return ErrClosed
 	}
 	p := sh.cur
 	p.keys = append(p.keys, key)
@@ -196,14 +254,14 @@ func (c *Coalescer[K]) submit(key K, reply chan Result[K]) bool {
 		sh.cur = c.getBatch()
 		sh.timer.Stop()
 		sh.mu.Unlock()
-		c.flush(p)
-		return true
+		c.flush(sh, p)
+		return nil
 	}
 	if len(p.keys) == 1 {
 		sh.timer.Reset(c.opt.Window)
 	}
 	sh.mu.Unlock()
-	return true
+	return nil
 }
 
 // flusher is a shard's deadline goroutine: it waits for the shard's
@@ -222,7 +280,7 @@ func (c *Coalescer[K]) flusher(sh *shard[K]) {
 			}
 			sh.cur = c.getBatch()
 			sh.mu.Unlock()
-			c.flush(p)
+			c.flush(sh, p)
 		case <-c.done:
 			return
 		}
@@ -230,13 +288,14 @@ func (c *Coalescer[K]) flusher(sh *shard[K]) {
 }
 
 // flush serves one batch with the allocation-free batch search and
-// distributes each caller's result, then recycles the batch.
-func (c *Coalescer[K]) flush(p *pending[K]) {
+// distributes each caller's result, then recycles the batch and
+// releases the shard's admission window tokens.
+func (c *Coalescer[K]) flush(sh *shard[K], p *pending[K]) {
 	n := len(p.keys)
 	values, found := p.values[:n], p.found[:n]
 	_, err := c.srv.LookupBatchInto(p.keys, values, found)
 	if err != nil {
-		c.fail(p, err)
+		c.fail(sh, p, err)
 		return
 	}
 	for i, reply := range p.replies {
@@ -244,15 +303,28 @@ func (c *Coalescer[K]) flush(p *pending[K]) {
 	}
 	c.batches.Add(1)
 	c.queries.Add(int64(n))
+	c.releaseSlots(sh, n)
 	c.batchPool.Put(p)
 }
 
 // fail delivers err to every caller in the batch and recycles it.
-func (c *Coalescer[K]) fail(p *pending[K], err error) {
+func (c *Coalescer[K]) fail(sh *shard[K], p *pending[K], err error) {
 	for _, reply := range p.replies {
 		reply <- Result[K]{Err: err}
 	}
+	c.releaseSlots(sh, len(p.replies))
 	c.batchPool.Put(p)
+}
+
+// releaseSlots returns n admission tokens to the shard's window once
+// their requests' results have been delivered.
+func (c *Coalescer[K]) releaseSlots(sh *shard[K], n int) {
+	if sh.slots == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		<-sh.slots
+	}
 }
 
 // Close stops intake, fails all pending requests with ErrClosed and
@@ -270,7 +342,7 @@ func (c *Coalescer[K]) Close() {
 			sh.timer.Stop()
 			sh.mu.Unlock()
 			if p != nil && len(p.keys) > 0 {
-				c.fail(p, ErrClosed)
+				c.fail(sh, p, ErrClosed)
 			}
 		}
 	})

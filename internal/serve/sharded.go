@@ -1,0 +1,569 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"hbtree/internal/core"
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/gpusim"
+	"hbtree/internal/keys"
+	"hbtree/internal/vclock"
+)
+
+// Key-space sharded serving (DESIGN §6). The snapshot Server turns
+// every batch update into a whole-tree clone and serialises all writers
+// behind one mutex, so write cost is O(data) and rebuilds cannot
+// overlap — the scaling wall the ROADMAP's "sharded trees" item names.
+// ShardedServer partitions the key space across T independent trees,
+// each behind its own snapshot Server with its own refcounted snapshot
+// pointer and a dedicated update-pump goroutine (the per-shard worker
+// pool standing in for NUMA placement until real NUMA is observable).
+// Writers clone 1/T of the data and shards rebuild concurrently, so
+// clone cost drops to O(data/T) and update throughput scales with
+// cores; point lookups route by key and stay allocation-free; range
+// reads stitch ordered results across shard boundaries.
+
+// shardJob is one unit of write work handed to a shard's update pump:
+// either a batch of routed ops or a rebuild of the shard's key range.
+type shardJob[K keys.Key] struct {
+	ops     []cpubtree.Op[K]
+	pairs   []keys.Pair[K]
+	rebuild bool
+	method  core.UpdateMethod
+	done    chan<- shardDone
+}
+
+// shardDone reports one pump's job outcome back to the dispatcher.
+type shardDone struct {
+	stats core.UpdateStats
+	err   error
+}
+
+// ShardedServer partitions the key space across T independent snapshot
+// Servers. Shard i (i > 0) serves keys in [bounds[i-1], bounds[i]);
+// shard 0 serves everything below bounds[0] and the last shard
+// everything from its lower bound up. The bounds are fixed at
+// construction from the initial key distribution.
+//
+// Contract (DESIGN §6): point and batch lookups observe the snapshot of
+// the one shard that owns each key; a cross-shard RangeQuery or Scan
+// pins each shard's snapshot independently as the stitch walks the
+// boundary, so it is per-shard consistent — ordered, and never a torn
+// view *within* a shard — but not a single atomic cut across shards.
+// Update splits its ops by shard and applies the per-shard sub-batches
+// concurrently (each one a clone-aside-and-swap on 1/T of the data);
+// ops for the same key keep their submission order because routing
+// preserves relative order within a shard. Rebuild partitions the
+// replacement pairs by the fixed bounds and rebuilds all shards
+// concurrently.
+type ShardedServer[K keys.Key] struct {
+	bounds []K          // lower bounds of shards 1..T-1
+	subs   []*Server[K] // one snapshot server per shard
+
+	// Per-shard update pumps: one goroutine per shard applies that
+	// shard's write jobs serially, so writers on different shards never
+	// contend while a single shard's writes stay ordered. pumpMu
+	// excludes Close (which closes the job channels) from in-flight
+	// dispatches.
+	pumps  []chan shardJob[K]
+	pumpWG sync.WaitGroup
+	pumpMu sync.RWMutex
+	closed bool
+
+	closeOnce sync.Once
+}
+
+// BuildSharded builds a ShardedServer over T trees from sorted,
+// distinct pairs: the pairs are cut into T equal contiguous runs, the
+// run boundaries become the fixed shard bounds, and every shard tree is
+// built with opt on one shared simulated device (opt.Device, or the
+// first shard's device when nil). shards <= 0 selects GOMAXPROCS.
+func BuildSharded[K keys.Key](pairs []keys.Pair[K], opt core.Options, shards int) (*ShardedServer[K], error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if len(pairs) < shards {
+		return nil, fmt.Errorf("serve: %d pairs cannot populate %d shards", len(pairs), shards)
+	}
+	s := &ShardedServer[K]{
+		bounds: make([]K, 0, shards-1),
+		subs:   make([]*Server[K], 0, shards),
+		pumps:  make([]chan shardJob[K], shards),
+	}
+	for i := 0; i < shards; i++ {
+		lo, hi := i*len(pairs)/shards, (i+1)*len(pairs)/shards
+		if i > 0 {
+			s.bounds = append(s.bounds, pairs[lo].Key)
+		}
+		tree, err := core.Build(pairs[lo:hi], opt)
+		if err != nil {
+			for _, sub := range s.subs {
+				sub.Close()
+			}
+			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+		if opt.Device == nil {
+			// All shards share one simulated card, the deployment the
+			// paper envisions for a database with many indexes.
+			opt.Device = tree.Device()
+		}
+		s.subs = append(s.subs, NewServer(tree))
+	}
+	for i := range s.pumps {
+		s.pumps[i] = make(chan shardJob[K])
+		s.pumpWG.Add(1)
+		go s.pump(i)
+	}
+	return s, nil
+}
+
+// NewShardedServer shards an existing tree: its pairs are materialised
+// in key order and rebuilt as T shard trees on the same simulated
+// device. t itself is left untouched (and no longer needed for
+// serving); the caller may Close it to release its device replica.
+func NewShardedServer[K keys.Key](t *core.Tree[K], shards int) (*ShardedServer[K], error) {
+	pairs := make([]keys.Pair[K], 0, t.NumPairs())
+	var zero K
+	cur := t.Seek(zero)
+	for {
+		p, ok := cur.Next()
+		if !ok {
+			break
+		}
+		pairs = append(pairs, p)
+	}
+	opt := t.Options()
+	opt.Device = t.Device()
+	return BuildSharded(pairs, opt, shards)
+}
+
+// route returns the shard owning key k: the number of shard lower
+// bounds at or below k. Manual binary search keeps the hot lookup path
+// free of closures and allocations.
+func (s *ShardedServer[K]) route(k K) int {
+	lo, hi := 0, len(s.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if k < s.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Shards returns the shard count T.
+func (s *ShardedServer[K]) Shards() int { return len(s.subs) }
+
+// Bounds returns the shard lower bounds (len T-1), fixed at
+// construction.
+func (s *ShardedServer[K]) Bounds() []K { return s.bounds }
+
+// pump is shard i's dedicated update worker: it applies the shard's
+// write jobs serially — each a clone-aside-and-swap on 1/T of the data
+// — while pumps of other shards run concurrently.
+func (s *ShardedServer[K]) pump(i int) {
+	defer s.pumpWG.Done()
+	for job := range s.pumps[i] {
+		var d shardDone
+		if job.rebuild {
+			d.stats, d.err = s.subs[i].Rebuild(job.pairs)
+		} else {
+			d.stats, d.err = s.subs[i].Update(job.ops, job.method)
+		}
+		job.done <- d
+	}
+}
+
+// dispatch hands one job per selected shard to the pumps and merges the
+// outcomes: counters sum across shards, while each virtual-time
+// component reports the slowest shard — the makespan of the concurrent
+// execution. send must return false for shards with no work.
+func (s *ShardedServer[K]) dispatch(send func(i int, done chan<- shardDone) bool) (core.UpdateStats, error) {
+	s.pumpMu.RLock()
+	if s.closed {
+		s.pumpMu.RUnlock()
+		return core.UpdateStats{}, ErrClosed
+	}
+	done := make(chan shardDone, len(s.subs))
+	n := 0
+	for i := range s.subs {
+		if send(i, done) {
+			n++
+		}
+	}
+	s.pumpMu.RUnlock()
+	var agg core.UpdateStats
+	var firstErr error
+	maxDur := func(a, b vclock.Duration) vclock.Duration {
+		if b > a {
+			return b
+		}
+		return a
+	}
+	for ; n > 0; n-- {
+		d := <-done
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			continue
+		}
+		agg.Ops += d.stats.Ops
+		agg.Applied += d.stats.Applied
+		agg.NotFound += d.stats.NotFound
+		agg.Structural += d.stats.Structural
+		agg.DirtyNodes += d.stats.DirtyNodes
+		agg.HostTime = maxDur(agg.HostTime, d.stats.HostTime)
+		agg.SyncTime = maxDur(agg.SyncTime, d.stats.SyncTime)
+		agg.LSegBuild = maxDur(agg.LSegBuild, d.stats.LSegBuild)
+		agg.ISegBuild = maxDur(agg.ISegBuild, d.stats.ISegBuild)
+	}
+	return agg, firstErr
+}
+
+// Update splits ops by shard and applies the sub-batches concurrently,
+// one clone-aside-and-swap per touched shard. Per-shard sub-batches
+// keep their submission order, so same-key ops retain last-write-wins
+// semantics; shards that fail leave their published version untouched
+// while other shards may have applied (per-shard, not cross-shard,
+// atomicity — see the type contract).
+func (s *ShardedServer[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
+	groups := make([][]cpubtree.Op[K], len(s.subs))
+	for _, op := range ops {
+		i := s.route(op.Key)
+		groups[i] = append(groups[i], op)
+	}
+	return s.dispatch(func(i int, done chan<- shardDone) bool {
+		if len(groups[i]) == 0 {
+			return false
+		}
+		s.pumps[i] <- shardJob[K]{ops: groups[i], method: method, done: done}
+		return true
+	})
+}
+
+// Rebuild partitions the sorted replacement pairs by the fixed shard
+// bounds and rebuilds every shard concurrently (implicit variant). The
+// replacement must leave no shard empty: bounds do not move, and an
+// empty shard tree cannot be built.
+func (s *ShardedServer[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, error) {
+	parts := make([][]keys.Pair[K], len(s.subs))
+	lo := 0
+	for i := range s.subs {
+		hi := len(pairs)
+		if i < len(s.bounds) {
+			b := s.bounds[i]
+			hi = lo + sort.Search(len(pairs)-lo, func(j int) bool { return pairs[lo+j].Key >= b })
+		}
+		parts[i] = pairs[lo:hi]
+		lo = hi
+	}
+	for i, part := range parts {
+		if len(part) == 0 {
+			return core.UpdateStats{}, fmt.Errorf("serve: rebuild leaves shard %d empty (shard bounds are fixed at construction)", i)
+		}
+	}
+	return s.dispatch(func(i int, done chan<- shardDone) bool {
+		s.pumps[i] <- shardJob[K]{pairs: parts[i], rebuild: true, done: done}
+		return true
+	})
+}
+
+// Lookup routes one point lookup to the shard owning q; the path is
+// allocation-free (binary-search route plus the shard Server's
+// snapshot-pinned lookup).
+func (s *ShardedServer[K]) Lookup(q K) (K, bool) {
+	return s.subs[s.route(q)].Lookup(q)
+}
+
+// LookupBatch splits the queries by shard, runs the per-shard
+// heterogeneous batch searches concurrently, and scatters the results
+// back into query order. The merged stats sum queries and buckets;
+// SimTime is the slowest shard's makespan.
+func (s *ShardedServer[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchStats, error) {
+	values := make([]K, len(queries))
+	found := make([]bool, len(queries))
+	stats, err := s.LookupBatchInto(queries, values, found)
+	return values, found, stats, err
+}
+
+// LookupBatchInto is LookupBatch into caller-owned result slices (at
+// least len(queries) long each). Unlike the single-tree path it is not
+// allocation-free: the split and scatter buffers are per-call.
+func (s *ShardedServer[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
+	qs := make([][]K, len(s.subs))
+	idx := make([][]int, len(s.subs))
+	for p, q := range queries {
+		i := s.route(q)
+		qs[i] = append(qs[i], q)
+		idx[i] = append(idx[i], p)
+	}
+	subVals := make([][]K, len(s.subs))
+	subFound := make([][]bool, len(s.subs))
+	subStats := make([]core.SearchStats, len(s.subs))
+	errs := make([]error, len(s.subs))
+	var wg sync.WaitGroup
+	for i := range s.subs {
+		if len(qs[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			subVals[i], subFound[i], subStats[i], errs[i] = s.subs[i].LookupBatch(qs[i])
+		}(i)
+	}
+	wg.Wait()
+	var agg core.SearchStats
+	agg.BucketSize = s.subs[0].Options().BucketSize
+	for i := range s.subs {
+		if len(qs[i]) == 0 {
+			continue
+		}
+		if errs[i] != nil {
+			return agg, errs[i]
+		}
+		for j, p := range idx[i] {
+			values[p] = subVals[i][j]
+			found[p] = subFound[i][j]
+		}
+		agg.Queries += subStats[i].Queries
+		agg.Buckets += subStats[i].Buckets
+		if subStats[i].SimTime > agg.SimTime {
+			agg.SimTime = subStats[i].SimTime
+		}
+	}
+	if agg.SimTime > 0 {
+		agg.ThroughputQPS = float64(agg.Queries) / agg.SimTime.Seconds()
+	}
+	return agg, nil
+}
+
+// RangeQuery returns up to count pairs with key >= start, stitched in
+// key order across shard boundaries: the owning shard is read first,
+// and each following shard continues from its own lower bound until
+// count pairs are collected or the key space is exhausted. Shard
+// ranges are disjoint and ascending, so concatenation preserves order.
+func (s *ShardedServer[K]) RangeQuery(start K, count int) []keys.Pair[K] {
+	out := make([]keys.Pair[K], 0, count)
+	for i := s.route(start); i < len(s.subs) && len(out) < count; i++ {
+		from := start
+		if i > 0 && s.bounds[i-1] > start {
+			from = s.bounds[i-1]
+		}
+		out = append(out, s.subs[i].RangeQuery(from, count-len(out))...)
+	}
+	return out
+}
+
+// Scan is the cursor-walk counterpart of RangeQuery with the same
+// cross-shard stitching.
+func (s *ShardedServer[K]) Scan(start K, count int) []keys.Pair[K] {
+	out := make([]keys.Pair[K], 0, count)
+	for i := s.route(start); i < len(s.subs) && len(out) < count; i++ {
+		from := start
+		if i > 0 && s.bounds[i-1] > start {
+			from = s.bounds[i-1]
+		}
+		out = append(out, s.subs[i].Scan(from, count-len(out))...)
+	}
+	return out
+}
+
+// Metrics returns the serving counters summed across shards.
+func (s *ShardedServer[K]) Metrics() Metrics {
+	var agg Metrics
+	for _, sub := range s.subs {
+		m := sub.Metrics()
+		agg.Lookups += m.Lookups
+		agg.BatchedQueries += m.BatchedQueries
+		agg.Batches += m.Batches
+		agg.Updates += m.Updates
+		agg.Swaps += m.Swaps
+		agg.VirtualTime += m.VirtualTime
+	}
+	return agg
+}
+
+// ShardMetrics returns each shard's own serving counters, index-aligned
+// with the shard order (ascending key ranges).
+func (s *ShardedServer[K]) ShardMetrics() []Metrics {
+	out := make([]Metrics, len(s.subs))
+	for i, sub := range s.subs {
+		out[i] = sub.Metrics()
+	}
+	return out
+}
+
+// ShardStats returns each shard tree's geometry, index-aligned with the
+// shard order.
+func (s *ShardedServer[K]) ShardStats() []cpubtree.Stats {
+	out := make([]cpubtree.Stats, len(s.subs))
+	for i, sub := range s.subs {
+		out[i] = sub.Stats()
+	}
+	return out
+}
+
+// ResetMetrics zeroes every shard's serving counters.
+func (s *ShardedServer[K]) ResetMetrics() {
+	for _, sub := range s.subs {
+		sub.ResetMetrics()
+	}
+}
+
+// Swaps returns the total snapshot publications across all shards.
+func (s *ShardedServer[K]) Swaps() int64 {
+	var n int64
+	for _, sub := range s.subs {
+		n += sub.Swaps()
+	}
+	return n
+}
+
+// Stats aggregates the shard trees' geometry: pair counts and segment
+// bytes sum; height and per-lookup line touches report the deepest
+// shard.
+func (s *ShardedServer[K]) Stats() cpubtree.Stats {
+	var agg cpubtree.Stats
+	for _, sub := range s.subs {
+		st := sub.Stats()
+		agg.NumPairs += st.NumPairs
+		agg.InnerBytes += st.InnerBytes
+		agg.LeafBytes += st.LeafBytes
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+		if st.LinesPerQuery > agg.LinesPerQuery {
+			agg.LinesPerQuery = st.LinesPerQuery
+		}
+	}
+	return agg
+}
+
+// NumPairs returns the stored pair count across all shards.
+func (s *ShardedServer[K]) NumPairs() int {
+	n := 0
+	for _, sub := range s.subs {
+		n += sub.NumPairs()
+	}
+	return n
+}
+
+// Describe concatenates each shard's report under a shard header.
+func (s *ShardedServer[K]) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sharded serving: %d shards by key range\n", len(s.subs))
+	for i, sub := range s.subs {
+		fmt.Fprintf(&b, "--- shard %d ---\n", i)
+		b.WriteString(sub.Describe())
+	}
+	return b.String()
+}
+
+// DeviceCounters snapshots the shared simulated GPU's hardware
+// counters (all shards live on one card).
+func (s *ShardedServer[K]) DeviceCounters() gpusim.Counters {
+	return s.subs[0].DeviceCounters()
+}
+
+// Options returns the shard trees' common configuration.
+func (s *ShardedServer[K]) Options() core.Options { return s.subs[0].Options() }
+
+// PointLookupCost returns the modelled per-request lookup cost of the
+// first shard (shards share one configuration and key distribution).
+func (s *ShardedServer[K]) PointLookupCost() vclock.Duration {
+	return s.subs[0].PointLookupCost()
+}
+
+// Close drains the per-shard update pumps — jobs already dispatched
+// complete and deliver their results — then releases every shard's
+// snapshot and device buffers. Writes arriving after Close fail with
+// ErrClosed. Close is idempotent.
+func (s *ShardedServer[K]) Close() {
+	s.closeOnce.Do(func() {
+		s.pumpMu.Lock()
+		s.closed = true
+		for _, p := range s.pumps {
+			close(p)
+		}
+		s.pumpMu.Unlock()
+		s.pumpWG.Wait()
+		for _, sub := range s.subs {
+			sub.Close()
+		}
+	})
+}
+
+// ShardedCoalescer routes coalesced point lookups to a per-shard
+// coalescer group: each shard Server gets its own Coalescer (the
+// "coalescer shard group" of the NUMA stand-in — batches form and
+// flush against the tree they will search), and submissions route by
+// key exactly like direct lookups. The coalesced route stays
+// allocation-free in steady state.
+type ShardedCoalescer[K keys.Key] struct {
+	s   *ShardedServer[K]
+	cos []*Coalescer[K]
+}
+
+// Coalesce starts one coalescer per shard over the shard's Server.
+// When opt.Shards is zero, each per-shard coalescer gets
+// GOMAXPROCS/T pending queues (at least one) so the total queue count
+// stays at GOMAXPROCS across the server. Admission control
+// (opt.MaxPending, opt.Shed) applies per pending queue, exactly as on
+// a single-tree Coalescer.
+func (s *ShardedServer[K]) Coalesce(opt Options) *ShardedCoalescer[K] {
+	if opt.Shards <= 0 {
+		opt.Shards = max(1, runtime.GOMAXPROCS(0)/len(s.subs))
+	}
+	cos := make([]*Coalescer[K], len(s.subs))
+	for i := range cos {
+		cos[i] = NewCoalescer(s.subs[i], opt)
+	}
+	return &ShardedCoalescer[K]{s: s, cos: cos}
+}
+
+// Lookup routes one coalesced lookup to the owning shard's coalescer
+// and blocks for the batched result.
+func (c *ShardedCoalescer[K]) Lookup(key K) (K, bool, error) {
+	return c.cos[c.s.route(key)].Lookup(key)
+}
+
+// Submit routes one lookup to the owning shard's coalescer and returns
+// its result channel.
+func (c *ShardedCoalescer[K]) Submit(key K) <-chan Result[K] {
+	return c.cos[c.s.route(key)].Submit(key)
+}
+
+// Batches returns the number of flushed batches across all shards.
+func (c *ShardedCoalescer[K]) Batches() int64 {
+	var n int64
+	for _, co := range c.cos {
+		n += co.Batches()
+	}
+	return n
+}
+
+// Queries returns the requests served through batches across all
+// shards.
+func (c *ShardedCoalescer[K]) Queries() int64 {
+	var n int64
+	for _, co := range c.cos {
+		n += co.Queries()
+	}
+	return n
+}
+
+// Close closes every shard's coalescer, failing their pending requests
+// with ErrClosed.
+func (c *ShardedCoalescer[K]) Close() {
+	for _, co := range c.cos {
+		co.Close()
+	}
+}

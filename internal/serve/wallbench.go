@@ -43,6 +43,16 @@ type WallOptions struct {
 	// path: snapshot server plus a GOMAXPROCS-sharded coalescer.
 	Locked bool
 
+	// Shards, when above 1, selects the key-space sharded configuration:
+	// a ShardedServer over that many trees with per-shard update pumps
+	// and a per-shard coalescer group. Mutually exclusive with Locked.
+	Shards int
+
+	// MaxPending and Shed configure coalescer admission control (see
+	// Options); zero MaxPending leaves the windows unbounded.
+	MaxPending int
+	Shed       bool
+
 	// MaxBatch and Window configure the coalescer (1024 and 200µs
 	// defaults: wall-clock serving wants smaller flush quanta than the
 	// 16K virtual-clock bucket).
@@ -115,22 +125,52 @@ type WallResult struct {
 	Batches  int64 // coalescer batches flushed
 	Swaps    int64 // snapshot publications (0 for the locked baseline)
 	Rebuilds int64 // full rebuilds executed (RebuildEvery runs)
+
+	// Shards is the shard count of the sharded configuration (0
+	// otherwise); ShardSwaps and ShardUpdates are the per-shard snapshot
+	// publications and applied update batches, index-aligned with the
+	// ascending key ranges.
+	Shards       int
+	ShardSwaps   []int64
+	ShardUpdates []int64
 }
 
 func (r WallResult) String() string {
-	return fmt.Sprintf("%.2f MQPS (%d lookups, %d updates in %v), p50 %v p99 %v, during-write p50 %v p99 %v (%d samples over %v of writes), %d batches, %d swaps",
+	s := fmt.Sprintf("%.2f MQPS (%d lookups, %d updates in %v), p50 %v p99 %v, during-write p50 %v p99 %v (%d samples over %v of writes), %d batches, %d swaps",
 		r.MQPS, r.Lookups, r.Updates, r.Elapsed.Round(time.Millisecond),
 		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.DuringWriteP50.Round(time.Microsecond), r.DuringWriteP99.Round(time.Microsecond),
 		r.DuringWriteSamples, r.WriteTime.Round(time.Millisecond), r.Batches, r.Swaps)
+	if r.Shards > 0 {
+		s += fmt.Sprintf(", %d shards (swaps %v)", r.Shards, r.ShardSwaps)
+	}
+	return s
 }
 
 // maxWallSamples caps the per-client latency record so a long run's
 // sample storage stays bounded; throughput counters are exact.
 const maxWallSamples = 1 << 17
 
-// RunWall builds a tree from pairs and drives it with opt's client mix
-// for opt.Duration of wall-clock time.
+// wallBackend is the write/lifecycle surface RunWall drives: the
+// single-tree Server and the ShardedServer both satisfy it.
+type wallBackend[K keys.Key] interface {
+	Update([]cpubtree.Op[K], core.UpdateMethod) (core.UpdateStats, error)
+	Rebuild([]keys.Pair[K]) (core.UpdateStats, error)
+	Swaps() int64
+	Close()
+}
+
+// wallCoalescer is the lookup surface RunWall drives: the Coalescer and
+// the ShardedCoalescer both satisfy it.
+type wallCoalescer[K keys.Key] interface {
+	Submit(K) <-chan Result[K]
+	Batches() int64
+	Close()
+}
+
+// RunWall builds a tree (or, with opt.Shards > 1, a sharded set of
+// trees) from pairs and drives it with opt's client mix for
+// opt.Duration of wall-clock time.
 func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOptions) (WallResult, error) {
 	opt.fillDefaults()
 	if opt.UpdateFrac > 0 && treeOpt.Variant != core.Regular {
@@ -139,22 +179,38 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	if opt.RebuildEvery > 0 && treeOpt.Variant != core.Implicit {
 		return WallResult{}, fmt.Errorf("serve: wall run with rebuilds requires the implicit variant")
 	}
-	tree, err := core.Build(pairs, treeOpt)
-	if err != nil {
-		return WallResult{}, err
+	if opt.Locked && opt.Shards > 1 {
+		return WallResult{}, fmt.Errorf("serve: Locked and Shards are mutually exclusive")
 	}
-	defer tree.Close()
 
-	var srv *Server[K]
-	shards := 0 // GOMAXPROCS
-	if opt.Locked {
-		srv = NewLockedServer(tree)
-		shards = 1
+	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed}
+	var backend wallBackend[K]
+	var co wallCoalescer[K]
+	var sharded *ShardedServer[K]
+	if opt.Shards > 1 {
+		s, err := BuildSharded(pairs, treeOpt, opt.Shards)
+		if err != nil {
+			return WallResult{}, err
+		}
+		backend, sharded = s, s
+		co = s.Coalesce(coOpt)
 	} else {
-		srv = NewServer(tree)
+		tree, err := core.Build(pairs, treeOpt)
+		if err != nil {
+			return WallResult{}, err
+		}
+		defer tree.Close()
+		var srv *Server[K]
+		if opt.Locked {
+			srv = NewLockedServer(tree)
+			coOpt.Shards = 1
+		} else {
+			srv = NewServer(tree)
+		}
+		backend = srv
+		co = NewCoalescer(srv, coOpt)
 	}
-	defer srv.Close()
-	co := NewCoalescer(srv, Options{MaxBatch: opt.MaxBatch, Window: opt.Window, Shards: shards})
+	defer backend.Close()
 	defer co.Close()
 
 	// The update pump: clients hand write ops to a channel; one
@@ -182,7 +238,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 			}
 			writing.Store(true)
 			w0 := time.Now()
-			_, err := srv.Update(batch, core.AsyncParallel)
+			_, err := backend.Update(batch, core.AsyncParallel)
 			writeNs += time.Since(w0).Nanoseconds()
 			writing.Store(false)
 			if err != nil {
@@ -223,7 +279,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 				}
 				writing.Store(true)
 				w0 := time.Now()
-				_, err := srv.Rebuild(pairs)
+				_, err := backend.Rebuild(pairs)
 				writeNs += time.Since(w0).Nanoseconds()
 				writing.Store(false)
 				if err != nil {
@@ -345,8 +401,15 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	res.DuringWriteSamples = len(writeLats)
 	res.WriteTime = time.Duration(writeNs)
 	res.Batches = co.Batches()
-	res.Swaps = srv.Swaps()
+	res.Swaps = backend.Swaps()
 	res.Rebuilds = rebuilds
+	if sharded != nil {
+		res.Shards = sharded.Shards()
+		for _, m := range sharded.ShardMetrics() {
+			res.ShardSwaps = append(res.ShardSwaps, m.Swaps)
+			res.ShardUpdates = append(res.ShardUpdates, m.Updates)
+		}
+	}
 	return res, nil
 }
 

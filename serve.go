@@ -16,6 +16,12 @@ import (
 // longer serve after Close.
 var ErrServerClosed = serve.ErrClosed
 
+// ErrServerOverloaded is returned by a Coalescer for requests shed by
+// admission control (CoalescerOptions.MaxPending with Shed set): the
+// in-flight window was full, the request was never queued, and the
+// caller may retry or degrade.
+var ErrServerOverloaded = serve.ErrOverloaded
+
 // CoalescerOptions configures Server.Coalesce: the size-or-deadline
 // flush window and the shard count across which submissions spread.
 type CoalescerOptions = serve.Options
@@ -69,4 +75,41 @@ func (s *Server[K]) Coalesce(opt CoalescerOptions) *Coalescer[K] {
 func (t *Tree[K]) Coalesced() (*Server[K], *Coalescer[K]) {
 	s := NewServer(t)
 	return s, s.Coalesce(CoalescerOptions{})
+}
+
+// ShardedServer partitions the key space across T independent trees,
+// each behind its own snapshot pointer and update-pump goroutine:
+// writers clone 1/T of the data, shards rebuild concurrently, point
+// lookups route by key allocation-free, and range reads stitch ordered
+// results across shard boundaries. Cross-shard reads are per-shard
+// consistent, not one atomic cut — see DESIGN §6 for the contract.
+type ShardedServer[K Key] struct {
+	*serve.ShardedServer[K]
+}
+
+// NewShardedServer reshards t's pairs across `shards` trees (zero or
+// negative selects GOMAXPROCS) on t's simulated device. t itself is
+// left intact; close it once the sharded server is serving.
+func NewShardedServer[K Key](t *Tree[K], shards int) (*ShardedServer[K], error) {
+	s, err := serve.NewShardedServer(t.Tree, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedServer[K]{s}, nil
+}
+
+// Sharded is shorthand for NewShardedServer(t, shards).
+func (t *Tree[K]) Sharded(shards int) (*ShardedServer[K], error) {
+	return NewShardedServer(t, shards)
+}
+
+// ShardedCoalescer routes coalesced point lookups to per-shard
+// coalescers, so batches form against the tree that will search them.
+type ShardedCoalescer[K Key] struct {
+	*serve.ShardedCoalescer[K]
+}
+
+// Coalesce starts one coalescer per shard over the sharded server.
+func (s *ShardedServer[K]) Coalesce(opt CoalescerOptions) *ShardedCoalescer[K] {
+	return &ShardedCoalescer[K]{s.ShardedServer.Coalesce(opt)}
 }

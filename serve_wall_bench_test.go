@@ -2,10 +2,11 @@
 // which compares serving disciplines on the paper's virtual clock, this
 // suite measures real throughput and latency on the host: pipelined
 // clients drive the coalescer while an update pump applies batched
-// writes, in the two configurations serve.RunWall supports — the locked
-// baseline (PR-1 discipline: one RWMutex, one coalescer queue) and the
-// fast path (snapshot reads, sharded coalescer, allocation-free
-// batches).
+// writes, in the three configurations serve.RunWall supports — the
+// locked baseline (PR-1 discipline: one RWMutex, one coalescer queue),
+// the fast path (snapshot reads, sharded coalescer, allocation-free
+// batches) and the key-space sharded server (T independent trees, each
+// with its own snapshot pointer and update pump).
 //
 // Two effects are measured. Batching amortisation shows up in MQPS at
 // any core count. Reader-stall elimination shows up in the during-write
@@ -134,7 +135,8 @@ func BenchmarkWallServe(b *testing.B) {
 	for _, cfg := range []struct {
 		name   string
 		locked bool
-	}{{"locked", true}, {"fast", false}} {
+		shards int
+	}{{"locked", true, 0}, {"fast", false, 0}, {"sharded", false, 4}} {
 		for _, clients := range []int{1, 8} {
 			for _, frac := range []float64{0, 0.1} {
 				name := fmt.Sprintf("%s/clients=%d/updates=%d%%", cfg.name, clients, int(frac*100))
@@ -148,6 +150,7 @@ func BenchmarkWallServe(b *testing.B) {
 						Duration:   time.Duration(b.N) * 25 * time.Millisecond,
 						UpdateFrac: frac,
 						Locked:     cfg.locked,
+						Shards:     cfg.shards,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -161,5 +164,56 @@ func BenchmarkWallServe(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// TestWallShardedUpdateThroughputScales is the sharding acceptance
+// criterion on multicore hosts: under an update-heavy mix, the T=4
+// key-space sharded server must apply ≥2× the update operations per
+// second of the single-tree snapshot path — each sharded write clones
+// 1/4 of the data and the four pumps run concurrently, where the
+// single-tree path clones everything behind one writer mutex — while
+// its during-write read p50 stays no worse. Like the ≥1.5× read gate
+// above, the parallelism does not exist below 4 CPUs, so the test
+// skips there (the sharded correctness oracles still run everywhere).
+func TestWallShardedUpdateThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs ≥4 CPUs to measure parallel scaling, have %d", runtime.GOMAXPROCS(0))
+	}
+	pairs := hbtree.GeneratePairs[uint64](1<<18, 42)
+	opt := serve.WallOptions{
+		Clients:     8,
+		Duration:    time.Second,
+		UpdateFrac:  0.5,
+		UpdateBatch: 8192,
+	}
+	fast, err := serve.RunWall(pairs, hbtree.Options{Variant: hbtree.Regular}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedOpt := opt
+	shardedOpt.Shards = 4
+	sharded, err := serve.RunWall(pairs, hbtree.Options{Variant: hbtree.Regular}, shardedOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fast:    %s", fast)
+	t.Logf("sharded: %s", sharded)
+
+	fastUps := float64(fast.Updates) / fast.Elapsed.Seconds()
+	shardedUps := float64(sharded.Updates) / sharded.Elapsed.Seconds()
+	if shardedUps < 2*fastUps {
+		t.Errorf("sharded update throughput %.0f ops/s < 2× single-tree snapshot %.0f ops/s",
+			shardedUps, fastUps)
+	}
+	// Reads issued while a write was in flight must not get slower than
+	// the single-tree snapshot path (small margin for run-to-run noise).
+	if fast.DuringWriteSamples >= 100 && sharded.DuringWriteSamples >= 100 &&
+		sharded.DuringWriteP50 > fast.DuringWriteP50+fast.DuringWriteP50/2 {
+		t.Errorf("sharded during-write p50 %v worse than single-tree snapshot %v",
+			sharded.DuringWriteP50, fast.DuringWriteP50)
 	}
 }
