@@ -28,6 +28,18 @@
 // requests — including dispatched per-shard update jobs — before
 // exiting.
 //
+// Failures map to machine-parseable ERR codes so clients can pick the
+// right reaction (see README "Error codes"):
+//
+//	ERR OVERLOADED retry-after-ms=<n>   admission shed the request; retry after the hint
+//	ERR DEADLINE                        the -deadline budget expired; retrying may help
+//	ERR CLOSED                          the server is shutting down; do not retry here
+//
+// -deadline bounds each GET/PUT/DEL; -fault-* arm the deterministic
+// GPU fault injector (kernel/transfer/allocation failure rates, reset
+// bursts) so degraded-mode serving — circuit breaker, CPU-only
+// fallback — can be exercised end to end against a live server.
+//
 // The server bulk-loads a synthetic uniform dataset at startup, or
 // restores a snapshot written by -save via -load.
 //
@@ -39,6 +51,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -59,6 +72,7 @@ import (
 
 	"hbtree"
 	"hbtree/internal/cpubtree"
+	"hbtree/internal/fault"
 	"hbtree/internal/gpusim"
 )
 
@@ -75,6 +89,7 @@ const maxCount = 1 << 20
 type backend interface {
 	Lookup(uint64) (uint64, bool)
 	Update([]hbtree.Op[uint64], hbtree.UpdateMethod) (hbtree.UpdateStats, error)
+	UpdateCtx(context.Context, []hbtree.Op[uint64], hbtree.UpdateMethod) (hbtree.UpdateStats, error)
 	RangeQuery(uint64, int) []hbtree.Pair[uint64]
 	Scan(uint64, int) []hbtree.Pair[uint64]
 	Describe() string
@@ -90,6 +105,9 @@ type backend interface {
 // sharded per-shard group).
 type coalescer interface {
 	Lookup(uint64) (uint64, bool, error)
+	LookupCtx(context.Context, uint64) (uint64, bool, error)
+	Shed() int64
+	Deadlines() int64
 	Close()
 }
 
@@ -102,6 +120,9 @@ type server struct {
 	co      coalescer                      // nil when -coalesce is off
 	sharded *hbtree.ShardedServer[uint64]  // non-nil in sharded mode
 
+	deadline      time.Duration // per-request budget for GET/PUT/DEL (0 = none)
+	overloadReply string        // precomputed "ERR OVERLOADED retry-after-ms=<n>\n"
+
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	wg    sync.WaitGroup
@@ -113,16 +134,25 @@ type serveConfig struct {
 	coalesce   bool
 	window     time.Duration
 	maxBatch   int
-	shards     int  // > 1 selects the key-space sharded server
-	maxPending int  // coalescer admission window (0 = unbounded)
-	shed       bool // fail fast with ERR overloaded instead of blocking
+	shards     int           // > 1 selects the key-space sharded server
+	maxPending int           // coalescer admission window (0 = unbounded)
+	shed       bool          // fail fast with ERR OVERLOADED instead of blocking
+	deadline   time.Duration // per-request budget for GET/PUT/DEL (0 = none)
 }
 
 // newServer builds the serving stack for cfg. In sharded mode the
 // tree's pairs are resharded across cfg.shards trees and the original
 // tree is closed; the caller must not use it afterwards.
 func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
-	s := &server{conns: make(map[net.Conn]struct{})}
+	s := &server{conns: make(map[net.Conn]struct{}), deadline: cfg.deadline}
+	// A shed request was refused before queueing; the soonest the next
+	// window can have room is one coalescing window away, so that is the
+	// retry hint (floored at 1ms, the practical client-side resolution).
+	retryMS := (cfg.window + time.Millisecond - 1) / time.Millisecond
+	if retryMS < 1 {
+		retryMS = 1
+	}
+	s.overloadReply = fmt.Sprintf("ERR OVERLOADED retry-after-ms=%d\n", retryMS)
 	coOpt := hbtree.CoalescerOptions{
 		MaxBatch:   cfg.maxBatch,
 		Window:     cfg.window,
@@ -364,13 +394,15 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		var v uint64
 		var ok bool
 		if s.co != nil {
-			v, ok, err = s.co.Lookup(k)
-			if errors.Is(err, hbtree.ErrServerOverloaded) {
-				io.WriteString(w, "ERR overloaded, retry later\n")
-				break
+			if s.deadline > 0 {
+				ctx, cancel := context.WithTimeout(context.Background(), s.deadline)
+				v, ok, err = s.co.LookupCtx(ctx, k)
+				cancel()
+			} else {
+				v, ok, err = s.co.Lookup(k)
 			}
 			if err != nil {
-				io.WriteString(w, "ERR server shutting down\n")
+				io.WriteString(w, s.errReply(err))
 				break
 			}
 		} else {
@@ -399,8 +431,8 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			io.WriteString(w, "ERR key out of range\n")
 			break
 		}
-		if _, err := s.srv.Update([]hbtree.Op[uint64]{{Key: k, Value: v}}, hbtree.Synchronized); err != nil {
-			fmt.Fprintf(w, "ERR update: %v\n", err)
+		if _, err := s.update([]hbtree.Op[uint64]{{Key: k, Value: v}}); err != nil {
+			s.writeUpdateErr(w, err)
 			break
 		}
 		io.WriteString(w, "OK\n")
@@ -417,9 +449,9 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		if !s.writable(w) {
 			break
 		}
-		st, err := s.srv.Update([]hbtree.Op[uint64]{{Key: k, Delete: true}}, hbtree.Synchronized)
+		st, err := s.update([]hbtree.Op[uint64]{{Key: k, Delete: true}})
 		if err != nil {
-			fmt.Fprintf(w, "ERR update: %v\n", err)
+			s.writeUpdateErr(w, err)
 			break
 		}
 		if st.NotFound > 0 {
@@ -456,10 +488,17 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		if s.sharded != nil {
 			shards = s.sharded.Shards()
 		}
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s\n",
+		shed, deadlines := int64(0), m.Deadlines
+		if s.co != nil {
+			shed = s.co.Shed()
+			deadlines += s.co.Deadlines()
+		}
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
-			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime)
+			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime,
+			m.GPUFaults, m.Retries, m.FallbackBatches, m.FallbackQueries,
+			deadlines, shed, m.BreakerTrips, m.BreakerState)
 	case cmdIs(cmd, "SHARDSTATS"):
 		if s.sharded == nil {
 			io.WriteString(w, "ERR not sharded (-shards > 1)\n")
@@ -473,9 +512,10 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			if i > 0 {
 				lo = bounds[i-1]
 			}
-			fmt.Fprintf(w, "SHARD %d low=%d pairs=%d height=%d lookups=%d batched=%d updates=%d swaps=%d\n",
+			fmt.Fprintf(w, "SHARD %d low=%d pairs=%d height=%d lookups=%d batched=%d updates=%d swaps=%d gpufaults=%d fallbacks=%d trips=%d breaker=%s\n",
 				i, lo, stats[i].NumPairs, stats[i].Height,
-				metrics[i].Lookups, metrics[i].BatchedQueries, metrics[i].Updates, metrics[i].Swaps)
+				metrics[i].Lookups, metrics[i].BatchedQueries, metrics[i].Updates, metrics[i].Swaps,
+				metrics[i].GPUFaults, metrics[i].FallbackBatches, metrics[i].BreakerTrips, metrics[i].BreakerState)
 		}
 		io.WriteString(w, "END\n")
 	case cmdIs(cmd, "QUIT"):
@@ -485,6 +525,41 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		io.WriteString(w, "ERR unknown command\n")
 	}
 	return false
+}
+
+// errReply maps a serving-layer read error to its protocol code:
+// OVERLOADED and DEADLINE invite a retry (immediately bounded by the
+// hint, or with a larger budget), CLOSED does not.
+func (s *server) errReply(err error) string {
+	switch {
+	case errors.Is(err, hbtree.ErrServerOverloaded):
+		return s.overloadReply
+	case errors.Is(err, hbtree.ErrDeadlineExceeded):
+		return "ERR DEADLINE\n"
+	default:
+		return "ERR CLOSED\n"
+	}
+}
+
+// update runs one PUT/DEL batch under the per-request deadline.
+func (s *server) update(ops []hbtree.Op[uint64]) (hbtree.UpdateStats, error) {
+	if s.deadline <= 0 {
+		return s.srv.Update(ops, hbtree.Synchronized)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.deadline)
+	defer cancel()
+	return s.srv.UpdateCtx(ctx, ops, hbtree.Synchronized)
+}
+
+// writeUpdateErr encodes a failed PUT/DEL: the typed DEADLINE code when
+// the budget expired, otherwise the error text (a structural failure
+// the client should see verbatim).
+func (s *server) writeUpdateErr(w io.Writer, err error) {
+	if errors.Is(err, hbtree.ErrDeadlineExceeded) {
+		io.WriteString(w, "ERR DEADLINE\n")
+		return
+	}
+	fmt.Fprintf(w, "ERR update: %v\n", err)
 }
 
 // writable gates PUT/DEL on the variant: only the regular organisation
@@ -527,6 +602,17 @@ func main() {
 		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
 		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
 		pprofTo  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
+
+		deadline = flag.Duration("deadline", 0, "per-request budget for GET/PUT/DEL; expiry answers ERR DEADLINE (0 = none)")
+
+		fKernel   = flag.Float64("fault-kernel", 0, "injected kernel launch failure rate [0,1]")
+		fH2D      = flag.Float64("fault-h2d", 0, "injected host-to-device transfer timeout rate [0,1]")
+		fD2H      = flag.Float64("fault-d2h", 0, "injected device-to-host transfer timeout rate [0,1]")
+		fOOM      = flag.Float64("fault-oom", 0, "injected device allocation failure rate [0,1]")
+		fCorrupt  = flag.Float64("fault-corrupt", 0, "fraction of injected transfer faults reported as payload corruption [0,1]")
+		fReset    = flag.Float64("fault-reset", 0, "per-operation probability of starting a device reset burst [0,1]")
+		fResetOps = flag.Int("fault-reset-ops", 0, "reset burst length in device operations (0 = fault.DefaultResetOps)")
+		fSeed     = flag.Uint64("fault-seed", 1, "fault injector PRNG seed (equal seeds replay equal fault sequences)")
 	)
 	flag.Parse()
 
@@ -588,6 +674,12 @@ func main() {
 	log.Printf("hbserve: height %d, I-segment %d bytes, L-segment %d bytes",
 		st.Height, st.InnerBytes, st.LeafBytes)
 
+	// All serving modes share the tree's simulated device; keep the
+	// handle so the fault injector can be armed after setup. Attaching
+	// only once the stack is built keeps the bulk load and the sharded
+	// reshard fault-free — faults exercise serving, not construction.
+	dev := tree.Device()
+
 	s, err := newServer(tree, serveConfig{
 		coalesce:   *coalesce,
 		window:     *window,
@@ -595,9 +687,25 @@ func main() {
 		shards:     *shards,
 		maxPending: *pending,
 		shed:       *shed,
+		deadline:   *deadline,
 	})
 	if err != nil {
 		log.Fatalf("hbserve: serve setup: %v", err)
+	}
+
+	if fopt := (fault.Options{
+		Seed:     *fSeed,
+		Kernel:   *fKernel,
+		H2D:      *fH2D,
+		D2H:      *fD2H,
+		OOM:      *fOOM,
+		Corrupt:  *fCorrupt,
+		Reset:    *fReset,
+		ResetOps: *fResetOps,
+	}); fopt.Kernel+fopt.H2D+fopt.D2H+fopt.OOM+fopt.Reset > 0 {
+		dev.SetInjector(fault.New(fopt))
+		log.Printf("hbserve: fault injection armed (kernel=%g h2d=%g d2h=%g oom=%g corrupt=%g reset=%g resetops=%d seed=%d)",
+			fopt.Kernel, fopt.H2D, fopt.D2H, fopt.OOM, fopt.Corrupt, fopt.Reset, fopt.ResetOps, fopt.Seed)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

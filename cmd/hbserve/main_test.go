@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hbtree"
+	"hbtree/internal/fault"
 )
 
 // newTestTree builds a small dataset tree for protocol tests.
@@ -552,7 +553,106 @@ func TestShutdownUnblocksParkedCoalescedGET(t *testing.T) {
 	}
 	// The parked read was failed, not served: the client sees the
 	// shutdown error, or EOF if its conn was torn down first.
-	if resp, err := r.ReadString('\n'); err == nil && strings.TrimSpace(resp) != "ERR server shutting down" {
+	if resp, err := r.ReadString('\n'); err == nil && strings.TrimSpace(resp) != "ERR CLOSED" {
 		t.Fatalf("parked GET reply = %q", resp)
+	}
+}
+
+// TestErrOverloadedCarriesRetryHint: with shed-mode admission control a
+// refused GET answers the typed OVERLOADED code with a machine-readable
+// retry-after hint instead of prose.
+func TestErrOverloadedCarriesRetryHint(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{
+		coalesce: true, window: time.Hour, maxBatch: 64, maxPending: 1, shed: true,
+	})
+	dial := startServer(t, s)
+
+	// First GET takes the lone admission slot and parks behind the
+	// hour-long window; it is failed by the shutdown at cleanup.
+	conn1, _ := dial()
+	if _, err := fmt.Fprintf(conn1, "GET %d\n", pairs[0].Key); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	conn2, r2 := dial()
+	got := sendLine(t, conn2, r2, fmt.Sprintf("GET %d", pairs[1].Key))
+	if !strings.HasPrefix(got, "ERR OVERLOADED retry-after-ms=") {
+		t.Fatalf("shed GET = %q", got)
+	}
+	if got := sendLine(t, conn2, r2, "STATS"); !strings.Contains(got, "shed=1") {
+		t.Fatalf("STATS after shed = %q", got)
+	}
+}
+
+// TestErrDeadlineOnParkedGET: with -deadline set, a GET parked behind a
+// coalescing window that will not fire answers ERR DEADLINE when its
+// budget expires — the client is never parked for the window.
+func TestErrDeadlineOnParkedGET(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 13)
+	const deadline = 100 * time.Millisecond
+	s := mustServer(t, tree, serveConfig{
+		coalesce: true, window: time.Hour, maxBatch: 64, deadline: deadline,
+	})
+	dial := startServer(t, s)
+	conn, r := dial()
+
+	start := time.Now()
+	got := sendLine(t, conn, r, fmt.Sprintf("GET %d", pairs[0].Key))
+	elapsed := time.Since(start)
+	if got != "ERR DEADLINE" {
+		t.Fatalf("parked GET with deadline = %q", got)
+	}
+	if elapsed > 10*deadline {
+		t.Fatalf("deadline reply took %v with a %v budget", elapsed, deadline)
+	}
+	if got := sendLine(t, conn, r, "STATS"); !strings.Contains(got, "deadlines=1") {
+		t.Fatalf("STATS after deadline = %q", got)
+	}
+}
+
+// TestStatsDegradedModeFields: STATS exposes the degraded-mode counters
+// and the breaker state even on a healthy server, so dashboards can
+// scrape them unconditionally.
+func TestStatsDegradedModeFields(t *testing.T) {
+	tree, _ := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{})
+	dial := startServer(t, s)
+	conn, r := dial()
+	got := sendLine(t, conn, r, "STATS")
+	for _, field := range []string{
+		"gpufaults=0", "retries=0", "fallbacks=0", "fbqueries=0",
+		"deadlines=0", "shed=0", "trips=0", "breaker=closed",
+	} {
+		if !strings.Contains(got, field) {
+			t.Fatalf("STATS missing %q: %q", field, got)
+		}
+	}
+}
+
+// TestCoalescedGETSurvivesTotalKernelOutage: with every kernel launch
+// failing, a coalesced GET is still answered correctly — the serving
+// layer retries, trips the breaker and degrades to the CPU fallback,
+// and the protocol never shows the client an error.
+func TestCoalescedGETSurvivesTotalKernelOutage(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 13)
+	tree.Device().SetInjector(fault.New(fault.Options{Seed: 7, Kernel: 1.0}))
+	s := mustServer(t, tree, serveConfig{
+		coalesce: true, window: time.Millisecond, maxBatch: 64,
+	})
+	dial := startServer(t, s)
+	conn, r := dial()
+
+	for i := 0; i < 8; i++ {
+		p := pairs[(i*97)%len(pairs)]
+		want := fmt.Sprintf("VALUE %d", p.Value)
+		if got := sendLine(t, conn, r, fmt.Sprintf("GET %d", p.Key)); got != want {
+			t.Fatalf("GET %d under outage = %q, want %q", p.Key, got, want)
+		}
+	}
+	got := sendLine(t, conn, r, "STATS")
+	if !strings.Contains(got, "breaker=open") || strings.Contains(got, "gpufaults=0 ") {
+		t.Fatalf("STATS under outage = %q", got)
 	}
 }

@@ -1,0 +1,184 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock lets the tests drive OpenTimeout without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(opt Options) (*Breaker, *fakeClock) {
+	b := New(opt)
+	c := &fakeClock{t: time.Unix(0, 0)}
+	b.now = c.now
+	return b, c
+}
+
+// TestFullCycle drives closed -> open -> half-open -> closed under a
+// scripted outcome schedule.
+func TestFullCycle(t *testing.T) {
+	b, clk := newTestBreaker(Options{ConsecutiveTrip: 3, OpenTimeout: time.Second})
+	if b.State() != Closed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Open {
+		t.Fatalf("after 3 consecutive failures: %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an attempt before OpenTimeout")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after OpenTimeout")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("probe admitted but state = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("after probe success: %v, want closed", b.State())
+	}
+	c := b.Counters()
+	if c.Trips != 1 || c.Probes != 1 || c.Closes != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestHalfOpenProbeFailureReopens: a failed probe goes straight back to
+// Open and restarts the timeout.
+func TestHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(Options{ConsecutiveTrip: 1, OpenTimeout: time.Second})
+	b.Allow()
+	b.Failure()
+	clk.advance(time.Second + time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("after probe failure: %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted an attempt immediately")
+	}
+	if c := b.Counters(); c.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", c.Trips)
+	}
+}
+
+// TestRateTrip: the windowed error rate trips without a consecutive
+// run.
+func TestRateTrip(t *testing.T) {
+	b, _ := newTestBreaker(Options{
+		Window: 8, RateThreshold: 0.5, MinSamples: 8, ConsecutiveTrip: 100,
+	})
+	// Alternate failure/success: rate stays near 0.5 with no long
+	// consecutive run; the 9th sample (a failure) evaluates the rate
+	// past the MinSamples gate.
+	for i := 0; i < 9; i++ {
+		if i%2 == 0 {
+			b.Failure()
+		} else {
+			b.Success()
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf(">=50%% rate over a full window left state %v", b.State())
+	}
+}
+
+// TestMinSamplesGate: early failures below MinSamples do not trip.
+func TestMinSamplesGate(t *testing.T) {
+	b, _ := newTestBreaker(Options{
+		Window: 32, RateThreshold: 0.5, MinSamples: 8, ConsecutiveTrip: 100,
+	})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("3 samples tripped the rate threshold: %v", b.State())
+	}
+}
+
+// TestSuccessResetsConsecutive: a success in between failures prevents
+// the consecutive trip.
+func TestSuccessResetsConsecutive(t *testing.T) {
+	b, _ := newTestBreaker(Options{ConsecutiveTrip: 3, Window: 1024, MinSamples: 1024})
+	for i := 0; i < 20; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if b.State() != Closed {
+		t.Fatalf("interleaved successes still tripped: %v", b.State())
+	}
+}
+
+// TestForceOpen pins the breaker open across the timeout and releases
+// cleanly.
+func TestForceOpen(t *testing.T) {
+	b, clk := newTestBreaker(Options{OpenTimeout: time.Second})
+	b.ForceOpen(true)
+	if b.State() != Open {
+		t.Fatalf("forced state = %v", b.State())
+	}
+	clk.advance(time.Hour)
+	if b.Allow() {
+		t.Fatal("forced-open breaker admitted a probe after the timeout")
+	}
+	b.ForceOpen(false)
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("releasing ForceOpen did not close the breaker")
+	}
+}
+
+// TestConcurrentOutcomes exercises the breaker under racing reporters
+// (meaningful under -race).
+func TestConcurrentOutcomes(t *testing.T) {
+	b, _ := newTestBreaker(Options{Window: 64, ConsecutiveTrip: 8, OpenTimeout: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if b.Allow() {
+					if (i+g)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				b.State()
+				b.Counters()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

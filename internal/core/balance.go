@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"hbtree/internal/fault"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/vclock"
 )
@@ -147,6 +148,9 @@ func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, st
 	if n == 0 {
 		return values, found, stats, nil
 	}
+	if t.replicaStale {
+		return nil, nil, stats, fault.ErrReplicaStale
+	}
 	m := t.opt.BucketSize
 	stats.BucketSize = m
 	stats.Queries = n
@@ -214,9 +218,12 @@ func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, st
 		preStart[stream] = ps
 
 		// H2D: queries plus intermediate node indices.
-		d1a := t.copyQueriesToDevice(qbuf, bq)
+		d1a, err := t.copyQueriesToDevice(qbuf, bq)
+		if err != nil {
+			return nil, nil, stats, err
+		}
 		if _, err := sbuf.CopyFromHost(starts); err != nil {
-			panic(err)
+			return nil, nil, stats, err
 		}
 		d1 := d1a + t.dev.CopyDuration(int64(bn)*4) - t.dev.Config().TInit // one batched transfer, one T_init
 		tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
@@ -226,7 +233,10 @@ func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, st
 		// while the current one runs, so the launch overhead K_init is
 		// scheduled concurrently with execution and leaves the GPU
 		// station (Section 5.5's bucket-handling change).
-		d2 := t.runKernelFrom(qbuf, sbuf, rbuf, bn, rm)
+		d2, err := t.runKernelFrom(qbuf, sbuf, rbuf, bn, rm)
+		if err != nil {
+			return nil, nil, stats, err
+		}
 		if d2 > t.dev.Config().KInit {
 			d2 -= t.dev.Config().KInit
 		}
@@ -241,7 +251,9 @@ func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, st
 		// buffer is reused next bucket), temporally deferred behind the
 		// next bucket's pre-walk.
 		d4 := t.cpuLeafStageDuration(bn)
-		t.finishOnCPU(rbuf, bq, values[start:end], found[start:end])
+		if err := t.finishOnCPU(rbuf, bq, values[start:end], found[start:end]); err != nil {
+			return nil, nil, stats, err
+		}
 		if pending != nil {
 			scheduleLeaf(*pending)
 		}
@@ -285,8 +297,9 @@ func (t *Tree[K]) preWalk(bq []K, starts []int32, rm int) {
 }
 
 // runKernelFrom launches the resumed traversal: one kernel invocation
-// per depth class, matching the two-part bucket of Section 5.5.
-func (t *Tree[K]) runKernelFrom(qbuf *gpusim.Buffer[K], sbuf, rbuf *gpusim.Buffer[int32], bn, rm int) vclock.Duration {
+// per depth class, matching the two-part bucket of Section 5.5. An
+// injected kernel fault on either invocation fails the whole bucket.
+func (t *Tree[K]) runKernelFrom(qbuf *gpusim.Buffer[K], sbuf, rbuf *gpusim.Buffer[int32], bn, rm int) (vclock.Duration, error) {
 	qs := qbuf.Data()[:bn]
 	ss := sbuf.Data()[:bn]
 	h := t.Height()
@@ -298,12 +311,16 @@ func (t *Tree[K]) runKernelFrom(qbuf *gpusim.Buffer[K], sbuf, rbuf *gpusim.Buffe
 	if t.opt.Variant == Implicit {
 		out := rbuf.Data()
 		if rm > 0 {
-			gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc, qs[:rm], out[:rm], t.lbD, ss[:rm])
+			if _, err := gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc, qs[:rm], out[:rm], t.lbD, ss[:rm]); err != nil {
+				return 0, err
+			}
 		}
 		if bn > rm {
-			gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc, qs[rm:bn], out[rm:bn], t.lbD+1, ss[rm:bn])
+			if _, err := gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc, qs[rm:bn], out[rm:bn], t.lbD+1, ss[rm:bn]); err != nil {
+				return 0, err
+			}
 		}
-		return t.gpuStageDurationF(bn, avgLevels)
+		return t.gpuStageDurationF(bn, avgLevels), nil
 	}
 	out := rbuf.Data()
 	hA := h - t.lbD
@@ -312,14 +329,18 @@ func (t *Tree[K]) runKernelFrom(qbuf *gpusim.Buffer[K], sbuf, rbuf *gpusim.Buffe
 		hB = 1
 	}
 	if rm > 0 {
-		gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
-			qs[:rm], out[:rm], out[bn:bn+rm], hA, ss[:rm])
+		if _, err := gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
+			qs[:rm], out[:rm], out[bn:bn+rm], hA, ss[:rm]); err != nil {
+			return 0, err
+		}
 	}
 	if bn > rm {
-		gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
-			qs[rm:bn], out[rm:bn], out[bn+rm:2*bn], hB, ss[rm:bn])
+		if _, err := gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
+			qs[rm:bn], out[rm:bn], out[bn+rm:2*bn], hB, ss[rm:bn]); err != nil {
+			return 0, err
+		}
 	}
-	return t.gpuStageDurationF(bn, avgLevels)
+	return t.gpuStageDurationF(bn, avgLevels), nil
 }
 
 // cpuPreStageDuration models the CPU pre-walk of the top levels alone

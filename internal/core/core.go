@@ -202,6 +202,15 @@ type Tree[K keys.Key] struct {
 	implDesc gpusim.ImplicitDesc
 	regDesc  gpusim.RegularDesc
 
+	// replicaStale marks a device replica that could not be
+	// re-synchronised after a faulted update: the host tree mutated but
+	// the device image did not follow. While set, every GPU-path lookup
+	// fails with fault.ErrReplicaStale (stale inner nodes would
+	// misroute queries); a successful re-mirror clears it. Written only
+	// under the tree's single-writer contract; read by lookups, which
+	// the contract guarantees never overlap a writer.
+	replicaStale bool
+
 	// Load-balance parameters (Section 5.5); valid when balanced.
 	// balanceMu serialises the first-use discovery so concurrent
 	// balanced lookups never race on the parameters.
@@ -353,7 +362,38 @@ func (t *Tree[K]) mirrorISegment() error {
 		t.buildStats.ISegBytes = (int64(len(upper)) + int64(len(last))) * sz
 		t.buildStats.LSegBytes = t.reg.Stats().LeafBytes
 	}
+	t.replicaStale = false // a full mirror re-establishes consistency
 	return nil
+}
+
+// ReplicaStale reports whether the device replica is known to lag the
+// host tree after a faulted synchronisation (see fault.ErrReplicaStale).
+func (t *Tree[K]) ReplicaStale() bool { return t.replicaStale }
+
+// remirror re-creates the device replica after a host-side mutation.
+// Unlike the construction-time mirror, a failure here leaves the host
+// tree ahead of the device image, so the tree is marked replica-stale:
+// the batch itself succeeded in host memory (no acked write is lost)
+// and GPU-path lookups fail typed until a later mirror heals the
+// replica. The original transfer/allocation error is returned so the
+// caller can classify it (fault.Is).
+func (t *Tree[K]) remirror() error {
+	if err := t.mirrorISegment(); err != nil {
+		t.replicaStale = true
+		return err
+	}
+	return nil
+}
+
+// Resync retries the full I-segment mirror, clearing the stale flag on
+// success — the recovery path the serving layer drives after faulted
+// updates. It is a no-op when the replica is already consistent. Must
+// be called under the tree's single-writer contract.
+func (t *Tree[K]) Resync() error {
+	if !t.replicaStale {
+		return nil
+	}
+	return t.remirror()
 }
 
 // modelBuildCost returns the virtual construction durations of the L-

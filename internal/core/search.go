@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"hbtree/internal/cpubtree"
+	"hbtree/internal/fault"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
 	"hbtree/internal/model"
@@ -109,6 +110,9 @@ func (t *Tree[K]) lookupBatchPlainInto(queries []K, values []K, found []bool) (s
 	if n == 0 {
 		return stats, nil
 	}
+	if t.replicaStale {
+		return stats, fault.ErrReplicaStale
+	}
 	m := t.opt.BucketSize
 	stats.BucketSize = m
 	stats.Queries = n
@@ -153,12 +157,18 @@ func (t *Tree[K]) lookupBatchPlainInto(queries []K, values []K, found []bool) (s
 		}
 
 		// Step 1: transfer the bucket to GPU memory.
-		d1 := t.copyQueriesToDevice(sc.qbuf, bq)
+		d1, err := t.copyQueriesToDevice(sc.qbuf, bq)
+		if err != nil {
+			return stats, err
+		}
 		h2dStart, _ := tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
 
 		// Step 2: GPU traversal of all inner levels (functional kernel
 		// on the device replica).
-		d2 := t.runKernel(sc.qbuf, sc.rbuf, bn)
+		d2, err := t.runKernel(sc.qbuf, sc.rbuf, bn)
+		if err != nil {
+			return stats, err
+		}
 		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
 
 		// Step 3: transfer intermediate results to CPU memory.
@@ -168,7 +178,9 @@ func (t *Tree[K]) lookupBatchPlainInto(queries []K, values []K, found []bool) (s
 
 		// Step 4: CPU finishes the search in the leaf nodes.
 		d4 := t.cpuLeafStageDuration(bn)
-		t.finishLeaves(sc.rbuf, bq, values[start:end], found[start:end], sc.res, sc.refs)
+		if err := t.finishLeaves(sc.rbuf, bq, values[start:end], found[start:end], sc.res, sc.refs); err != nil {
+			return stats, err
+		}
 		_, cEnd := tl.Schedule(stream, vclock.ResCPU, "leaf", d4)
 
 		lats = append(lats, cEnd-h2dStart)
@@ -208,48 +220,51 @@ func (t *Tree[K]) numBuffers() int {
 }
 
 // copyQueriesToDevice stages a bucket in device memory, returning T1.
-func (t *Tree[K]) copyQueriesToDevice(qbuf *gpusim.Buffer[K], bq []K) vclock.Duration {
-	d, err := qbuf.CopyFromHost(bq)
-	if err != nil {
-		panic(err) // buffer sized to BucketSize; bq is never larger
-	}
-	return d
+// The only failure mode is an injected transfer fault (the buffer is
+// sized to BucketSize, so bq always fits).
+func (t *Tree[K]) copyQueriesToDevice(qbuf *gpusim.Buffer[K], bq []K) (vclock.Duration, error) {
+	return qbuf.CopyFromHost(bq)
 }
 
 // runKernel executes the inner-level traversal on the device replica,
 // writing intermediate results into rbuf, and returns T2.
-func (t *Tree[K]) runKernel(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[int32], bn int) vclock.Duration {
+func (t *Tree[K]) runKernel(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[int32], bn int) (vclock.Duration, error) {
 	switch t.opt.Variant {
 	case Implicit:
-		gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc,
-			qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil)
-		return t.gpuStageDuration(bn, t.implDesc.Height)
+		if _, err := gpusim.ImplicitSearchKernel(t.dev, t.isegBuf.Data(), t.implDesc,
+			qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil); err != nil {
+			return 0, err
+		}
+		return t.gpuStageDuration(bn, t.implDesc.Height), nil
 	default:
 		out := rbuf.Data()
-		gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
-			qbuf.Data()[:bn], out[:bn], out[bn:2*bn], 0, nil)
-		return t.gpuStageDuration(bn, t.regDesc.Height)
+		if _, err := gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
+			qbuf.Data()[:bn], out[:bn], out[bn:2*bn], 0, nil); err != nil {
+			return 0, err
+		}
+		return t.gpuStageDuration(bn, t.regDesc.Height), nil
 	}
 }
 
 // finishOnCPU runs step 4 functionally: the CPU searches the leaf lines
 // named by the device-resident intermediate results.
-func (t *Tree[K]) finishOnCPU(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool) {
-	t.finishLeaves(rbuf, bq, values, found, make([]int32, 2*len(bq)), nil)
+func (t *Tree[K]) finishOnCPU(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool) error {
+	return t.finishLeaves(rbuf, bq, values, found, make([]int32, 2*len(bq)), nil)
 }
 
 // finishLeaves is finishOnCPU with caller-provided staging: res must
 // hold at least 2*len(bq) elements; refs may be nil (the regular
-// variant then allocates it) or hold at least len(bq) elements.
-func (t *Tree[K]) finishLeaves(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool, res []int32, refs []cpubtree.LeafRef) {
+// variant then allocates it) or hold at least len(bq) elements. It
+// fails only on an injected D2H fault.
+func (t *Tree[K]) finishLeaves(rbuf *gpusim.Buffer[int32], bq []K, values []K, found []bool, res []int32, refs []cpubtree.LeafRef) error {
 	bn := len(bq)
 	res = res[:2*bn]
 	if _, err := rbuf.CopyToHost(res); err != nil {
-		panic(err)
+		return err
 	}
 	if t.opt.Variant == Implicit {
 		t.impl.SearchLeavesBatch(bq, res[:bn], values, found)
-		return
+		return nil
 	}
 	if refs == nil {
 		refs = make([]cpubtree.LeafRef, bn)
@@ -259,6 +274,7 @@ func (t *Tree[K]) finishLeaves(rbuf *gpusim.Buffer[int32], bq []K, values []K, f
 		refs[i] = cpubtree.LeafRef{Leaf: res[i], Line: res[bn+i]}
 	}
 	t.reg.SearchLeavesBatch(bq, refs, values, found)
+	return nil
 }
 
 // LookupBatchCPU resolves the queries entirely on the CPU using the
@@ -268,13 +284,27 @@ func (t *Tree[K]) LookupBatchCPU(queries []K) (values []K, found []bool, stats S
 	n := len(queries)
 	values = make([]K, n)
 	found = make([]bool, n)
+	stats = t.LookupBatchCPUInto(queries, values, found)
+	return values, found, stats
+}
+
+// LookupBatchCPUInto is LookupBatchCPU into caller-owned result slices
+// (at least len(queries) long each). It never touches the simulated
+// device, which makes it the degraded-mode serving path: when the
+// circuit breaker over the GPU-sim is open, the serving layer answers
+// every batch through this host-only search at the Appendix B.1 cost.
+func (t *Tree[K]) LookupBatchCPUInto(queries []K, values []K, found []bool) (stats SearchStats) {
+	n := len(queries)
 	stats.Queries = n
 	stats.Buckets = 1
 	stats.BucketSize = n
+	if n == 0 {
+		return stats
+	}
 	if t.impl != nil {
-		t.impl.LookupBatch(queries, values, found)
+		t.impl.LookupBatch(queries, values[:n], found[:n])
 	} else {
-		t.reg.LookupBatch(queries, values, found)
+		t.reg.LookupBatch(queries, values[:n], found[:n])
 	}
 	stats.SimTime = t.cpuFullLookupBatch(n, 0)
 	if stats.SimTime > 0 {
@@ -283,7 +313,7 @@ func (t *Tree[K]) LookupBatchCPU(queries []K) (values []K, found []bool, stats S
 	p, searches := t.lookupProfile()
 	stats.AvgLatency = cpuPerQuery(t.opt.Machine.CPU, t.opt.NodeSearch, searches, p, 0,
 		t.opt.PipelineDepth, 0) * vclock.Duration(t.opt.PipelineDepth)
-	return values, found, stats
+	return stats
 }
 
 // RangeStats reports a batch range execution.
@@ -306,6 +336,9 @@ func (t *Tree[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], Rang
 	stats.Queries = n
 	if n == 0 {
 		return out, stats, nil
+	}
+	if t.replicaStale {
+		return nil, stats, fault.ErrReplicaStale
 	}
 	m := t.opt.BucketSize
 	sc, err := t.acquireScratch()
@@ -331,9 +364,15 @@ func (t *Tree[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], Rang
 		if idx := buckets - 2; idx >= 0 {
 			tl.AdvanceStream(stream, sc.d2h[idx%scratchRing])
 		}
-		d1 := t.copyQueriesToDevice(sc.qbuf, bq)
+		d1, err := t.copyQueriesToDevice(sc.qbuf, bq)
+		if err != nil {
+			return nil, stats, err
+		}
 		tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
-		d2 := t.runKernel(sc.qbuf, sc.rbuf, bn)
+		d2, err := t.runKernel(sc.qbuf, sc.rbuf, bn)
+		if err != nil {
+			return nil, stats, err
+		}
 		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
 		d3 := t.dev.CopyDuration(int64(bn) * t.resultSize())
 		_, dEnd := tl.Schedule(stream, vclock.ResPCIeD2H, "D2H", d3)

@@ -118,7 +118,9 @@ func (t *Tree[K]) Rebuild(pairs []keys.Pair[K]) (UpdateStats, error) {
 	}
 	lseg, iseg := t.modelBuildCost()
 	t.buildStats.LSegBuild, t.buildStats.ISegBuild = lseg, iseg
-	if err := t.mirrorISegment(); err != nil {
+	// The host segments are already rebuilt; a faulted mirror marks the
+	// replica stale rather than losing the rebuild.
+	if err := t.remirror(); err != nil {
 		return UpdateStats{}, err
 	}
 	return UpdateStats{
@@ -161,8 +163,9 @@ func (t *Tree[K]) Update(ops []cpubtree.Op[K], method UpdateMethod) (UpdateStats
 		stats.NotFound = res.NotFound
 		stats.Structural = res.Structural
 		// "It is more beneficial to transfer the entire I-segment once":
-		// re-mirror both pools wholesale.
-		if err := t.mirrorISegment(); err != nil {
+		// re-mirror both pools wholesale. The host batch is already
+		// applied, so a faulted transfer marks the replica stale.
+		if err := t.remirror(); err != nil {
 			return stats, err
 		}
 		stats.SyncTime = t.buildStats.ISegXfer
@@ -215,7 +218,7 @@ func (t *Tree[K]) syncDirtyNodes(res cpubtree.BatchResult) (vclock.Duration, int
 
 	// Pool growth (splits) forces re-allocation of the device buffers.
 	if res.UpperChanged || t.lastBuf.Len() != len(last) || t.upperBuf.Len() != len(upper) {
-		if err := t.mirrorISegment(); err != nil {
+		if err := t.remirror(); err != nil {
 			return 0, dirty, err
 		}
 		total += t.buildStats.ISegXfer
@@ -226,7 +229,14 @@ func (t *Tree[K]) syncDirtyNodes(res cpubtree.BatchResult) (vclock.Duration, int
 	for _, b := range res.DirtyLast {
 		off := int(b) * nodeSlots
 		if _, err := t.lastBuf.CopyRegionFromHost(off, last[off:off+nodeSlots]); err != nil {
-			return 0, dirty, err
+			// A faulted per-node copy leaves the replica partially
+			// synchronised; degrade to one full mirror — the async
+			// method's transfer — before giving up and going stale.
+			if merr := t.remirror(); merr != nil {
+				return 0, dirty, err
+			}
+			total += t.buildStats.ISegXfer
+			return total, dirty, nil
 		}
 		// Each enqueued node copy pays the asynchronous initiation cost
 		// plus its bytes (Section 5.6: bounded by initiation latency).
@@ -282,7 +292,7 @@ func (t *Tree[K]) MixedBatch(ops []cpubtree.MixedOp[K], method UpdateMethod) (cp
 		}
 		stats.HostTime = vclock.Max(host, sync)
 	default:
-		if err := t.mirrorISegment(); err != nil {
+		if err := t.remirror(); err != nil {
 			return res, stats, err
 		}
 		stats.HostTime = host
@@ -382,8 +392,12 @@ func (t *Tree[K]) UpdateGPUAssisted(ops []cpubtree.Op[K]) (UpdateStats, error) {
 		return stats, err
 	}
 	out := rbuf.Data()
-	gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
-		qbuf.Data()[:n], out[:n], out[n:2*n], 0, nil)
+	// A kernel fault here precedes any host mutation: the batch simply
+	// fails and may be retried (or applied via the CPU-only methods).
+	if _, err := gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
+		qbuf.Data()[:n], out[:n], out[n:2*n], 0, nil); err != nil {
+		return stats, err
+	}
 	d2 := t.gpuStageDuration(n, t.regDesc.Height)
 	leaves := make([]int32, n)
 	if _, err := rbuf.CopyToHost(leaves); err != nil {
@@ -418,7 +432,7 @@ func (t *Tree[K]) UpdateGPUAssisted(ops []cpubtree.Op[K]) (UpdateStats, error) {
 	}
 	stats.HostTime = gpuPhase + vclock.Duration(float64(n)*float64(perOp)/speedup)
 
-	if err := t.mirrorISegment(); err != nil {
+	if err := t.remirror(); err != nil {
 		return stats, err
 	}
 	stats.SyncTime = t.buildStats.ISegXfer

@@ -1,0 +1,351 @@
+// Package fault is the deterministic fault-injection harness for the
+// simulated GPU. The paper's premise is that the upper tree is
+// searchable on either device; a production deployment of that idea
+// must therefore keep serving when the GPU path misbehaves. This
+// package supplies the misbehaviour: a seedable Injector that
+// gpusim.Device consults before every kernel launch, host<->device
+// transfer and device allocation, returning typed errors — kernel
+// launch failures, transfer timeouts, corrupted payloads, device OOM,
+// reset bursts — instead of the simulator's usual silent success.
+//
+// Injection is either probability-driven (per-operation rates from a
+// seeded PRNG, reproducible across runs) or schedule-driven
+// (ScriptNext queues exact outcomes per operation class, the mode the
+// breaker state-machine tests use). The whole error taxonomy wraps
+// ErrFault, so callers classify with fault.Is and never confuse an
+// injected device fault with a structural error such as a capacity
+// overflow.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrFault is the sentinel every injected (or fault-derived) device
+// error wraps: errors.Is(err, ErrFault) — or the fault.Is shorthand —
+// identifies "the GPU path failed and a CPU fallback is legitimate",
+// as opposed to a structural error the caller must surface.
+var ErrFault = errors.New("device fault")
+
+// The typed fault taxonomy. Each error wraps ErrFault.
+var (
+	// ErrKernel is a failed kernel launch (the CUDA "unspecified launch
+	// failure" class): no results were produced.
+	ErrKernel = fmt.Errorf("kernel launch failed: %w", ErrFault)
+	// ErrH2D is a host-to-device transfer that timed out; no bytes
+	// reached the device.
+	ErrH2D = fmt.Errorf("host-to-device transfer timed out: %w", ErrFault)
+	// ErrD2H is a device-to-host transfer that timed out; no bytes
+	// reached the host.
+	ErrD2H = fmt.Errorf("device-to-host transfer timed out: %w", ErrFault)
+	// ErrCorrupt is a transfer whose payload failed verification; the
+	// simulator drops the payload rather than deliver corrupt data, so
+	// the effect on the caller is a failed transfer.
+	ErrCorrupt = fmt.Errorf("transfer payload corrupted (dropped): %w", ErrFault)
+	// ErrOOM is an injected allocation failure, distinct from the
+	// simulator's genuine capacity check.
+	ErrOOM = fmt.Errorf("device allocation failed: %w", ErrFault)
+	// ErrReset is a device reset in progress: every operation fails for
+	// the duration of the burst.
+	ErrReset = fmt.Errorf("device reset in progress: %w", ErrFault)
+	// ErrReplicaStale marks a tree whose device-resident I-segment
+	// replica could not be re-synchronised after a faulted update: GPU
+	// lookups would read stale nodes, so the search path refuses them
+	// until a re-mirror succeeds. It wraps ErrFault because the correct
+	// reaction is the same — serve from the CPU.
+	ErrReplicaStale = fmt.Errorf("device replica stale after faulted synchronisation: %w", ErrFault)
+)
+
+// Is reports whether err is (or wraps) an injected device fault.
+func Is(err error) bool { return errors.Is(err, ErrFault) }
+
+// Op is an injection point class.
+type Op int
+
+// The injection points gpusim.Device consults.
+const (
+	OpKernel Op = iota // kernel launch
+	OpH2D              // host-to-device transfer
+	OpD2H              // device-to-host transfer
+	OpMalloc           // device allocation
+	numOps
+)
+
+// String names the injection point.
+func (o Op) String() string {
+	switch o {
+	case OpKernel:
+		return "kernel"
+	case OpH2D:
+		return "h2d"
+	case OpD2H:
+		return "d2h"
+	case OpMalloc:
+		return "oom"
+	}
+	return "unknown"
+}
+
+// Options configures an Injector. All probabilities are per-check in
+// [0, 1]; the zero value injects nothing.
+type Options struct {
+	Seed uint64 // PRNG seed; equal seeds give equal fault sequences
+
+	Kernel float64 // kernel launch failure rate
+	H2D    float64 // host-to-device timeout rate
+	D2H    float64 // device-to-host timeout rate
+	OOM    float64 // injected allocation failure rate
+
+	// Corrupt is the fraction of injected transfer faults reported as
+	// payload corruption (ErrCorrupt) rather than a timeout.
+	Corrupt float64
+
+	// Reset is the per-check probability of starting a device reset
+	// burst: the triggering check and the next ResetOps-1 checks all
+	// fail with ErrReset, whatever their class — the sustained outage
+	// that trips a circuit breaker open.
+	Reset    float64
+	ResetOps int // burst length; 0 selects DefaultResetOps
+}
+
+// DefaultResetOps is the reset burst length when Options.ResetOps is 0.
+const DefaultResetOps = 32
+
+// Counters is a snapshot of an Injector's bookkeeping.
+type Counters struct {
+	Checks   int64 // injection points consulted
+	Injected int64 // faults injected (all kinds)
+
+	Kernel, H2D, D2H, OOM, Corrupt, Reset int64 // per-kind injections
+	Bursts                                int64 // reset bursts started
+}
+
+// Injector decides, per device operation, whether to inject a fault.
+// It is safe for concurrent use; determinism holds for a fixed seed
+// and a fixed sequence of checks (single-threaded drivers reproduce
+// exactly; concurrent drivers reproduce statistically).
+type Injector struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	opt       Options
+	resetLeft int
+	scripts   [numOps][]error
+	c         Counters
+}
+
+// New builds an injector from opt.
+func New(opt Options) *Injector {
+	if opt.ResetOps <= 0 {
+		opt.ResetOps = DefaultResetOps
+	}
+	return &Injector{
+		rng: rand.New(rand.NewPCG(opt.Seed, opt.Seed^0x9e3779b97f4a7c15)),
+		opt: opt,
+	}
+}
+
+// Options returns the injector's configuration.
+func (in *Injector) Options() Options {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.opt
+}
+
+// ScriptNext queues exact outcomes for op: each subsequent Check(op)
+// pops one queued outcome (nil means "succeed") before any
+// probability-driven decision applies. Scripts make breaker
+// state-machine tests deterministic without touching probabilities.
+func (in *Injector) ScriptNext(op Op, outcomes ...error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.scripts[op] = append(in.scripts[op], outcomes...)
+}
+
+// ScriptLen returns how many scripted outcomes remain queued for op.
+func (in *Injector) ScriptLen(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.scripts[op])
+}
+
+// Check is the injection point: it returns nil for success or a typed
+// fault for the device to surface. The decision order is scripted
+// outcome, then an in-progress reset burst, then a fresh reset draw,
+// then the op's own probability.
+func (in *Injector) Check(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.c.Checks++
+
+	if q := in.scripts[op]; len(q) > 0 {
+		err := q[0]
+		in.scripts[op] = q[1:]
+		in.record(err)
+		return err
+	}
+	if in.resetLeft > 0 {
+		in.resetLeft--
+		in.record(ErrReset)
+		return ErrReset
+	}
+	if in.opt.Reset > 0 && in.rng.Float64() < in.opt.Reset {
+		in.resetLeft = in.opt.ResetOps - 1
+		in.c.Bursts++
+		in.record(ErrReset)
+		return ErrReset
+	}
+	var p float64
+	switch op {
+	case OpKernel:
+		p = in.opt.Kernel
+	case OpH2D:
+		p = in.opt.H2D
+	case OpD2H:
+		p = in.opt.D2H
+	case OpMalloc:
+		p = in.opt.OOM
+	}
+	if p <= 0 || in.rng.Float64() >= p {
+		return nil
+	}
+	var err error
+	switch op {
+	case OpKernel:
+		err = ErrKernel
+	case OpH2D, OpD2H:
+		err = ErrH2D
+		if op == OpD2H {
+			err = ErrD2H
+		}
+		if in.opt.Corrupt > 0 && in.rng.Float64() < in.opt.Corrupt {
+			err = ErrCorrupt
+		}
+	case OpMalloc:
+		err = ErrOOM
+	}
+	in.record(err)
+	return err
+}
+
+// record tallies one injected outcome; callers hold mu.
+func (in *Injector) record(err error) {
+	if err == nil {
+		return
+	}
+	in.c.Injected++
+	switch {
+	case errors.Is(err, ErrKernel):
+		in.c.Kernel++
+	case errors.Is(err, ErrCorrupt):
+		in.c.Corrupt++
+	case errors.Is(err, ErrH2D):
+		in.c.H2D++
+	case errors.Is(err, ErrD2H):
+		in.c.D2H++
+	case errors.Is(err, ErrOOM):
+		in.c.OOM++
+	case errors.Is(err, ErrReset):
+		in.c.Reset++
+	}
+}
+
+// Counters returns the current bookkeeping snapshot.
+func (in *Injector) Counters() Counters {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.c
+}
+
+// Parse builds Options from a comma-separated spec such as
+// "kernel=0.1,h2d=0.01,d2h=0.01,oom=0.001,corrupt=0.5,reset=0.0001,resetops=32,seed=7".
+// Unknown keys and malformed values are errors; an empty spec is the
+// zero Options.
+func Parse(spec string) (Options, error) {
+	var opt Options
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return opt, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return opt, fmt.Errorf("fault: bad spec element %q (want key=value)", part)
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return opt, fmt.Errorf("fault: bad seed %q", v)
+			}
+			opt.Seed = n
+		case "resetops":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return opt, fmt.Errorf("fault: bad resetops %q", v)
+			}
+			opt.ResetOps = n
+		default:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 || f > 1 {
+				return opt, fmt.Errorf("fault: bad rate %s=%q (want [0,1])", k, v)
+			}
+			switch k {
+			case "kernel":
+				opt.Kernel = f
+			case "h2d":
+				opt.H2D = f
+			case "d2h":
+				opt.D2H = f
+			case "oom":
+				opt.OOM = f
+			case "corrupt":
+				opt.Corrupt = f
+			case "reset":
+				opt.Reset = f
+			default:
+				return opt, fmt.Errorf("fault: unknown spec key %q", k)
+			}
+		}
+	}
+	return opt, nil
+}
+
+// EnvVar is the environment variable FromEnv reads — the switch the CI
+// fault-injection lane flips to run the whole test suite against a
+// faulty device.
+const EnvVar = "HBTREE_FAULT"
+
+var (
+	envOnce sync.Once
+	envInj  *Injector
+)
+
+// FromEnv returns the process-wide injector configured by the
+// HBTREE_FAULT environment variable ("kernel=0.1,seed=7", see Parse),
+// or nil when the variable is unset or empty. The injector is built
+// once and shared, so every device in the process sees one fault
+// stream. A malformed spec is reported once on stderr and ignored —
+// a broken CI matrix entry must not silently disable the suite.
+func FromEnv() *Injector {
+	envOnce.Do(func() {
+		spec := os.Getenv(EnvVar)
+		if spec == "" {
+			return
+		}
+		opt, err := Parse(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault: ignoring %s=%q: %v\n", EnvVar, spec, err)
+			return
+		}
+		envInj = New(opt)
+	})
+	return envInj
+}

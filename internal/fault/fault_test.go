@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDeterminism: equal seeds produce identical fault sequences;
+// different seeds diverge.
+func TestDeterminism(t *testing.T) {
+	opt := Options{Seed: 7, Kernel: 0.3, H2D: 0.1, D2H: 0.1, OOM: 0.05}
+	a, b := New(opt), New(opt)
+	same := 0
+	for i := 0; i < 4096; i++ {
+		op := Op(i % int(numOps))
+		ea, eb := a.Check(op), b.Check(op)
+		if !errors.Is(ea, eb) && !errors.Is(eb, ea) {
+			t.Fatalf("check %d: seeds diverge: %v vs %v", i, ea, eb)
+		}
+		if ea != nil {
+			same++
+		}
+	}
+	if same == 0 {
+		t.Fatal("no faults injected at 30%/10% rates over 4096 checks")
+	}
+	optB := opt
+	optB.Seed = 8
+	c := New(optB)
+	diverged := false
+	for i := 0; i < 4096; i++ {
+		op := Op(i % int(numOps))
+		if (a.Check(op) == nil) != (c.Check(op) == nil) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestTypedErrors: every injected error classifies as a fault and maps
+// to its op's kind.
+func TestTypedErrors(t *testing.T) {
+	in := New(Options{Seed: 1, Kernel: 1, H2D: 1, D2H: 1, OOM: 1})
+	cases := []struct {
+		op   Op
+		want error
+	}{
+		{OpKernel, ErrKernel},
+		{OpH2D, ErrH2D},
+		{OpD2H, ErrD2H},
+		{OpMalloc, ErrOOM},
+	}
+	for _, c := range cases {
+		err := in.Check(c.op)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("%v: got %v, want %v", c.op, err, c.want)
+		}
+		if !Is(err) {
+			t.Fatalf("%v: %v does not classify as a fault", c.op, err)
+		}
+	}
+	if Is(errors.New("capacity exceeded")) {
+		t.Fatal("a structural error classified as an injected fault")
+	}
+	if !Is(ErrReplicaStale) {
+		t.Fatal("ErrReplicaStale must classify as a fault (CPU fallback is the cure)")
+	}
+}
+
+// TestScriptedOutcomes: scripts override probabilities and drain in
+// order.
+func TestScriptedOutcomes(t *testing.T) {
+	in := New(Options{Seed: 1}) // zero rates: only scripts fire
+	in.ScriptNext(OpKernel, ErrKernel, nil, ErrReset)
+	if err := in.Check(OpKernel); !errors.Is(err, ErrKernel) {
+		t.Fatalf("scripted #1 = %v", err)
+	}
+	if err := in.Check(OpKernel); err != nil {
+		t.Fatalf("scripted #2 = %v, want success", err)
+	}
+	if err := in.Check(OpKernel); !errors.Is(err, ErrReset) {
+		t.Fatalf("scripted #3 = %v", err)
+	}
+	if err := in.Check(OpKernel); err != nil {
+		t.Fatalf("after script drained: %v, want success (zero rates)", err)
+	}
+	if n := in.ScriptLen(OpKernel); n != 0 {
+		t.Fatalf("ScriptLen = %d after drain", n)
+	}
+}
+
+// TestResetBurst: one reset draw fails the next ResetOps checks across
+// all op classes.
+func TestResetBurst(t *testing.T) {
+	in := New(Options{Seed: 3, Reset: 1, ResetOps: 4})
+	for i := 0; i < 4; i++ {
+		op := Op(i % int(numOps))
+		if err := in.Check(op); !errors.Is(err, ErrReset) {
+			t.Fatalf("burst check %d (%v) = %v, want ErrReset", i, op, err)
+		}
+	}
+	c := in.Counters()
+	if c.Bursts < 1 || c.Reset < 4 {
+		t.Fatalf("counters = %+v, want >=1 burst and >=4 resets", c)
+	}
+}
+
+// TestParse round-trips a full spec and rejects malformed ones.
+func TestParse(t *testing.T) {
+	opt, err := Parse("kernel=0.1, h2d=0.02,d2h=0.03,oom=0.004,corrupt=0.5,reset=0.001,resetops=16,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Kernel != 0.1 || opt.H2D != 0.02 || opt.D2H != 0.03 || opt.OOM != 0.004 ||
+		opt.Corrupt != 0.5 || opt.Reset != 0.001 || opt.ResetOps != 16 || opt.Seed != 9 {
+		t.Fatalf("parsed %+v", opt)
+	}
+	if opt, err := Parse(""); err != nil || opt != (Options{}) {
+		t.Fatalf("empty spec: %+v, %v", opt, err)
+	}
+	for _, bad := range []string{"kernel", "kernel=2", "bogus=0.1", "seed=x", "resetops=-1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCounters: checks and injections are tallied.
+func TestCounters(t *testing.T) {
+	in := New(Options{Seed: 1, Kernel: 1})
+	for i := 0; i < 10; i++ {
+		in.Check(OpKernel)
+	}
+	c := in.Counters()
+	if c.Checks != 10 || c.Injected != 10 || c.Kernel != 10 {
+		t.Fatalf("counters = %+v", c)
+	}
+}

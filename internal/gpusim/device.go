@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hbtree/internal/fault"
 	"hbtree/internal/keys"
 	"hbtree/internal/platform"
 	"hbtree/internal/vclock"
@@ -49,8 +50,34 @@ type Device struct {
 	bytesD2H     atomic.Int64
 	transactions atomic.Int64 // coalesced 64 B device-memory transactions
 	kernels      atomic.Int64
+	faults       atomic.Int64 // injected faults surfaced by this device
+
+	// inj, when set, is consulted before every kernel launch, transfer
+	// and allocation; a non-nil Check result fails the operation with
+	// that typed error and no functional effect.
+	inj atomic.Pointer[fault.Injector]
 
 	workers int // host goroutines emulating the SM array
+}
+
+// SetInjector attaches (or, with nil, detaches) a fault injector. Safe
+// to call while the device is serving.
+func (d *Device) SetInjector(in *fault.Injector) { d.inj.Store(in) }
+
+// Injector returns the attached fault injector, or nil.
+func (d *Device) Injector() *fault.Injector { return d.inj.Load() }
+
+// check consults the attached injector for one operation class.
+func (d *Device) check(op fault.Op) error {
+	in := d.inj.Load()
+	if in == nil {
+		return nil
+	}
+	if err := in.Check(op); err != nil {
+		d.faults.Add(1)
+		return err
+	}
+	return nil
 }
 
 // New creates a device from the platform model.
@@ -81,6 +108,7 @@ type Counters struct {
 	BytesD2H     int64
 	Transactions int64
 	Kernels      int64
+	Faults       int64 // injected faults surfaced by this device
 }
 
 // Counters returns the current counter snapshot.
@@ -90,6 +118,7 @@ func (d *Device) Counters() Counters {
 		BytesD2H:     d.bytesD2H.Load(),
 		Transactions: d.transactions.Load(),
 		Kernels:      d.kernels.Load(),
+		Faults:       d.faults.Load(),
 	}
 }
 
@@ -105,6 +134,9 @@ type Buffer[K any] struct {
 func Malloc[K any](d *Device, n int) (*Buffer[K], error) {
 	var z K
 	size := int64(n) * int64(sizeofAny(z))
+	if err := d.check(fault.OpMalloc); err != nil {
+		return nil, fmt.Errorf("gpusim: malloc of %d bytes: %w", size, err)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.used+size > d.cfg.MemBytes {
@@ -151,6 +183,9 @@ func (b *Buffer[K]) CopyFromHost(src []K) (vclock.Duration, error) {
 	if len(src) > len(b.data) {
 		return 0, fmt.Errorf("gpusim: H2D copy of %d elements into buffer of %d", len(src), len(b.data))
 	}
+	if err := b.dev.check(fault.OpH2D); err != nil {
+		return 0, err // no bytes moved: the device image is unchanged
+	}
 	copy(b.data, src)
 	var z K
 	bytes := int64(len(src)) * int64(sizeofAny(z))
@@ -167,6 +202,9 @@ func (b *Buffer[K]) CopyRegionFromHost(off int, src []K) (vclock.Duration, error
 	if off < 0 || off+len(src) > len(b.data) {
 		return 0, fmt.Errorf("gpusim: H2D region copy out of range [%d, %d) of %d", off, off+len(src), len(b.data))
 	}
+	if err := b.dev.check(fault.OpH2D); err != nil {
+		return 0, err // no bytes moved: the device image is unchanged
+	}
 	copy(b.data[off:], src)
 	var z K
 	bytes := int64(len(src)) * int64(sizeofAny(z))
@@ -179,6 +217,9 @@ func (b *Buffer[K]) CopyRegionFromHost(off int, src []K) (vclock.Duration, error
 func (b *Buffer[K]) CopyToHost(dst []K) (vclock.Duration, error) {
 	if len(dst) > len(b.data) {
 		return 0, fmt.Errorf("gpusim: D2H copy of %d elements from buffer of %d", len(dst), len(b.data))
+	}
+	if err := b.dev.check(fault.OpD2H); err != nil {
+		return 0, err // no bytes moved: dst is untouched
 	}
 	copy(dst, b.data)
 	var z K

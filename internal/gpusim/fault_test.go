@@ -1,0 +1,102 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+
+	"hbtree/internal/fault"
+	"hbtree/internal/platform"
+)
+
+// TestInjectorSurfacesTypedFaults drives every injection point of the
+// device with scripted outcomes and checks that the typed error comes
+// back unchanged in class, that no bytes move on a faulted transfer,
+// and that the device's Faults counter tallies each surfaced fault.
+func TestInjectorSurfacesTypedFaults(t *testing.T) {
+	d := dev()
+	in := fault.New(fault.Options{})
+	d.SetInjector(in)
+	if d.Injector() != in {
+		t.Fatal("injector not attached")
+	}
+
+	// Malloc: scripted OOM, then success.
+	in.ScriptNext(fault.OpMalloc, fault.ErrOOM)
+	if _, err := Malloc[uint64](d, 8); !errors.Is(err, fault.ErrOOM) {
+		t.Fatalf("scripted malloc fault = %v", err)
+	}
+	if d.MemUsed() != 0 {
+		t.Fatal("faulted malloc consumed device memory")
+	}
+	b, err := Malloc[uint64](d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// H2D: scripted timeout, no bytes move.
+	h2dBefore := d.Counters().BytesH2D
+	in.ScriptNext(fault.OpH2D, fault.ErrH2D)
+	if _, err := b.CopyFromHost([]uint64{1, 2, 3, 4, 5, 6, 7, 8}); !errors.Is(err, fault.ErrH2D) {
+		t.Fatalf("scripted H2D fault = %v", err)
+	}
+	if d.Counters().BytesH2D != h2dBefore {
+		t.Fatal("faulted H2D still moved bytes")
+	}
+	if _, err := b.CopyFromHost([]uint64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	// D2H: scripted corruption; the payload is dropped, not delivered.
+	dst := make([]uint64, 8)
+	in.ScriptNext(fault.OpD2H, fault.ErrCorrupt)
+	if _, err := b.CopyToHost(dst); !errors.Is(err, fault.ErrCorrupt) {
+		t.Fatalf("scripted D2H fault = %v", err)
+	}
+	if dst[0] != 0 {
+		t.Fatal("corrupt transfer delivered data")
+	}
+
+	// Kernel: scripted launch failure, then success; a failed launch
+	// does not count as an executed kernel.
+	kBefore := d.Counters().Kernels
+	in.ScriptNext(fault.OpKernel, fault.ErrKernel)
+	if _, err := ImplicitSearchKernel[uint64](d, nil, ImplicitDesc{}, nil, nil, 0, nil); !errors.Is(err, fault.ErrKernel) {
+		t.Fatalf("scripted kernel fault = %v", err)
+	}
+	if got := d.Counters().Kernels; got != kBefore {
+		t.Fatalf("faulted launch counted as executed kernel (%d -> %d)", kBefore, got)
+	}
+
+	// Every surfaced fault is tallied, and fault.Is classifies them all.
+	if got := d.Counters().Faults; got != 4 {
+		t.Fatalf("Faults counter = %d, want 4", got)
+	}
+	if c := in.Counters(); c.Injected != 4 || c.Checks < 4 {
+		t.Fatalf("injector counters = %+v", c)
+	}
+}
+
+// TestInjectorProbabilisticRates: a 100%-rate injector fails every
+// operation of its class while leaving the others untouched, and a
+// fresh device without an injector is fault-free — SetInjector is the
+// only switch.
+func TestInjectorProbabilisticRates(t *testing.T) {
+	d := New(platform.M1().GPU)
+	in := fault.New(fault.Options{Seed: 7, Kernel: 1.0})
+	d.SetInjector(in)
+	b, err := Malloc[uint64](d, 4) // malloc rate 0: must succeed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CopyFromHost([]uint64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err) // h2d rate 0: must succeed
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ImplicitSearchKernel[uint64](d, nil, ImplicitDesc{}, nil, nil, 0, nil); !fault.Is(err) {
+			t.Fatalf("kernel launch %d with rate 1.0 succeeded", i)
+		}
+	}
+	if got := d.Counters().Faults; got != 10 {
+		t.Fatalf("Faults = %d, want 10", got)
+	}
+}

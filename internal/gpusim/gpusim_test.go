@@ -145,7 +145,10 @@ func TestImplicitKernelMatchesHostTraversal(t *testing.T) {
 	d := dev()
 	qs := workload.SearchInput(pairs, 8000, 3)
 	out := make([]int32, len(qs))
-	trans := ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil)
+	trans, err := ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if trans != int64(len(qs))*int64(desc.Height) {
 		t.Fatalf("transaction count %d", trans)
 	}
@@ -167,7 +170,9 @@ func TestImplicitKernelResume(t *testing.T) {
 			starts[i] = int32(tr.WalkToLevel(q, D))
 		}
 		out := make([]int32, len(qs))
-		ImplicitSearchKernel(d, inner, desc, qs, out, D, starts)
+		if _, err := ImplicitSearchKernel(d, inner, desc, qs, out, D, starts); err != nil {
+			t.Fatal(err)
+		}
 		for i, q := range qs {
 			if int(out[i]) != tr.SearchInner(q) {
 				t.Fatalf("D=%d: resumed kernel diverges for key %d", D, q)
@@ -188,7 +193,9 @@ func TestRegularKernelMatchesHostTraversal(t *testing.T) {
 	qs := workload.SearchInput(pairs, 6000, 9)
 	outLeaf := make([]int32, len(qs))
 	outLine := make([]int32, len(qs))
-	RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, 0, nil)
+	if _, err := RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, 0, nil); err != nil {
+		t.Fatal(err)
+	}
 	for i, q := range qs {
 		wl, wc := tr.SearchToLeaf(q)
 		if outLeaf[i] != wl || int(outLine[i]) != wc {
@@ -220,7 +227,9 @@ func TestCountersAccumulate(t *testing.T) {
 	d := dev()
 	qs := workload.SearchInput(pairs, 2000, 1)
 	out := make([]int32, len(qs))
-	ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil)
+	if _, err := ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil); err != nil {
+		t.Fatal(err)
+	}
 	d.KernelDuration(len(qs), float64(desc.Height), 1, 8, 1)
 	c := d.Counters()
 	if c.Kernels != 1 || c.Transactions != int64(len(qs))*int64(desc.Height) {

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"sync"
 
+	"hbtree/internal/fault"
 	"hbtree/internal/keys"
 )
 
@@ -51,8 +52,13 @@ type ImplicitDesc struct {
 // startIdx support the load-balanced mode where the CPU pre-walks the
 // top D levels (Section 5.5); pass startLevel 0 and nil startIdx for the
 // full traversal. It returns the number of device-memory transactions
-// issued (one coalesced 64-byte access per node per query).
-func ImplicitSearchKernel[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, queries []K, out []int32, startLevel int, startIdx []int32) int64 {
+// issued (one coalesced 64-byte access per node per query), or a typed
+// fault when an attached injector fails the launch — in which case out
+// is untouched.
+func ImplicitSearchKernel[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, queries []K, out []int32, startLevel int, startIdx []int32) (int64, error) {
+	if err := d.check(fault.OpKernel); err != nil {
+		return 0, err
+	}
 	// The small-batch path runs inline without constructing the fan-out
 	// closure, keeping the steady-state serving pipeline allocation-free.
 	if d.runsInline(len(queries)) {
@@ -63,7 +69,7 @@ func ImplicitSearchKernel[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, qu
 		})
 	}
 	levels := desc.Height - startLevel
-	return int64(len(queries)) * int64(levels)
+	return int64(len(queries)) * int64(levels), nil
 }
 
 // implicitSearchRange resolves queries[lo:hi] against the implicit
@@ -103,8 +109,12 @@ type RegularDesc struct {
 // leaf and leaf line. Each node costs three dependent accesses: index
 // line, key line, reference slot (Section 5.3). startHeight/startIdx
 // support the load-balanced mode. It returns the number of device-memory
-// transactions issued.
-func RegularSearchKernel[K keys.Key](d *Device, upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, startHeight int, startIdx []int32) int64 {
+// transactions issued, or a typed fault when an attached injector fails
+// the launch — in which case outLeaf/outLine are untouched.
+func RegularSearchKernel[K keys.Key](d *Device, upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, startHeight int, startIdx []int32) (int64, error) {
+	if err := d.check(fault.OpKernel); err != nil {
+		return 0, err
+	}
 	// As with the implicit kernel, the small-batch path avoids the
 	// fan-out closure so steady-state serving stays allocation-free.
 	if d.runsInline(len(queries)) {
@@ -118,7 +128,7 @@ func RegularSearchKernel[K keys.Key](d *Device, upper, last []K, desc RegularDes
 	if startIdx != nil {
 		h = startHeight
 	}
-	return int64(len(queries)) * int64(h) * 3
+	return int64(len(queries)) * int64(h) * 3, nil
 }
 
 // regularSearchNode runs the two dependent warp searches of one regular

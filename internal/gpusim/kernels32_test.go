@@ -28,7 +28,9 @@ func TestImplicitKernel32(t *testing.T) {
 	d := dev()
 	qs := workload.SearchInput(pairs, 5000, 3)
 	out := make([]int32, len(qs))
-	ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil)
+	if _, err := ImplicitSearchKernel(d, inner, desc, qs, out, 0, nil); err != nil {
+		t.Fatal(err)
+	}
 	for i, q := range qs {
 		if int(out[i]) != tr.SearchInner(q) {
 			t.Fatalf("32-bit kernel diverges for key %d: %d vs %d", q, out[i], tr.SearchInner(q))
@@ -48,7 +50,9 @@ func TestRegularKernel32(t *testing.T) {
 	qs := workload.SearchInput(pairs, 5000, 9)
 	outLeaf := make([]int32, len(qs))
 	outLine := make([]int32, len(qs))
-	RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, 0, nil)
+	if _, err := RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, 0, nil); err != nil {
+		t.Fatal(err)
+	}
 	for i, q := range qs {
 		wl, wc := tr.SearchToLeaf(q)
 		if outLeaf[i] != wl || int(outLine[i]) != wc {
@@ -77,7 +81,9 @@ func TestRegularKernelResume(t *testing.T) {
 		}
 		outLeaf := make([]int32, len(qs))
 		outLine := make([]int32, len(qs))
-		RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, stop, starts)
+		if _, err := RegularSearchKernel(d, upper, last, desc, qs, outLeaf, outLine, stop, starts); err != nil {
+			t.Fatal(err)
+		}
 		for i, q := range qs {
 			wl, wc := tr.SearchToLeaf(q)
 			if outLeaf[i] != wl || int(outLine[i]) != wc {

@@ -1,0 +1,98 @@
+package hybrid
+
+import (
+	"testing"
+
+	"hbtree/internal/csstree"
+	"hbtree/internal/fault"
+	"hbtree/internal/workload"
+)
+
+// TestEngineFallbackOnForcedOpenBreaker: with the breaker forced open
+// the engine must answer every query correctly from the host-resident
+// directory image without launching a single kernel.
+func TestEngineFallbackOnForcedOpenBreaker(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 20000, 42)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine[uint64](WrapCSS(tr), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Breaker().ForceOpen(true)
+
+	kBefore := e.Device().Counters().Kernels
+	qs := workload.SearchInput(pairs, 4000, 7)
+	vals, found, stats, err := e.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if !found[i] || vals[i] != workload.ValueFor(q) {
+			t.Fatalf("fallback query %d of key %d returned (%d,%v)", i, q, vals[i], found[i])
+		}
+	}
+	if !stats.Fallback {
+		t.Fatal("stats.Fallback not set on a forced-open batch")
+	}
+	if stats.SimTime <= 0 || stats.ThroughputQPS <= 0 {
+		t.Fatalf("fallback batch has no modelled cost: %+v", stats)
+	}
+	if got := e.Device().Counters().Kernels; got != kBefore {
+		t.Fatalf("forced-open batch launched kernels (%d -> %d)", kBefore, got)
+	}
+	if e.Fallbacks() == 0 {
+		t.Fatal("fallback counter not incremented")
+	}
+}
+
+// TestEngineFallbackOnInjectedFault: a scripted kernel-launch failure
+// degrades the batch to the host path — same results, fault counted,
+// breaker informed — instead of surfacing the error to the caller.
+func TestEngineFallbackOnInjectedFault(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 20000, 3)
+	tr, err := csstree.Build(pairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine[uint64](WrapCSS(tr), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	in := fault.New(fault.Options{})
+	e.Device().SetInjector(in)
+	in.ScriptNext(fault.OpKernel, fault.ErrKernel)
+
+	qs := workload.SearchInput(pairs, 1000, 11)
+	vals, found, stats, err := e.LookupBatch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if !found[i] || vals[i] != workload.ValueFor(q) {
+			t.Fatalf("degraded query %d of key %d returned (%d,%v)", i, q, vals[i], found[i])
+		}
+	}
+	if !stats.Fallback {
+		t.Fatal("stats.Fallback not set after an injected kernel fault")
+	}
+	if e.GPUFaults() != 1 {
+		t.Fatalf("GPUFaults = %d, want 1", e.GPUFaults())
+	}
+
+	// With the script drained the next batch takes the GPU path again.
+	kBefore := e.Device().Counters().Kernels
+	if _, _, stats, err = e.LookupBatch(qs); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fallback {
+		t.Fatal("healthy batch still marked Fallback")
+	}
+	if got := e.Device().Counters().Kernels; got == kBefore {
+		t.Fatal("healthy batch did not launch kernels")
+	}
+}

@@ -21,7 +21,10 @@ package hybrid
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"hbtree/internal/breaker"
+	"hbtree/internal/fault"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
 	"hbtree/internal/model"
@@ -82,6 +85,10 @@ type Stats struct {
 	SimTime       vclock.Duration
 	ThroughputQPS float64
 	AvgLatency    vclock.Duration
+
+	// Fallback marks a batch answered entirely on the host because the
+	// engine's circuit breaker was open or the GPU-sim faulted mid-batch.
+	Fallback bool
 }
 
 // Engine runs hybrid CPU-GPU lookups over any Index.
@@ -91,6 +98,15 @@ type Engine[K keys.Key] struct {
 	dev  *gpusim.Device
 	iseg *gpusim.Buffer[K]
 	desc gpusim.ImplicitDesc
+
+	// image is the host copy of the device-resident directory, retained
+	// so lookups can complete without the device when the breaker over
+	// injected GPU faults is open — the framework's degraded mode.
+	image []K
+	brk   *breaker.Breaker
+
+	gpuFaults atomic.Int64
+	fallbacks atomic.Int64
 }
 
 // NewEngine validates the index geometry, mirrors its directory into
@@ -107,7 +123,8 @@ func NewEngine[K keys.Key](idx Index[K], opt Options) (*Engine[K], error) {
 	if len(image)%kpn != 0 || len(levelOff) == 0 {
 		return nil, fmt.Errorf("hybrid: malformed directory image")
 	}
-	e := &Engine[K]{idx: idx, opt: opt, dev: gpusim.New(opt.Machine.GPU)}
+	e := &Engine[K]{idx: idx, opt: opt, dev: gpusim.New(opt.Machine.GPU),
+		image: image, brk: breaker.New(breaker.Options{})}
 	buf, err := gpusim.Malloc[K](e.dev, len(image))
 	if err != nil {
 		return nil, fmt.Errorf("hybrid: directory does not fit in GPU memory: %w", err)
@@ -141,6 +158,15 @@ func (e *Engine[K]) Close() {
 // Device exposes the engine's simulated GPU.
 func (e *Engine[K]) Device() *gpusim.Device { return e.dev }
 
+// Breaker exposes the engine's circuit breaker over GPU-sim faults.
+func (e *Engine[K]) Breaker() *breaker.Breaker { return e.brk }
+
+// GPUFaults reports how many batches hit an injected device fault.
+func (e *Engine[K]) GPUFaults() int64 { return e.gpuFaults.Load() }
+
+// Fallbacks reports how many batches were answered host-only.
+func (e *Engine[K]) Fallbacks() int64 { return e.fallbacks.Load() }
+
 // cpuStage models the CPU leaf-completion time for one bucket, from the
 // index's own geometry (the parameter derivation of the future work).
 func (e *Engine[K]) cpuStage(n int) vclock.Duration {
@@ -154,7 +180,11 @@ func (e *Engine[K]) cpuStage(n int) vclock.Duration {
 
 // LookupBatch resolves the queries with the double-buffered hybrid
 // pipeline, functionally traversing the device-resident directory and
-// completing lookups through the index's leaf function.
+// completing lookups through the index's leaf function. When the
+// device faults (an attached injector) the batch degrades to the
+// host-only directory walk; repeated faults trip the engine's breaker
+// and subsequent batches skip the device entirely until a half-open
+// probe succeeds.
 func (e *Engine[K]) LookupBatch(queries []K) (values []K, found []bool, stats Stats, err error) {
 	n := len(queries)
 	values = make([]K, n)
@@ -163,15 +193,39 @@ func (e *Engine[K]) LookupBatch(queries []K) (values []K, found []bool, stats St
 	if n == 0 {
 		return values, found, stats, nil
 	}
+	if !e.brk.Allow() {
+		e.lookupBatchHost(queries, values, found, &stats)
+		return values, found, stats, nil
+	}
+	stats, err = e.lookupBatchGPU(queries, values, found)
+	if err != nil {
+		if !fault.Is(err) {
+			return nil, nil, stats, err
+		}
+		e.brk.Failure()
+		e.gpuFaults.Add(1)
+		e.lookupBatchHost(queries, values, found, &stats)
+		return values, found, stats, nil
+	}
+	e.brk.Success()
+	return values, found, stats, nil
+}
+
+// lookupBatchGPU is the device pipeline; on an injected fault it
+// returns the typed error with the result slices in an undefined
+// partial state (the caller re-answers them host-side).
+func (e *Engine[K]) lookupBatchGPU(queries []K, values []K, found []bool) (stats Stats, err error) {
+	n := len(queries)
+	stats.Queries = n
 	m := e.opt.BucketSize
 	qbuf, err := gpusim.Malloc[K](e.dev, m)
 	if err != nil {
-		return nil, nil, stats, fmt.Errorf("hybrid: query buffer: %w", err)
+		return stats, fmt.Errorf("hybrid: query buffer: %w", err)
 	}
 	defer qbuf.Free()
 	rbuf, err := gpusim.Malloc[int32](e.dev, m)
 	if err != nil {
-		return nil, nil, stats, fmt.Errorf("hybrid: result buffer: %w", err)
+		return stats, fmt.Errorf("hybrid: result buffer: %w", err)
 	}
 	defer rbuf.Free()
 
@@ -193,11 +247,13 @@ func (e *Engine[K]) LookupBatch(queries []K) (values []K, found []bool, stats St
 		}
 		d1, cErr := qbuf.CopyFromHost(bq)
 		if cErr != nil {
-			return nil, nil, stats, cErr
+			return stats, cErr
 		}
 		h2dStart, _ := tl.Schedule(stream, vclock.ResPCIeH2D, "H2D", d1)
 
-		gpusim.ImplicitSearchKernel(e.dev, e.iseg.Data(), e.desc, qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil)
+		if _, kErr := gpusim.ImplicitSearchKernel(e.dev, e.iseg.Data(), e.desc, qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil); kErr != nil {
+			return stats, kErr
+		}
 		d2 := e.dev.KernelDuration(bn, float64(e.desc.Height), 1, e.desc.Kpn, 1)
 		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
 
@@ -207,7 +263,7 @@ func (e *Engine[K]) LookupBatch(queries []K) (values []K, found []bool, stats St
 
 		refs := make([]int32, bn)
 		if _, err := rbuf.CopyToHost(refs); err != nil {
-			return nil, nil, stats, err
+			return stats, err
 		}
 		for i := 0; i < bn; i++ {
 			values[start+i], found[start+i] = e.idx.SearchLeaf(refs[i], bq[i])
@@ -224,5 +280,72 @@ func (e *Engine[K]) LookupBatch(queries []K) (values []K, found []bool, stats St
 	if stats.SimTime > 0 {
 		stats.ThroughputQPS = float64(n) / stats.SimTime.Seconds()
 	}
-	return values, found, stats, nil
+	return stats, nil
+}
+
+// lookupBatchHost answers the batch without the device: the CPU walks
+// the retained directory image level by level, then completes each
+// lookup through the index's leaf function. The cost model charges one
+// node search per level with the directory's own cache-residency
+// profile, plus the usual leaf stage.
+func (e *Engine[K]) lookupBatchHost(queries []K, values []K, found []bool, stats *Stats) {
+	n := len(queries)
+	for i, q := range queries {
+		values[i], found[i] = e.idx.SearchLeaf(e.searchInnerHost(q), q)
+	}
+	cpu := e.opt.Machine.CPU
+	levelBytes, accesses := e.directoryProfile()
+	p := model.ProfileLevels(levelBytes, accesses, cpu.LLCBytes)
+	mem := (vclock.Duration(p.Miss)*cpu.LatMem + vclock.Duration(p.Hit)*cpu.LatLLC) / 2
+	pq := vclock.Duration(float64(e.desc.Height)*float64(model.AlgoCost(cpu, e.opt.NodeSearch))) + mem
+	inner := model.BatchDuration(cpu, n, pq, p.MissBytes(), e.opt.Threads)
+	stats.Buckets = 1
+	stats.SimTime = inner + e.cpuStage(n)
+	stats.AvgLatency = stats.SimTime
+	if stats.SimTime > 0 {
+		stats.ThroughputQPS = float64(n) / stats.SimTime.Seconds()
+	}
+	stats.Fallback = true
+	e.fallbacks.Add(1)
+}
+
+// directoryProfile returns the byte footprint of each directory level
+// (root first) and one access per level, for the host-walk cost model.
+func (e *Engine[K]) directoryProfile() ([]int64, []float64) {
+	sz := int64(keys.Size[K]()) * int64(e.desc.Kpn)
+	bytes := make([]int64, e.desc.Height)
+	accesses := make([]float64, e.desc.Height)
+	for lvl := 0; lvl < e.desc.Height; lvl++ {
+		endNode := len(e.image) / e.desc.Kpn
+		if lvl+1 < len(e.desc.LevelOff) {
+			endNode = int(e.desc.LevelOff[lvl+1])
+		}
+		bytes[lvl] = int64(endNode-int(e.desc.LevelOff[lvl])) * sz
+		accesses[lvl] = 1
+	}
+	return bytes, accesses
+}
+
+// searchInnerHost walks the directory image on the host, mirroring the
+// device kernel's traversal exactly (same flags-and-predecessor result
+// for every node line), so fallback answers match GPU answers.
+func (e *Engine[K]) searchInnerHost(q K) int32 {
+	idx := int32(0)
+	kpn := e.desc.Kpn
+	for lvl := 0; lvl < e.desc.Height; lvl++ {
+		off := (int(e.desc.LevelOff[lvl]) + int(idx)) * kpn
+		node := e.image[off : off+kpn]
+		res := len(node) - 1
+		for j, k := range node {
+			if q <= k {
+				res = j
+				break
+			}
+		}
+		idx = idx*int32(e.desc.Fanout) + int32(res)
+	}
+	if int(idx) >= e.desc.NumLeaves {
+		idx = int32(e.desc.NumLeaves - 1)
+	}
+	return idx
 }

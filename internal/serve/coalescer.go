@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -134,8 +135,10 @@ type Coalescer[K keys.Key] struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	batches atomic.Int64 // batches flushed
-	queries atomic.Int64 // requests served through batches
+	batches   atomic.Int64 // batches flushed
+	queries   atomic.Int64 // requests served through batches
+	shed      atomic.Int64 // requests refused with ErrOverloaded
+	deadlines atomic.Int64 // requests abandoned with ErrDeadlineExceeded
 }
 
 // NewCoalescer starts a coalescer over srv. The caller must Close it to
@@ -212,12 +215,45 @@ func (c *Coalescer[K]) Lookup(key K) (K, bool, error) {
 	return res.Value, res.Found, res.Err
 }
 
+// LookupCtx is Lookup with a caller deadline covering both admission
+// (a backpressure wait at the MaxPending bound) and the parked wait for
+// the coalesced result. An expired request returns ErrDeadlineExceeded
+// and is abandoned: its slot in the forming batch still flushes, but
+// nobody waits on the reply. Abandoned reply cells are not pooled (the
+// late flush still writes into them, cap 1 makes that non-blocking), so
+// this path allocates — use plain Lookup when no deadline is needed.
+func (c *Coalescer[K]) LookupCtx(ctx context.Context, key K) (K, bool, error) {
+	if ctx.Done() == nil {
+		return c.Lookup(key)
+	}
+	var zero K
+	reply := make(chan Result[K], 1)
+	if err := c.submitCtx(ctx, key, reply); err != nil {
+		return zero, false, err
+	}
+	select {
+	case res := <-reply:
+		return res.Value, res.Found, res.Err
+	case <-ctx.Done():
+		c.deadlines.Add(1)
+		return zero, false, ErrDeadlineExceeded
+	}
+}
+
 // submit appends the request to a shard's forming batch, arming the
 // shard's deadline timer on the batch's first request and flushing
 // inline when the batch fills. A non-nil error (ErrClosed,
 // ErrOverloaded) means the request was not queued and nothing will be
 // delivered on reply.
 func (c *Coalescer[K]) submit(key K, reply chan Result[K]) error {
+	return c.submitCtx(context.Background(), key, reply)
+}
+
+// submitCtx is submit with a deadline on the backpressure wait: a
+// submitter blocked at the MaxPending bound gives up with
+// ErrDeadlineExceeded when ctx expires (context.Background's nil Done
+// channel makes the extra select case free for undeadlined callers).
+func (c *Coalescer[K]) submitCtx(ctx context.Context, key K, reply chan Result[K]) error {
 	sh := &c.shards[c.next.Add(1)%uint64(len(c.shards))]
 	if sh.slots != nil {
 		// Admission: take a window token before the shard lock so a
@@ -226,6 +262,7 @@ func (c *Coalescer[K]) submit(key K, reply chan Result[K]) error {
 			select {
 			case sh.slots <- struct{}{}:
 			default:
+				c.shed.Add(1)
 				return ErrOverloaded
 			}
 		} else {
@@ -233,6 +270,9 @@ func (c *Coalescer[K]) submit(key K, reply chan Result[K]) error {
 			case sh.slots <- struct{}{}:
 			case <-c.done:
 				return ErrClosed
+			case <-ctx.Done():
+				c.deadlines.Add(1)
+				return ErrDeadlineExceeded
 			}
 		}
 	}
@@ -354,3 +394,10 @@ func (c *Coalescer[K]) Batches() int64 { return c.batches.Load() }
 
 // Queries returns the number of requests served through batches.
 func (c *Coalescer[K]) Queries() int64 { return c.queries.Load() }
+
+// Shed returns how many requests were refused with ErrOverloaded.
+func (c *Coalescer[K]) Shed() int64 { return c.shed.Load() }
+
+// Deadlines returns how many requests were abandoned with
+// ErrDeadlineExceeded.
+func (c *Coalescer[K]) Deadlines() int64 { return c.deadlines.Load() }

@@ -39,11 +39,14 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
+	"hbtree/internal/breaker"
 	"hbtree/internal/core"
 	"hbtree/internal/cpubtree"
+	"hbtree/internal/fault"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
 	"hbtree/internal/vclock"
@@ -92,19 +95,32 @@ type Server[K keys.Key] struct {
 	tree *core.Tree[K]
 
 	// Snapshot mode: the current version and the writer serialisation.
-	cur atomic.Pointer[snapshot[K]]
-	wmu sync.Mutex
+	// The writer "mutex" is a capacity-1 channel so UpdateCtx/RebuildCtx
+	// can abandon the wait when the caller's deadline expires.
+	cur  atomic.Pointer[snapshot[K]]
+	wsem chan struct{}
 
 	opt       core.Options
 	pointCost vclock.Duration // modelled cost of one per-request lookup
 
+	// Resilience: the circuit breaker over GPU-sim faults and the
+	// bounded-retry policy. The breaker lives here, not on the tree —
+	// snapshot swaps replace trees but error history must survive them.
+	brk   *breaker.Breaker
+	retry RetryOptions
+
 	// Serving metrics (atomic: updated outside the locks).
-	vtimeNs atomic.Int64 // accumulated virtual serving time, ns
-	lookups atomic.Int64 // point lookups served individually
-	batched atomic.Int64 // queries served through LookupBatch
-	batches atomic.Int64 // LookupBatch calls
-	updates atomic.Int64 // update/rebuild operations applied
-	swaps   atomic.Int64 // snapshot publications (snapshot mode)
+	vtimeNs   atomic.Int64 // accumulated virtual serving time, ns
+	lookups   atomic.Int64 // point lookups served individually
+	batched   atomic.Int64 // queries served through LookupBatch
+	batches   atomic.Int64 // LookupBatch calls
+	updates   atomic.Int64 // update/rebuild operations applied
+	swaps     atomic.Int64 // snapshot publications (snapshot mode)
+	gpuFaults atomic.Int64 // injected device faults observed
+	retries   atomic.Int64 // GPU-path retry attempts after a fault
+	fbBatches atomic.Int64 // batches answered by the CPU fallback
+	fbQueries atomic.Int64 // queries answered by the CPU fallback
+	deadlines atomic.Int64 // requests failed with ErrDeadlineExceeded
 }
 
 // NewServer wraps t in snapshot mode: reads never block on batch
@@ -134,7 +150,27 @@ func newServer[K keys.Key](t *core.Tree[K]) *Server[K] {
 			t.Discover()
 		}
 	}
-	return &Server[K]{opt: t.Options(), pointCost: t.PointLookupCost()}
+	attachEnvInjector(t.Device())
+	var r RetryOptions
+	r.fill()
+	return &Server[K]{
+		opt:       t.Options(),
+		pointCost: t.PointLookupCost(),
+		wsem:      make(chan struct{}, 1),
+		brk:       breaker.New(breaker.Options{}),
+		retry:     r,
+	}
+}
+
+// attachEnvInjector wires the process-wide HBTREE_FAULT injector into a
+// device that does not already carry one — the hook the CI fault lane
+// uses to exercise every serving test under injected faults.
+func attachEnvInjector(d *gpusim.Device) {
+	if d.Injector() == nil {
+		if in := fault.FromEnv(); in != nil {
+			d.SetInjector(in)
+		}
+	}
 }
 
 // acquire pins the current tree version for one read operation. In
@@ -185,6 +221,15 @@ type Metrics struct {
 	Updates        int64 // update/rebuild operations applied
 	Swaps          int64 // snapshot publications (snapshot mode only)
 
+	// Degraded-mode counters (see DESIGN §7).
+	GPUFaults       int64         // injected device faults observed
+	Retries         int64         // GPU-path retries after a fault
+	FallbackBatches int64         // batches answered host-only
+	FallbackQueries int64         // queries answered host-only
+	Deadlines       int64         // requests failed with ErrDeadlineExceeded
+	BreakerTrips    int64         // closed/half-open -> open transitions
+	BreakerState    breaker.State // current breaker state
+
 	// VirtualTime is the accumulated virtual serving time: per-request
 	// lookups charge the modelled serial descent, batches charge their
 	// simulated makespan.
@@ -194,16 +239,25 @@ type Metrics struct {
 // Metrics returns the current counter snapshot.
 func (s *Server[K]) Metrics() Metrics {
 	return Metrics{
-		Lookups:        s.lookups.Load(),
-		BatchedQueries: s.batched.Load(),
-		Batches:        s.batches.Load(),
-		Updates:        s.updates.Load(),
-		Swaps:          s.swaps.Load(),
-		VirtualTime:    vclock.Duration(s.vtimeNs.Load()),
+		Lookups:         s.lookups.Load(),
+		BatchedQueries:  s.batched.Load(),
+		Batches:         s.batches.Load(),
+		Updates:         s.updates.Load(),
+		Swaps:           s.swaps.Load(),
+		GPUFaults:       s.gpuFaults.Load(),
+		Retries:         s.retries.Load(),
+		FallbackBatches: s.fbBatches.Load(),
+		FallbackQueries: s.fbQueries.Load(),
+		Deadlines:       s.deadlines.Load(),
+		BreakerTrips:    s.brk.Counters().Trips,
+		BreakerState:    s.brk.State(),
+		VirtualTime:     vclock.Duration(s.vtimeNs.Load()),
 	}
 }
 
-// ResetMetrics zeroes the serving counters (benchmark A/B phases).
+// ResetMetrics zeroes the serving counters (benchmark A/B phases). The
+// breaker's state and trip history are left alone — they describe the
+// device, not the measurement window.
 func (s *Server[K]) ResetMetrics() {
 	s.vtimeNs.Store(0)
 	s.lookups.Store(0)
@@ -211,6 +265,11 @@ func (s *Server[K]) ResetMetrics() {
 	s.batches.Store(0)
 	s.updates.Store(0)
 	s.swaps.Store(0)
+	s.gpuFaults.Store(0)
+	s.retries.Store(0)
+	s.fbBatches.Store(0)
+	s.fbQueries.Store(0)
+	s.deadlines.Store(0)
 }
 
 // VirtualTime returns the accumulated virtual serving time.
@@ -246,24 +305,26 @@ func (s *Server[K]) Lookup(q K) (K, bool) {
 // LookupBatch runs the heterogeneous batch search against the current
 // version; concurrent batches share the device and keep isolated stats.
 // The batch's simulated makespan is charged to the virtual clock.
+// Injected device faults are retried with jittered backoff and, past
+// the retry budget or with the breaker open, the batch is answered by
+// the host-only search — callers see correct results either way.
 func (s *Server[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchStats, error) {
-	tree, sn := s.acquire()
-	values, found, stats, err := tree.LookupBatch(queries)
-	s.releaseRead(sn)
-	if err == nil {
-		s.batched.Add(int64(len(queries)))
-		s.batches.Add(1)
-		s.addVirtual(stats.SimTime)
+	values := make([]K, len(queries))
+	found := make([]bool, len(queries))
+	stats, err := s.LookupBatchInto(queries, values, found)
+	if err != nil {
+		return nil, nil, stats, err
 	}
-	return values, found, stats, err
+	return values, found, stats, nil
 }
 
 // LookupBatchInto is the allocation-free batch search: results land in
 // the caller's slices (at least len(queries) long each) and the steady
-// state allocates nothing — the path the Coalescer's flushers use.
+// state allocates nothing — the path the Coalescer's flushers use. The
+// same retry/fallback discipline as LookupBatch applies.
 func (s *Server[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
 	tree, sn := s.acquire()
-	stats, err := tree.LookupBatchInto(queries, values, found)
+	stats, err := s.lookupBatchResilient(tree, queries, values, found)
 	s.releaseRead(sn)
 	if err == nil {
 		s.batched.Add(int64(len(queries)))
@@ -282,10 +343,11 @@ func (s *Server[K]) RangeQuery(start K, count int) []keys.Pair[K] {
 }
 
 // RangeQueryBatch runs the hybrid batched range search against the
-// current version, charging its simulated makespan.
+// current version, charging its simulated makespan. Like LookupBatch
+// it degrades to host-side range scans on injected device faults.
 func (s *Server[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], core.RangeStats, error) {
 	tree, sn := s.acquire()
-	out, stats, err := tree.RangeQueryBatch(starts, count)
+	out, stats, err := s.rangeBatchResilient(tree, starts, count)
 	s.releaseRead(sn)
 	if err == nil {
 		s.addVirtual(stats.SimTime)
@@ -318,21 +380,39 @@ func (s *Server[K]) Scan(start K, count int) []keys.Pair[K] {
 // old version for the whole duration, and a failed batch leaves the
 // published version untouched. In locked mode the update runs in place
 // under the writer lock, excluding all readers.
+//
+// A batch whose host-side mutation succeeded but whose device re-sync
+// faulted is still acknowledged: the (replica-stale) version is kept,
+// reads on it degrade to the CPU path, and a later successful mirror
+// heals it — acked writes are never lost to an injected fault.
 func (s *Server[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
+	return s.UpdateCtx(context.Background(), ops, method)
+}
+
+// UpdateCtx is Update with a caller deadline on the writer-serialisation
+// wait: if ctx expires before the batch starts, ErrDeadlineExceeded is
+// returned and the published version is untouched. A batch that has
+// started is always run to completion (partial batches would lose acked
+// writes).
+func (s *Server[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
 	if s.locked {
 		s.mu.Lock()
 		stats, err := s.tree.Update(ops, method)
+		err = s.ackStaleSync(s.tree, err)
 		s.mu.Unlock()
 		s.noteUpdate(len(ops), stats, err)
 		return stats, err
 	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	if err := s.acquireWriter(ctx); err != nil {
+		return core.UpdateStats{}, err
+	}
+	defer s.releaseWriter()
 	clone, err := s.cur.Load().tree.Clone()
 	if err != nil {
 		return core.UpdateStats{}, err
 	}
 	stats, err := clone.Update(ops, method)
+	err = s.ackStaleSync(clone, err)
 	if err != nil {
 		clone.Close()
 		return stats, err
@@ -346,23 +426,72 @@ func (s *Server[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core
 // the replacement tree is built aside and atomically published; in
 // locked mode the rebuild runs in place under the writer lock.
 func (s *Server[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, error) {
+	return s.RebuildCtx(context.Background(), pairs)
+}
+
+// RebuildCtx is Rebuild with a caller deadline on the writer wait, with
+// the same started-batches-complete semantics as UpdateCtx.
+func (s *Server[K]) RebuildCtx(ctx context.Context, pairs []keys.Pair[K]) (core.UpdateStats, error) {
 	if s.locked {
 		s.mu.Lock()
 		stats, err := s.tree.Rebuild(pairs)
+		err = s.ackStaleSync(s.tree, err)
 		s.mu.Unlock()
 		s.noteUpdate(len(pairs), stats, err)
 		return stats, err
 	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	if err := s.acquireWriter(ctx); err != nil {
+		return core.UpdateStats{}, err
+	}
+	defer s.releaseWriter()
 	nt, stats, err := s.cur.Load().tree.Rebuilt(pairs)
 	if err != nil {
+		return stats, err
+	}
+	err = s.ackStaleSync(nt, err)
+	if err != nil {
+		nt.Close()
 		return stats, err
 	}
 	s.publish(nt)
 	s.noteUpdate(len(pairs), stats, err)
 	return stats, nil
 }
+
+// ackStaleSync classifies a batch-update error: an injected fault that
+// left the tree replica-stale means the host mutation itself succeeded —
+// the batch is acknowledged (nil) and only the device image lags. Any
+// other error is returned unchanged.
+func (s *Server[K]) ackStaleSync(t *core.Tree[K], err error) error {
+	if err == nil {
+		return nil
+	}
+	if fault.Is(err) && t.ReplicaStale() {
+		s.gpuFaults.Add(1)
+		s.brk.Failure()
+		return nil
+	}
+	return err
+}
+
+// acquireWriter takes the writer slot, abandoning the wait when ctx
+// expires first.
+func (s *Server[K]) acquireWriter(ctx context.Context) error {
+	select {
+	case s.wsem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.wsem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.deadlines.Add(1)
+		return ErrDeadlineExceeded
+	}
+}
+
+func (s *Server[K]) releaseWriter() { <-s.wsem }
 
 func (s *Server[K]) noteUpdate(ops int, stats core.UpdateStats, err error) {
 	if err == nil {
@@ -424,8 +553,8 @@ func (s *Server[K]) Close() {
 		s.mu.Unlock()
 		return
 	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
+	s.wsem <- struct{}{}
+	defer s.releaseWriter()
 	cur := s.cur.Load()
 	if cur.retired.CompareAndSwap(false, true) {
 		cur.release() // drop the publication reference

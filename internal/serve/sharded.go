@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"hbtree/internal/breaker"
 	"hbtree/internal/core"
 	"hbtree/internal/cpubtree"
 	"hbtree/internal/gpusim"
@@ -29,7 +32,9 @@ import (
 
 // shardJob is one unit of write work handed to a shard's update pump:
 // either a batch of routed ops or a rebuild of the shard's key range.
+// ctx carries the dispatcher's deadline into the pump's writer wait.
 type shardJob[K keys.Key] struct {
+	ctx     context.Context
 	ops     []cpubtree.Op[K]
 	pairs   []keys.Pair[K]
 	rebuild bool
@@ -73,6 +78,10 @@ type ShardedServer[K keys.Key] struct {
 	pumpWG sync.WaitGroup
 	pumpMu sync.RWMutex
 	closed bool
+
+	// deadlines counts writes abandoned at the dispatch layer (pump send
+	// or outcome wait); per-shard waits are counted by the sub-servers.
+	deadlines atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -172,9 +181,9 @@ func (s *ShardedServer[K]) pump(i int) {
 	for job := range s.pumps[i] {
 		var d shardDone
 		if job.rebuild {
-			d.stats, d.err = s.subs[i].Rebuild(job.pairs)
+			d.stats, d.err = s.subs[i].RebuildCtx(job.ctx, job.pairs)
 		} else {
-			d.stats, d.err = s.subs[i].Update(job.ops, job.method)
+			d.stats, d.err = s.subs[i].UpdateCtx(job.ctx, job.ops, job.method)
 		}
 		job.done <- d
 	}
@@ -183,8 +192,16 @@ func (s *ShardedServer[K]) pump(i int) {
 // dispatch hands one job per selected shard to the pumps and merges the
 // outcomes: counters sum across shards, while each virtual-time
 // component reports the slowest shard — the makespan of the concurrent
-// execution. send must return false for shards with no work.
-func (s *ShardedServer[K]) dispatch(send func(i int, done chan<- shardDone) bool) (core.UpdateStats, error) {
+// execution. build must return false for shards with no work.
+//
+// ctx bounds both the pump hand-off (a stalled pump no longer parks the
+// dispatcher) and the outcome wait. The done channel is buffered to the
+// shard count, so an abandoned dispatch never blocks a pump delivering
+// a late outcome — the job still completes on its shard, the caller
+// just stops waiting (per-shard atomicity: a deadline reply means
+// "outcome unknown on some shards", exactly like any distributed write
+// timeout).
+func (s *ShardedServer[K]) dispatch(ctx context.Context, build func(i int) (shardJob[K], bool)) (core.UpdateStats, error) {
 	s.pumpMu.RLock()
 	if s.closed {
 		s.pumpMu.RUnlock()
@@ -192,9 +209,22 @@ func (s *ShardedServer[K]) dispatch(send func(i int, done chan<- shardDone) bool
 	}
 	done := make(chan shardDone, len(s.subs))
 	n := 0
+	expired := false
 	for i := range s.subs {
-		if send(i, done) {
+		job, ok := build(i)
+		if !ok {
+			continue
+		}
+		job.ctx = ctx
+		job.done = done
+		select {
+		case s.pumps[i] <- job:
 			n++
+		case <-ctx.Done():
+			expired = true
+		}
+		if expired {
+			break
 		}
 	}
 	s.pumpMu.RUnlock()
@@ -207,7 +237,15 @@ func (s *ShardedServer[K]) dispatch(send func(i int, done chan<- shardDone) bool
 		return a
 	}
 	for ; n > 0; n-- {
-		d := <-done
+		var d shardDone
+		select {
+		case d = <-done:
+		case <-ctx.Done():
+			expired = true
+		}
+		if expired {
+			break
+		}
 		if d.err != nil {
 			if firstErr == nil {
 				firstErr = d.err
@@ -224,6 +262,12 @@ func (s *ShardedServer[K]) dispatch(send func(i int, done chan<- shardDone) bool
 		agg.LSegBuild = maxDur(agg.LSegBuild, d.stats.LSegBuild)
 		agg.ISegBuild = maxDur(agg.ISegBuild, d.stats.ISegBuild)
 	}
+	if expired {
+		s.deadlines.Add(1)
+		if firstErr == nil {
+			firstErr = ErrDeadlineExceeded
+		}
+	}
 	return agg, firstErr
 }
 
@@ -234,17 +278,22 @@ func (s *ShardedServer[K]) dispatch(send func(i int, done chan<- shardDone) bool
 // while other shards may have applied (per-shard, not cross-shard,
 // atomicity — see the type contract).
 func (s *ShardedServer[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
+	return s.UpdateCtx(context.Background(), ops, method)
+}
+
+// UpdateCtx is Update with a caller deadline over the whole dispatch:
+// pump hand-off, per-shard writer waits, and outcome collection.
+func (s *ShardedServer[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
 	groups := make([][]cpubtree.Op[K], len(s.subs))
 	for _, op := range ops {
 		i := s.route(op.Key)
 		groups[i] = append(groups[i], op)
 	}
-	return s.dispatch(func(i int, done chan<- shardDone) bool {
+	return s.dispatch(ctx, func(i int) (shardJob[K], bool) {
 		if len(groups[i]) == 0 {
-			return false
+			return shardJob[K]{}, false
 		}
-		s.pumps[i] <- shardJob[K]{ops: groups[i], method: method, done: done}
-		return true
+		return shardJob[K]{ops: groups[i], method: method}, true
 	})
 }
 
@@ -253,6 +302,11 @@ func (s *ShardedServer[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod
 // replacement must leave no shard empty: bounds do not move, and an
 // empty shard tree cannot be built.
 func (s *ShardedServer[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, error) {
+	return s.RebuildCtx(context.Background(), pairs)
+}
+
+// RebuildCtx is Rebuild with a caller deadline over the whole dispatch.
+func (s *ShardedServer[K]) RebuildCtx(ctx context.Context, pairs []keys.Pair[K]) (core.UpdateStats, error) {
 	parts := make([][]keys.Pair[K], len(s.subs))
 	lo := 0
 	for i := range s.subs {
@@ -269,9 +323,8 @@ func (s *ShardedServer[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, erro
 			return core.UpdateStats{}, fmt.Errorf("serve: rebuild leaves shard %d empty (shard bounds are fixed at construction)", i)
 		}
 	}
-	return s.dispatch(func(i int, done chan<- shardDone) bool {
-		s.pumps[i] <- shardJob[K]{pairs: parts[i], rebuild: true, done: done}
-		return true
+	return s.dispatch(ctx, func(i int) (shardJob[K], bool) {
+		return shardJob[K]{pairs: parts[i], rebuild: true}, true
 	})
 }
 
@@ -376,7 +429,9 @@ func (s *ShardedServer[K]) Scan(start K, count int) []keys.Pair[K] {
 	return out
 }
 
-// Metrics returns the serving counters summed across shards.
+// Metrics returns the serving counters summed across shards. The
+// aggregate BreakerState reports the worst shard (open > half-open >
+// closed), so one degraded shard is visible at the top level.
 func (s *ShardedServer[K]) Metrics() Metrics {
 	var agg Metrics
 	for _, sub := range s.subs {
@@ -386,9 +441,33 @@ func (s *ShardedServer[K]) Metrics() Metrics {
 		agg.Batches += m.Batches
 		agg.Updates += m.Updates
 		agg.Swaps += m.Swaps
+		agg.GPUFaults += m.GPUFaults
+		agg.Retries += m.Retries
+		agg.FallbackBatches += m.FallbackBatches
+		agg.FallbackQueries += m.FallbackQueries
+		agg.Deadlines += m.Deadlines
+		agg.BreakerTrips += m.BreakerTrips
+		agg.BreakerState = worseState(agg.BreakerState, m.BreakerState)
 		agg.VirtualTime += m.VirtualTime
 	}
+	agg.Deadlines += s.deadlines.Load()
 	return agg
+}
+
+// SetResilience applies one breaker/retry policy to every shard server
+// (each shard keeps its own independent breaker instance).
+func (s *ShardedServer[K]) SetResilience(b breaker.Options, r RetryOptions) {
+	for _, sub := range s.subs {
+		sub.SetResilience(b, r)
+	}
+}
+
+// ForceBreakerOpen pins (or releases) every shard's breaker open — the
+// bench harness's lever for measuring pure CPU-fallback throughput.
+func (s *ShardedServer[K]) ForceBreakerOpen(on bool) {
+	for _, sub := range s.subs {
+		sub.Breaker().ForceOpen(on)
+	}
 }
 
 // ShardMetrics returns each shard's own serving counters, index-aligned
@@ -535,6 +614,11 @@ func (c *ShardedCoalescer[K]) Lookup(key K) (K, bool, error) {
 	return c.cos[c.s.route(key)].Lookup(key)
 }
 
+// LookupCtx is Lookup with a caller deadline (see Coalescer.LookupCtx).
+func (c *ShardedCoalescer[K]) LookupCtx(ctx context.Context, key K) (K, bool, error) {
+	return c.cos[c.s.route(key)].LookupCtx(ctx, key)
+}
+
 // Submit routes one lookup to the owning shard's coalescer and returns
 // its result channel.
 func (c *ShardedCoalescer[K]) Submit(key K) <-chan Result[K] {
@@ -556,6 +640,26 @@ func (c *ShardedCoalescer[K]) Queries() int64 {
 	var n int64
 	for _, co := range c.cos {
 		n += co.Queries()
+	}
+	return n
+}
+
+// Shed returns the requests refused with ErrOverloaded across all
+// shards.
+func (c *ShardedCoalescer[K]) Shed() int64 {
+	var n int64
+	for _, co := range c.cos {
+		n += co.Shed()
+	}
+	return n
+}
+
+// Deadlines returns the requests abandoned with ErrDeadlineExceeded
+// across all shards.
+func (c *ShardedCoalescer[K]) Deadlines() int64 {
+	var n int64
+	for _, co := range c.cos {
+		n += co.Deadlines()
 	}
 	return n
 }

@@ -22,6 +22,17 @@ var ErrServerClosed = serve.ErrClosed
 // caller may retry or degrade.
 var ErrServerOverloaded = serve.ErrOverloaded
 
+// ErrDeadlineExceeded is returned when a request's context expires
+// before the serving layer could complete it — a parked coalesced
+// lookup whose flush never came, or an update abandoned while waiting
+// for the writer slot. Unlike ErrServerOverloaded it does not imply the
+// server refused the work; the request simply ran out of time.
+var ErrDeadlineExceeded = serve.ErrDeadlineExceeded
+
+// RetryOptions bounds the GPU-path retry loop a Server runs before a
+// faulted batch degrades to the CPU-only fallback (Server.SetResilience).
+type RetryOptions = serve.RetryOptions
+
 // CoalescerOptions configures Server.Coalesce: the size-or-deadline
 // flush window and the shard count across which submissions spread.
 type CoalescerOptions = serve.Options
