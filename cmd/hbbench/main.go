@@ -54,6 +54,8 @@ func main() {
 		updateFrac = flag.Float64("update-frac", 0, "fraction of client ops routed to batched updates (-wall; uses the regular variant)")
 		rebuildEvr = flag.Duration("rebuild-every", 0, "rebuild the tree on this period (-wall; implicit variant)")
 		wallShards = flag.Int("shards", 0, "also run the key-space sharded configuration with this many shards (-wall; 0 = skip)")
+		updateSkew = flag.Float64("update-skew", 0, "fraction of updates drawn from the hottest key-space quarter (-wall)")
+		rebalance  = flag.Bool("rebalance", false, "run the sharded configuration with the online rebalancer armed (-wall; requires -shards > 1)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -90,7 +92,7 @@ func main() {
 	}
 
 	if *wall {
-		if err := runWall(*wallN, *seed, *clients, *wallDur, *updateFrac, *rebuildEvr, *wallShards); err != nil {
+		if err := runWall(*wallN, *seed, *clients, *wallDur, *updateFrac, *rebuildEvr, *wallShards, *updateSkew, *rebalance); err != nil {
 			fmt.Fprintln(os.Stderr, "hbbench:", err)
 			os.Exit(1)
 		}
@@ -170,9 +172,12 @@ func main() {
 // locked baseline, the snapshot fast path and (with shards > 1) the
 // key-space sharded server under the same client mix, printing one row
 // per configuration plus a per-shard breakdown for the sharded run.
-func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac float64, rebuildEvery time.Duration, shards int) error {
+func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac float64, rebuildEvery time.Duration, shards int, updateSkew float64, rebalance bool) error {
 	if updateFrac > 0 && rebuildEvery > 0 {
 		return fmt.Errorf("-update-frac and -rebuild-every are mutually exclusive")
+	}
+	if rebalance && shards <= 1 {
+		return fmt.Errorf("-rebalance requires -shards > 1")
 	}
 	treeOpt := hbtree.Options{}
 	if updateFrac > 0 {
@@ -194,14 +199,21 @@ func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac floa
 		}{"sharded", false, shards})
 	}
 	for _, cfg := range cfgs {
-		res, err := serve.RunWall(pairs, treeOpt, serve.WallOptions{
+		opt := serve.WallOptions{
 			Clients:      clients,
 			Duration:     dur,
 			UpdateFrac:   updateFrac,
+			UpdateSkew:   updateSkew,
 			RebuildEvery: rebuildEvery,
 			Locked:       cfg.locked,
 			Shards:       cfg.shards,
-		})
+		}
+		if rebalance && cfg.shards > 1 {
+			// Defaults except the poll period: a benchmark-length run
+			// needs the detector to act within the measurement.
+			opt.Rebalance = &serve.RebalanceOptions{Interval: 10 * time.Millisecond}
+		}
+		res, err := serve.RunWall(pairs, treeOpt, opt)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.name, err)
 		}

@@ -58,6 +58,14 @@ func FuzzServeProtocol(f *testing.F) {
 		"SCAN 7 3",
 		"SCAN 7",
 		"SCAN a b",
+		"SCANC 7 3",
+		"RANGEC 0 10",
+		"EPOCH",
+		"REBALANCE STATS",
+		"REBALANCE SPLIT 0",
+		"REBALANCE MERGE 0",
+		"REBALANCE SPLIT x",
+		"REBALANCE",
 		"DESCRIBE",
 		"STATS",
 		"SHARDSTATS",
@@ -95,7 +103,8 @@ func FuzzServeProtocol(f *testing.F) {
 		}
 		cmd := strings.ToUpper(fields[0])
 		switch cmd {
-		case "GET", "PUT", "DEL", "RANGE", "SCAN", "DESCRIBE", "STATS", "SHARDSTATS", "QUIT":
+		case "GET", "PUT", "DEL", "RANGE", "SCAN", "SCANC", "RANGEC", "EPOCH",
+			"REBALANCE", "DESCRIBE", "STATS", "SHARDSTATS", "QUIT":
 			// Known commands reply per-protocol; checked by the unit
 			// tests. Here only the no-panic/no-silence contract applies.
 		default:

@@ -10,6 +10,12 @@
 //	DEL <key>            -> OK | NOTFOUND | ERR (regular variant only)
 //	RANGE <start> <n>    -> n lines "PAIR <k> <v>", then END
 //	SCAN <start> <n>     -> like RANGE but streamed through a cursor
+//	SCANC <start> <n>    -> SCAN from one atomic cross-shard cut (one pinned epoch)
+//	RANGEC <start> <n>   -> RANGE from one atomic cross-shard cut
+//	EPOCH                -> current snapshot epoch (and shard-table generation)
+//	REBALANCE SPLIT <i>  -> split shard i at its median key online; OK | ERR
+//	REBALANCE MERGE <i>  -> merge shards i and i+1 online; OK | ERR
+//	REBALANCE STATS      -> epoch, table generation, split/merge counters
 //	DESCRIBE             -> multi-line tree report, then END
 //	STATS                -> tree geometry, device counters, serving metrics
 //	SHARDSTATS           -> one "SHARD <i> ..." line per shard, then END
@@ -98,6 +104,7 @@ type backend interface {
 	DeviceCounters() gpusim.Counters
 	Options() hbtree.Options
 	Swaps() int64
+	Epoch() uint64
 	Close()
 }
 
@@ -477,6 +484,42 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			ls.writePairLine(w, p.Key, p.Value)
 		}
 		io.WriteString(w, "END\n")
+	case cmdIs(cmd, "SCANC"), cmdIs(cmd, "RANGEC"):
+		name := "SCANC"
+		if cmdIs(cmd, "RANGEC") {
+			name = "RANGEC"
+		}
+		start, count, ok := parseRange(w, fields, name)
+		if !ok {
+			break
+		}
+		// On a single tree every read already serves from one snapshot;
+		// the consistent variants only differ on the sharded server,
+		// where they pin a single epoch across every shard.
+		var out []hbtree.Pair[uint64]
+		switch {
+		case s.sharded != nil && name == "SCANC":
+			out = s.sharded.ScanConsistent(start, count)
+		case s.sharded != nil:
+			out = s.sharded.RangeQueryConsistent(start, count)
+		case name == "SCANC":
+			out = s.srv.Scan(start, count)
+		default:
+			out = s.srv.RangeQuery(start, count)
+		}
+		for _, p := range out {
+			ls.writePairLine(w, p.Key, p.Value)
+		}
+		io.WriteString(w, "END\n")
+	case cmdIs(cmd, "EPOCH"):
+		if s.sharded != nil {
+			rs := s.sharded.RebalanceStats()
+			fmt.Fprintf(w, "EPOCH %d gen=%d shards=%d\n", rs.Epoch, rs.TableGen, rs.Shards)
+		} else {
+			ls.writeUintLine(w, "EPOCH ", s.srv.Epoch())
+		}
+	case cmdIs(cmd, "REBALANCE"):
+		s.handleRebalance(w, fields)
 	case cmdIs(cmd, "DESCRIBE"):
 		io.WriteString(w, s.srv.Describe())
 		io.WriteString(w, "END\n")
@@ -493,12 +536,17 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			shed = s.co.Shed()
 			deadlines += s.co.Deadlines()
 		}
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s\n",
+		var rebalances int64
+		if s.sharded != nil {
+			rebalances = s.sharded.RebalanceStats().Rebalances
+		}
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
 			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime,
 			m.GPUFaults, m.Retries, m.FallbackBatches, m.FallbackQueries,
-			deadlines, shed, m.BreakerTrips, m.BreakerState)
+			deadlines, shed, m.BreakerTrips, m.BreakerState,
+			s.srv.Epoch(), m.Repairs, rebalances)
 	case cmdIs(cmd, "SHARDSTATS"):
 		if s.sharded == nil {
 			io.WriteString(w, "ERR not sharded (-shards > 1)\n")
@@ -525,6 +573,49 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		io.WriteString(w, "ERR unknown command\n")
 	}
 	return false
+}
+
+// handleRebalance executes the REBALANCE subcommands against the
+// sharded server: explicit online SPLIT/MERGE transitions and the
+// STATS counters. Single-tree servers have no shard layout to retile.
+func (s *server) handleRebalance(w io.Writer, fields []string) {
+	if s.sharded == nil {
+		io.WriteString(w, "ERR not sharded (-shards > 1)\n")
+		return
+	}
+	if len(fields) < 2 {
+		io.WriteString(w, "ERR usage: REBALANCE SPLIT <i> | MERGE <i> | STATS\n")
+		return
+	}
+	sub := fields[1]
+	switch {
+	case cmdIs(sub, "STATS"):
+		rs := s.sharded.RebalanceStats()
+		fmt.Fprintf(w, "REBALANCE epoch=%d gen=%d shards=%d rebalances=%d splits=%d merges=%d last=%q\n",
+			rs.Epoch, rs.TableGen, rs.Shards, rs.Rebalances, rs.Splits, rs.Merges, rs.Last)
+	case cmdIs(sub, "SPLIT"), cmdIs(sub, "MERGE"):
+		if len(fields) != 3 {
+			fmt.Fprintf(w, "ERR usage: REBALANCE %s <shard>\n", strings.ToUpper(sub))
+			return
+		}
+		i, err := strconv.Atoi(fields[2])
+		if err != nil || i < 0 {
+			io.WriteString(w, "ERR bad shard index\n")
+			return
+		}
+		if cmdIs(sub, "SPLIT") {
+			err = s.sharded.SplitShard(i)
+		} else {
+			err = s.sharded.MergeShards(i)
+		}
+		if err != nil {
+			fmt.Fprintf(w, "ERR rebalance: %v\n", err)
+			return
+		}
+		io.WriteString(w, "OK\n")
+	default:
+		io.WriteString(w, "ERR usage: REBALANCE SPLIT <i> | MERGE <i> | STATS\n")
+	}
 }
 
 // errReply maps a serving-layer read error to its protocol code:
@@ -599,6 +690,13 @@ func main() {
 		pending  = flag.Int("coalesce-pending", 0, "max in-flight GETs per coalescer window (0 = unbounded)")
 		shed     = flag.Bool("coalesce-shed", false, "past -coalesce-pending, fail GETs with ERR overloaded instead of blocking")
 		shards   = flag.Int("shards", 1, "key-space shards, each with its own snapshot pointer and update pump (1 = single tree)")
+
+		rebalance   = flag.Bool("rebalance", false, "start the online shard rebalancer: split hot shards / merge cold neighbours as the update stream skews (requires -shards > 1)")
+		rbInterval  = flag.Duration("rebalance-interval", 100*time.Millisecond, "rebalance detector poll period")
+		rbMinOps    = flag.Int64("rebalance-minops", 4096, "update volume a detector window must accumulate before acting")
+		rbHot       = flag.Float64("rebalance-hot", 0.5, "split a shard once it absorbs more than this share of a window's updates")
+		rbCold      = flag.Float64("rebalance-cold", 0.05, "merge an adjacent shard pair below this combined share (negative disables merging)")
+		rbMaxShards = flag.Int("rebalance-max-shards", 0, "shard-count cap for splits (0 = twice the count at decision time)")
 		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
 		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
 		pprofTo  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
@@ -691,6 +789,21 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("hbserve: serve setup: %v", err)
+	}
+
+	if *rebalance {
+		if s.sharded == nil {
+			log.Fatalf("hbserve: -rebalance requires -shards > 1")
+		}
+		s.sharded.StartRebalancer(hbtree.RebalanceOptions{
+			HotFraction:  *rbHot,
+			ColdFraction: *rbCold,
+			MinOps:       *rbMinOps,
+			MaxShards:    *rbMaxShards,
+			Interval:     *rbInterval,
+		})
+		log.Printf("hbserve: online rebalancer armed (hot=%g cold=%g minops=%d maxshards=%d interval=%v)",
+			*rbHot, *rbCold, *rbMinOps, *rbMaxShards, *rbInterval)
 	}
 
 	if fopt := (fault.Options{

@@ -656,3 +656,86 @@ func TestCoalescedGETSurvivesTotalKernelOutage(t *testing.T) {
 		t.Fatalf("STATS under outage = %q", got)
 	}
 }
+
+// TestRebalanceProtocol drives the epoch and online-rebalance commands
+// against the sharded server: EPOCH reports the registry epoch and
+// table generation, REBALANCE SPLIT/MERGE retile the key space while
+// the connection keeps serving, SCANC reads one atomic cross-shard
+// cut, and the counters land in REBALANCE STATS and STATS.
+func TestRebalanceProtocol(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Regular, 9)
+	s := mustServer(t, tree, serveConfig{shards: 4})
+	dial := startServer(t, s)
+	conn, r := dial()
+	send := func(line string) string { return sendLine(t, conn, r, line) }
+
+	if got := send("EPOCH"); !strings.HasPrefix(got, "EPOCH ") || !strings.Contains(got, "gen=1") || !strings.Contains(got, "shards=4") {
+		t.Fatalf("EPOCH = %q", got)
+	}
+	if got := send("REBALANCE SPLIT 0"); got != "OK" {
+		t.Fatalf("REBALANCE SPLIT = %q", got)
+	}
+	if got := send("EPOCH"); !strings.Contains(got, "gen=2") || !strings.Contains(got, "shards=5") {
+		t.Fatalf("EPOCH after split = %q", got)
+	}
+	got := send("REBALANCE STATS")
+	for _, field := range []string{"gen=2", "shards=5", "rebalances=1", "splits=1", "merges=0"} {
+		if !strings.Contains(got, field) {
+			t.Fatalf("REBALANCE STATS missing %q: %q", field, got)
+		}
+	}
+	// A write through the post-split layout is acked and visible.
+	k := pairs[3].Key
+	if got := send(fmt.Sprintf("PUT %d 777", k)); got != "OK" {
+		t.Fatalf("PUT after split = %q", got)
+	}
+	// SCANC streams the whole dataset from one pinned epoch, in order.
+	if _, err := fmt.Fprintf(conn, "SCANC %d %d\n", pairs[0].Key, len(pairs)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV := pairs[i].Value
+		if pairs[i].Key == k {
+			wantV = 777
+		}
+		if want := fmt.Sprintf("PAIR %d %d", pairs[i].Key, wantV); strings.TrimSpace(line) != want {
+			t.Fatalf("SCANC line %d = %q, want %q", i, strings.TrimSpace(line), want)
+		}
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("SCANC terminator = %q", line)
+	}
+	if got := send("REBALANCE MERGE 0"); got != "OK" {
+		t.Fatalf("REBALANCE MERGE = %q", got)
+	}
+	if got := send("EPOCH"); !strings.Contains(got, "gen=3") || !strings.Contains(got, "shards=4") {
+		t.Fatalf("EPOCH after merge = %q", got)
+	}
+	if got := send("REBALANCE SPLIT 99"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("out-of-range split = %q", got)
+	}
+	if got := send("REBALANCE NOPE"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad subcommand = %q", got)
+	}
+	if got := send("STATS"); !strings.Contains(got, "rebalances=2") {
+		t.Fatalf("STATS rebalance counter: %q", got)
+	}
+}
+
+// TestRebalanceNotSharded: the layout commands need a shard table.
+func TestRebalanceNotSharded(t *testing.T) {
+	tree, _ := newTestTree(t, hbtree.Regular, 8)
+	s := mustServer(t, tree, serveConfig{})
+	dial := startServer(t, s)
+	conn, r := dial()
+	if got := sendLine(t, conn, r, "REBALANCE STATS"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("REBALANCE unsharded = %q", got)
+	}
+	if got := sendLine(t, conn, r, "EPOCH"); !strings.HasPrefix(got, "EPOCH ") {
+		t.Fatalf("EPOCH unsharded = %q", got)
+	}
+}

@@ -148,7 +148,7 @@ func (t *Tree[K]) lookupBatchBalanced(queries []K) (values []K, found []bool, st
 	if n == 0 {
 		return values, found, stats, nil
 	}
-	if t.replicaStale {
+	if t.replicaStale.Load() {
 		return nil, nil, stats, fault.ErrReplicaStale
 	}
 	m := t.opt.BucketSize

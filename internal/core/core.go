@@ -207,9 +207,13 @@ type Tree[K keys.Key] struct {
 	// the device image did not follow. While set, every GPU-path lookup
 	// fails with fault.ErrReplicaStale (stale inner nodes would
 	// misroute queries); a successful re-mirror clears it. Written only
-	// under the tree's single-writer contract; read by lookups, which
-	// the contract guarantees never overlap a writer.
-	replicaStale bool
+	// under the tree's single-writer contract, but atomic because the
+	// serving layer's background repair clears it on a *published* tree
+	// while CPU-path readers are live: a reader that loads false is
+	// ordered after the repaired buffers were installed, and no GPU
+	// reader can be in flight during the repair (the flag was true for
+	// the tree's whole published life until that store).
+	replicaStale atomic.Bool
 
 	// Load-balance parameters (Section 5.5); valid when balanced.
 	// balanceMu serialises the first-use discovery so concurrent
@@ -362,13 +366,13 @@ func (t *Tree[K]) mirrorISegment() error {
 		t.buildStats.ISegBytes = (int64(len(upper)) + int64(len(last))) * sz
 		t.buildStats.LSegBytes = t.reg.Stats().LeafBytes
 	}
-	t.replicaStale = false // a full mirror re-establishes consistency
+	t.replicaStale.Store(false) // a full mirror re-establishes consistency
 	return nil
 }
 
 // ReplicaStale reports whether the device replica is known to lag the
 // host tree after a faulted synchronisation (see fault.ErrReplicaStale).
-func (t *Tree[K]) ReplicaStale() bool { return t.replicaStale }
+func (t *Tree[K]) ReplicaStale() bool { return t.replicaStale.Load() }
 
 // remirror re-creates the device replica after a host-side mutation.
 // Unlike the construction-time mirror, a failure here leaves the host
@@ -379,7 +383,7 @@ func (t *Tree[K]) ReplicaStale() bool { return t.replicaStale }
 // caller can classify it (fault.Is).
 func (t *Tree[K]) remirror() error {
 	if err := t.mirrorISegment(); err != nil {
-		t.replicaStale = true
+		t.replicaStale.Store(true)
 		return err
 	}
 	return nil
@@ -390,7 +394,7 @@ func (t *Tree[K]) remirror() error {
 // updates. It is a no-op when the replica is already consistent. Must
 // be called under the tree's single-writer contract.
 func (t *Tree[K]) Resync() error {
-	if !t.replicaStale {
+	if !t.replicaStale.Load() {
 		return nil
 	}
 	return t.remirror()

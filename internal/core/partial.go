@@ -1,0 +1,99 @@
+package core
+
+import "hbtree/internal/vclock"
+
+// LookupBatchPartialCPUInto resolves the queries entirely on the host
+// while preserving the load-balanced plan's bucket structure: per
+// bucket, the first R*M queries pre-walk D levels and the rest D+1 —
+// exactly the split lookupBatchBalanced hands to the GPU — but the
+// descent is *resumed on the CPU* instead of on the device. It never
+// touches the simulated device (valid on a stale replica), which makes
+// it the degraded-mode fallback for load-balanced servers: when the
+// breaker over the GPU-sim opens, the serving layer keeps the balanced
+// partial-descent shape so the cache-resident top levels are still
+// walked in the pre-walk pass, and only the handed-off remainder moves
+// from the GPU to the host.
+//
+// The result slices must hold at least len(queries) elements. The
+// virtual cost per bucket is the pre-walk share plus a full-host
+// traversal of the remaining levels; with no device in the loop the
+// stages serialise, so SimTime is their sum rather than a pipelined
+// makespan.
+func (t *Tree[K]) LookupBatchPartialCPUInto(queries []K, values []K, found []bool) (stats SearchStats) {
+	t.ensureBalanced()
+	n := len(queries)
+	stats.Queries = n
+	m := t.opt.BucketSize
+	stats.BucketSize = m
+	if n == 0 {
+		return stats
+	}
+	cpuDepth := Balance{D: t.lbD, R: t.lbR}.depth()
+	h := t.Height()
+	remaining := float64(h) - cpuDepth
+	if remaining < 0 {
+		remaining = 0
+	}
+	// The resumed inner levels run at the full-lookup per-level rate:
+	// scale the full host traversal by the share of levels resumed.
+	resumeFrac := 0.0
+	if h > 0 {
+		resumeFrac = remaining / float64(h)
+	}
+
+	buckets := 0
+	for start := 0; start < n; start += m {
+		end := start + m
+		if end > n {
+			end = n
+		}
+		bq := queries[start:end]
+		bn := len(bq)
+		rm := int(t.lbR * float64(bn))
+		t.partialDescend(bq, rm, values[start:end], found[start:end])
+
+		dPre := t.cpuPreStageDuration(bn, cpuDepth)
+		dResume := vclock.Duration(float64(t.cpuFullLookupBatch(bn, 0)) * resumeFrac)
+		dLeaf := t.cpuLeafStageDuration(bn)
+		stats.SimTime += dPre + dResume + dLeaf
+		buckets++
+	}
+	stats.Buckets = buckets
+	if stats.SimTime > 0 {
+		stats.ThroughputQPS = float64(n) / stats.SimTime.Seconds()
+	}
+	return stats
+}
+
+// partialDescend runs the balanced plan's three stages on the host for
+// one bucket: pre-walk to depth D (first rm queries) or D+1 (the rest),
+// resume the inner descent from the intermediate node, finish in the
+// leaf line.
+func (t *Tree[K]) partialDescend(bq []K, rm int, values []K, found []bool) {
+	if t.impl != nil {
+		for i, q := range bq {
+			d := t.lbD
+			if i >= rm {
+				d++
+			}
+			idx := t.impl.WalkToLevel(q, d)
+			l := t.impl.SearchInnerFrom(q, d, idx)
+			values[i], found[i] = t.impl.SearchLeafLine(l, q)
+		}
+		return
+	}
+	h := t.reg.Height()
+	for i, q := range bq {
+		d := t.lbD
+		if i >= rm {
+			d++
+		}
+		stop := h - d
+		if stop < 1 {
+			stop = 1
+		}
+		idx := t.reg.WalkToHeight(q, stop)
+		leaf, line := t.reg.SearchToLeafFrom(q, stop, idx)
+		values[i], found[i] = t.reg.SearchLeafLine(leaf, line, q)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"hbtree/internal/platform"
+	"hbtree/internal/workload"
+)
+
+// TestPartialCPUFallbackMatchesFull: the load-balanced host-only
+// fallback — pre-walk to the discovered depth, resume the rest on the
+// CPU — returns exactly what the flat host batch search returns, for
+// both variants, hits and misses alike.
+func TestPartialCPUFallbackMatchesFull(t *testing.T) {
+	for _, v := range []Variant{Implicit, Regular} {
+		t.Run(v.String(), func(t *testing.T) {
+			pairs := workload.Dataset[uint64](workload.Uniform, 1<<14, 7)
+			tr, err := Build(pairs, Options{Variant: v, BucketSize: 64, Machine: platform.M2(), LoadBalance: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+
+			queries := make([]uint64, 0, 300)
+			for i := 0; i < 256; i++ {
+				queries = append(queries, pairs[(i*53)%len(pairs)].Key)
+			}
+			for i := 0; i < 44; i++ {
+				queries = append(queries, pairs[i].Key+1) // overwhelmingly misses
+			}
+			n := len(queries)
+			pv, pf := make([]uint64, n), make([]bool, n)
+			fv, ff := make([]uint64, n), make([]bool, n)
+			pStats := tr.LookupBatchPartialCPUInto(queries, pv, pf)
+			fStats := tr.LookupBatchCPUInto(queries, fv, ff)
+			for i := range queries {
+				if pf[i] != ff[i] || (pf[i] && pv[i] != fv[i]) {
+					t.Fatalf("query %d (%d): partial = (%d,%v), full = (%d,%v)",
+						i, queries[i], pv[i], pf[i], fv[i], ff[i])
+				}
+			}
+			if pStats.Queries != n || pStats.Buckets != (n+63)/64 {
+				t.Fatalf("partial stats: %+v", pStats)
+			}
+			if pStats.SimTime <= 0 || pStats.ThroughputQPS <= 0 {
+				t.Fatalf("partial stats missing virtual cost: %+v", pStats)
+			}
+			if fStats.Queries != n {
+				t.Fatalf("full stats: %+v", fStats)
+			}
+		})
+	}
+}
+
+// TestPartialCPUFallbackOnStaleReplica: the partial fallback never
+// touches the device, so it stays valid on a replica-stale tree — the
+// degraded state it exists to serve.
+func TestPartialCPUFallbackOnStaleReplica(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 1<<12, 11)
+	tr, err := Build(pairs, Options{Variant: Regular, BucketSize: 64, Machine: platform.M2(), LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Discover() // parameter probing launches kernels; settle it first
+	tr.replicaStale.Store(true)
+	defer tr.replicaStale.Store(false)
+
+	queries := make([]uint64, 128)
+	for i := range queries {
+		queries[i] = pairs[(i*31)%len(pairs)].Key
+	}
+	values, found := make([]uint64, len(queries)), make([]bool, len(queries))
+	kBefore := tr.Device().Counters().Kernels
+	tr.LookupBatchPartialCPUInto(queries, values, found)
+	if got := tr.Device().Counters().Kernels; got != kBefore {
+		t.Fatalf("partial fallback launched %d kernels", got-kBefore)
+	}
+	for i, q := range queries {
+		if !found[i] || values[i] != workload.ValueFor(q) {
+			t.Fatalf("stale-replica partial[%d] = (%d,%v)", i, values[i], found[i])
+		}
+	}
+}

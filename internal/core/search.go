@@ -110,7 +110,7 @@ func (t *Tree[K]) lookupBatchPlainInto(queries []K, values []K, found []bool) (s
 	if n == 0 {
 		return stats, nil
 	}
-	if t.replicaStale {
+	if t.replicaStale.Load() {
 		return stats, fault.ErrReplicaStale
 	}
 	m := t.opt.BucketSize
@@ -337,7 +337,7 @@ func (t *Tree[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], Rang
 	if n == 0 {
 		return out, stats, nil
 	}
-	if t.replicaStale {
+	if t.replicaStale.Load() {
 		return nil, stats, fault.ErrReplicaStale
 	}
 	m := t.opt.BucketSize

@@ -1,0 +1,210 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// tracker counts releases per payload value.
+type tracker struct {
+	mu       sync.Mutex
+	released map[int]int
+}
+
+func newTracker() *tracker { return &tracker{released: make(map[int]int)} }
+
+func (tr *tracker) release(v int) {
+	tr.mu.Lock()
+	tr.released[v]++
+	tr.mu.Unlock()
+}
+
+func (tr *tracker) count(v int) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.released[v]
+}
+
+func TestPublishSharesUntouchedSlots(t *testing.T) {
+	tr := newTracker()
+	r := New([]int{10, 20, 30}, "m0", tr.release)
+	if r.Epoch() != 1 || r.Len() != 3 {
+		t.Fatalf("fresh registry epoch=%d len=%d", r.Epoch(), r.Len())
+	}
+
+	old := r.Pin()
+	r.Publish(1, 21)
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after publish = %d, want 2", r.Epoch())
+	}
+
+	cur := r.Pin()
+	if got := cur.Get(1); got != 21 {
+		t.Fatalf("current slot 1 = %d, want 21", got)
+	}
+	if got := old.Get(1); got != 20 {
+		t.Fatalf("pinned old slot 1 = %d, want 20", got)
+	}
+	if cur.Meta() != "m0" {
+		t.Fatalf("publish dropped meta: %q", cur.Meta())
+	}
+	// Slot 0 is shared by reference across the epochs.
+	if old.Get(0) != cur.Get(0) {
+		t.Fatal("untouched slot not shared across publish")
+	}
+
+	// The replaced payload is released only when the old state drains.
+	if tr.count(20) != 0 {
+		t.Fatal("payload released while a pin held it")
+	}
+	old.Unpin()
+	if tr.count(20) != 1 {
+		t.Fatalf("replaced payload released %d times, want 1", tr.count(20))
+	}
+	if tr.count(10) != 0 || tr.count(30) != 0 {
+		t.Fatal("shared slot released by the old state's drain")
+	}
+	cur.Unpin()
+}
+
+func TestTransitionSplitsAndMerges(t *testing.T) {
+	tr := newTracker()
+	r := New([]int{100, 200}, 2, tr.release)
+
+	old := r.Pin()
+	// Split slot 1 into two fresh payloads; keep slot 0.
+	r.Transition([]Slot[int]{KeepSlot[int](0), NewSlot(201), NewSlot(202)}, 3)
+	cur := r.Pin()
+	if cur.Len() != 3 || cur.Meta() != 3 || cur.Epoch() != 2 {
+		t.Fatalf("post-split state: len=%d meta=%d epoch=%d", cur.Len(), cur.Meta(), cur.Epoch())
+	}
+	if cur.Get(0) != 100 || cur.Get(1) != 201 || cur.Get(2) != 202 {
+		t.Fatalf("post-split vector: %d %d %d", cur.Get(0), cur.Get(1), cur.Get(2))
+	}
+	// The old pin still sees the complete pre-split world.
+	if old.Len() != 2 || old.Get(1) != 200 || old.Meta() != 2 {
+		t.Fatal("old pin torn by transition")
+	}
+	old.Unpin()
+	if tr.count(200) != 1 || tr.count(100) != 0 {
+		t.Fatalf("post-drain releases: 200=%d 100=%d", tr.count(200), tr.count(100))
+	}
+
+	// Merge the two fresh slots back into one.
+	r.Transition([]Slot[int]{KeepSlot[int](0), NewSlot(240)}, 2)
+	cur.Unpin()
+	if tr.count(201) != 1 || tr.count(202) != 1 {
+		t.Fatalf("merged-away slots not released: 201=%d 202=%d", tr.count(201), tr.count(202))
+	}
+	r.Close()
+	if tr.count(100) != 1 || tr.count(240) != 1 {
+		t.Fatalf("close releases: 100=%d 240=%d", tr.count(100), tr.count(240))
+	}
+	r.Close() // idempotent
+	if tr.count(100) != 1 {
+		t.Fatal("double Close released twice")
+	}
+}
+
+func TestSetMetaKeepsVector(t *testing.T) {
+	tr := newTracker()
+	r := New([]int{7}, "a", tr.release)
+	r.SetMeta("b")
+	p := r.Pin()
+	if p.Meta() != "b" || p.Get(0) != 7 || p.Epoch() != 2 {
+		t.Fatalf("SetMeta state: meta=%q v=%d epoch=%d", p.Meta(), p.Get(0), p.Epoch())
+	}
+	p.Unpin()
+	if tr.count(7) != 0 {
+		t.Fatal("SetMeta released a kept slot")
+	}
+	r.Close()
+}
+
+func TestZeroPinInert(t *testing.T) {
+	var p Pin[int, string]
+	if p.Valid() {
+		t.Fatal("zero pin reports valid")
+	}
+	p.Unpin() // must not panic
+}
+
+// TestConcurrentPinsObserveAtomicStates hammers Pin against racing
+// Publish and Transition calls. Payloads are stamped with the epoch
+// that wrote them and the meta carries the epoch of the last
+// whole-vector Transition, so every correctly pinned state satisfies
+// meta <= slot value <= epoch in all slots — a torn mixture of
+// generations breaks the sandwich. Release hooks must fire exactly once
+// per payload.
+func TestConcurrentPinsObserveAtomicStates(t *testing.T) {
+	const slots = 4
+	var released, created atomic.Int64
+	vals := make([]uint64, slots)
+	for i := range vals {
+		vals[i] = 1 // epoch 1 payload in every slot
+	}
+	created.Add(slots)
+	r := New(vals, uint64(1), func(uint64) { released.Add(1) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := r.Pin()
+				e := p.Epoch()
+				if e < last {
+					t.Errorf("epoch went backwards: %d -> %d", last, e)
+					p.Unpin()
+					return
+				}
+				last = e
+				m := p.Meta()
+				if m > e {
+					t.Errorf("meta %d ahead of epoch %d", m, e)
+					p.Unpin()
+					return
+				}
+				for i := 0; i < p.Len(); i++ {
+					if v := p.Get(i); v > e || v < m {
+						t.Errorf("slot %d payload %d outside [%d,%d]", i, v, m, e)
+						p.Unpin()
+						return
+					}
+				}
+				p.Unpin()
+			}
+		}()
+	}
+
+	for e := uint64(2); e < 600; e++ {
+		if e%50 == 0 {
+			// Whole-vector transition: every slot fresh, stamped e,
+			// meta stamped e in the same atomic step.
+			sl := make([]Slot[uint64], slots)
+			for i := range sl {
+				sl[i] = NewSlot(e)
+				created.Add(1)
+			}
+			r.Transition(sl, e)
+			continue
+		}
+		r.Publish(int(e)%slots, e)
+		created.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+	r.Close()
+	if got, want := released.Load(), created.Load(); got != want {
+		t.Fatalf("released %d payloads, created %d", got, want)
+	}
+}

@@ -65,6 +65,17 @@ type Options struct {
 	// true fails the excess request immediately with ErrOverloaded so
 	// an external caller can retry against another replica or degrade.
 	Shed bool
+
+	// DegradedPending is the fault-aware admission window: while the
+	// backend reports Degraded (breaker open, batches answered by the
+	// slower CPU fallback), each shard admits only this many undelivered
+	// requests and fails the excess fast with ErrOverloaded — regardless
+	// of Shed, since backpressure against a degraded backend just builds
+	// the queue the bound exists to prevent. Zero selects MaxPending/2
+	// (minimum 1); ignored when MaxPending is zero (an unbounded
+	// coalescer has no window to shrink). The full MaxPending window is
+	// restored the moment the backend recovers.
+	DegradedPending int
 }
 
 // Result is the outcome of one coalesced lookup.
@@ -122,8 +133,12 @@ type shard[K keys.Key] struct {
 // rather than left hanging. A batch already being flushed completes
 // normally.
 type Coalescer[K keys.Key] struct {
-	srv *Server[K]
+	be  Backend[K]
 	opt Options
+
+	// degPending is the resolved degraded-mode admission bound (0 when
+	// MaxPending is unbounded).
+	degPending int
 
 	shards []shard[K]
 	next   atomic.Uint64 // round-robin shard cursor
@@ -138,14 +153,16 @@ type Coalescer[K keys.Key] struct {
 	batches   atomic.Int64 // batches flushed
 	queries   atomic.Int64 // requests served through batches
 	shed      atomic.Int64 // requests refused with ErrOverloaded
+	degShed   atomic.Int64 // of those, refused by fault-aware admission
 	deadlines atomic.Int64 // requests abandoned with ErrDeadlineExceeded
 }
 
-// NewCoalescer starts a coalescer over srv. The caller must Close it to
-// stop the per-shard flusher goroutines.
-func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
+// NewCoalescer starts a coalescer over a backend — a Server or a
+// ShardedServer's coalescing adapter. The caller must Close it to stop
+// the per-shard flusher goroutines.
+func NewCoalescer[K keys.Key](be Backend[K], opt Options) *Coalescer[K] {
 	if opt.MaxBatch <= 0 {
-		opt.MaxBatch = srv.Options().BucketSize
+		opt.MaxBatch = be.Options().BucketSize
 	}
 	if opt.Window <= 0 {
 		opt.Window = DefaultWindow
@@ -153,11 +170,20 @@ func NewCoalescer[K keys.Key](srv *Server[K], opt Options) *Coalescer[K] {
 	if opt.Shards <= 0 {
 		opt.Shards = runtime.GOMAXPROCS(0)
 	}
+	if opt.MaxPending > 0 {
+		if opt.DegradedPending <= 0 {
+			opt.DegradedPending = opt.MaxPending / 2
+		}
+		if opt.DegradedPending < 1 {
+			opt.DegradedPending = 1
+		}
+	}
 	c := &Coalescer[K]{
-		srv:    srv,
-		opt:    opt,
-		shards: make([]shard[K], opt.Shards),
-		done:   make(chan struct{}),
+		be:         be,
+		opt:        opt,
+		degPending: opt.DegradedPending,
+		shards:     make([]shard[K], opt.Shards),
+		done:       make(chan struct{}),
 	}
 	c.batchPool.New = func() any {
 		return &pending[K]{
@@ -256,6 +282,17 @@ func (c *Coalescer[K]) submit(key K, reply chan Result[K]) error {
 func (c *Coalescer[K]) submitCtx(ctx context.Context, key K, reply chan Result[K]) error {
 	sh := &c.shards[c.next.Add(1)%uint64(len(c.shards))]
 	if sh.slots != nil {
+		// Fault-aware admission: while the backend is degraded, the
+		// effective window shrinks to DegradedPending and the excess
+		// fails fast — even in backpressure mode, since queueing against
+		// the slower fallback path only builds the backlog the bound
+		// exists to prevent. The cheap length check runs first so the
+		// healthy path never pays for the breaker-state load.
+		if len(sh.slots) >= c.degPending && c.be.Degraded() {
+			c.shed.Add(1)
+			c.degShed.Add(1)
+			return ErrOverloaded
+		}
 		// Admission: take a window token before the shard lock so a
 		// blocked submitter never holds the lock the flusher needs.
 		if c.opt.Shed {
@@ -333,7 +370,7 @@ func (c *Coalescer[K]) flusher(sh *shard[K]) {
 func (c *Coalescer[K]) flush(sh *shard[K], p *pending[K]) {
 	n := len(p.keys)
 	values, found := p.values[:n], p.found[:n]
-	_, err := c.srv.LookupBatchInto(p.keys, values, found)
+	_, err := c.be.LookupBatchInto(p.keys, values, found)
 	if err != nil {
 		c.fail(sh, p, err)
 		return
@@ -395,8 +432,13 @@ func (c *Coalescer[K]) Batches() int64 { return c.batches.Load() }
 // Queries returns the number of requests served through batches.
 func (c *Coalescer[K]) Queries() int64 { return c.queries.Load() }
 
-// Shed returns how many requests were refused with ErrOverloaded.
+// Shed returns how many requests were refused with ErrOverloaded,
+// including those refused by fault-aware admission.
 func (c *Coalescer[K]) Shed() int64 { return c.shed.Load() }
+
+// DegradedShed returns how many requests were refused because the
+// backend was degraded and the shrunken admission window was full.
+func (c *Coalescer[K]) DegradedShed() int64 { return c.degShed.Load() }
 
 // Deadlines returns how many requests were abandoned with
 // ErrDeadlineExceeded.

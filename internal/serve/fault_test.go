@@ -174,7 +174,7 @@ func TestShardedUpdateCtxDeadlineOnStalledPump(t *testing.T) {
 	tree.Close()
 	defer sh.Close()
 
-	for _, sub := range sh.subs {
+	for _, sub := range sh.members() {
 		sub.wsem <- struct{}{}
 	}
 	const deadline = 100 * time.Millisecond
@@ -192,7 +192,7 @@ func TestShardedUpdateCtxDeadlineOnStalledPump(t *testing.T) {
 	if sh.Metrics().Deadlines == 0 {
 		t.Fatal("sharded Deadlines counter not incremented")
 	}
-	for _, sub := range sh.subs {
+	for _, sub := range sh.members() {
 		<-sub.wsem
 	}
 	// The abandoned job may still complete in the background — that is

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hbtree/internal/core"
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/workload"
+)
+
+// TestSplitAndMergeShards: manual split and merge each install a new
+// layout as one epoch transition — key set intact, every lookup still
+// correct, aggregate metrics continuous across the retired shard, and
+// the epoch/table generation advanced.
+func TestSplitAndMergeShards(t *testing.T) {
+	s, pairs := newShardedServer(t, core.Regular, 1<<12, 4)
+
+	// Touch shard 1 with some updates so continuity of the aggregate
+	// Updates counter across its retirement is observable.
+	ops := make([]cpubtree.Op[uint64], 0, 32)
+	for i := 0; i < 32; i++ {
+		p := pairs[len(pairs)/4+i]
+		ops = append(ops, cpubtree.Op[uint64]{Key: p.Key, Value: p.Value})
+	}
+	if _, err := s.Update(ops, core.Synchronized); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics()
+	epochBefore := s.Epoch()
+
+	if err := s.SplitShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 5 || len(s.Bounds()) != 4 {
+		t.Fatalf("post-split layout: %d shards, %d bounds", s.Shards(), len(s.Bounds()))
+	}
+	bounds := s.Bounds()
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i-1] >= bounds[i] {
+			t.Fatalf("bounds not strictly increasing: %v", bounds)
+		}
+	}
+	if s.Epoch() <= epochBefore {
+		t.Fatalf("epoch did not advance across split: %d -> %d", epochBefore, s.Epoch())
+	}
+	if s.NumPairs() != len(pairs) {
+		t.Fatalf("split changed pair count: %d, want %d", s.NumPairs(), len(pairs))
+	}
+	after := s.Metrics()
+	if after.Updates != before.Updates || after.Swaps != before.Swaps {
+		t.Fatalf("metrics discontinuous across split: updates %d->%d swaps %d->%d",
+			before.Updates, after.Updates, before.Swaps, after.Swaps)
+	}
+	rb := s.RebalanceStats()
+	if rb.Splits != 1 || rb.Rebalances != 1 || rb.TableGen != 2 || rb.Shards != 5 {
+		t.Fatalf("rebalance stats after split: %+v", rb)
+	}
+
+	if err := s.MergeShards(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 4 || len(s.Bounds()) != 3 {
+		t.Fatalf("post-merge layout: %d shards, %d bounds", s.Shards(), len(s.Bounds()))
+	}
+	rb = s.RebalanceStats()
+	if rb.Merges != 1 || rb.Rebalances != 2 || rb.TableGen != 3 {
+		t.Fatalf("rebalance stats after merge: %+v", rb)
+	}
+
+	for i := 0; i < len(pairs); i += 7 {
+		p := pairs[i]
+		if v, ok := s.Lookup(p.Key); !ok || v != p.Value {
+			t.Fatalf("post-rebalance Lookup(%d) = (%d,%v), want %d", p.Key, v, ok, p.Value)
+		}
+	}
+	sc := s.ScanConsistent(0, len(pairs))
+	if len(sc) != len(pairs) {
+		t.Fatalf("consistent scan len %d, want %d", len(sc), len(pairs))
+	}
+	for i, p := range sc {
+		if p != pairs[i] {
+			t.Fatalf("consistent scan[%d] = %v, want %v", i, p, pairs[i])
+		}
+	}
+	// Writes keep landing on the post-rebalance layout.
+	if _, err := s.Update([]cpubtree.Op[uint64]{{Key: pairs[0].Key, Value: 777}}, core.Synchronized); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Lookup(pairs[0].Key); !ok || v != 777 {
+		t.Fatalf("post-rebalance write invisible: (%d,%v)", v, ok)
+	}
+}
+
+// TestSplitErrors: out-of-range indexes are rejected and the layout is
+// untouched.
+func TestSplitErrors(t *testing.T) {
+	s, _ := newShardedServer(t, core.Regular, 1<<10, 2)
+	if err := s.SplitShard(2); err == nil {
+		t.Fatal("split of missing shard succeeded")
+	}
+	if err := s.MergeShards(1); err == nil {
+		t.Fatal("merge past the last shard succeeded")
+	}
+	if s.Shards() != 2 || s.RebalanceStats().Rebalances != 0 {
+		t.Fatalf("failed rebalance mutated layout: %+v", s.RebalanceStats())
+	}
+}
+
+// TestCheckRebalanceDetector: the window detector splits a hot shard
+// once its update share crosses HotFraction, and merges a cold adjacent
+// pair once their combined share drops below ColdFraction.
+func TestCheckRebalanceDetector(t *testing.T) {
+	s, pairs := newShardedServer(t, core.Regular, 1<<12, 4)
+	hotKey := pairs[len(pairs)-1].Key
+	hot := s.route(hotKey)
+
+	opt := RebalanceOptions{MinOps: 64, HotFraction: 0.5, ColdFraction: -1, Interval: time.Hour}
+	if act, err := s.CheckRebalance(opt); err != nil || act != "" {
+		t.Fatalf("first pass acted: %q, %v", act, err)
+	}
+	// 128 updates, all to the hottest shard: share 1.0.
+	ops := make([]cpubtree.Op[uint64], 128)
+	for i := range ops {
+		p := pairs[len(pairs)-1-i%32]
+		ops[i] = cpubtree.Op[uint64]{Key: p.Key, Value: p.Value}
+	}
+	if _, err := s.Update(ops, core.Synchronized); err != nil {
+		t.Fatal(err)
+	}
+	act, err := s.CheckRebalance(opt)
+	if err != nil || act == "" {
+		t.Fatalf("hot window did not split: %q, %v", act, err)
+	}
+	if s.Shards() != 5 || s.RebalanceStats().Splits != 1 {
+		t.Fatalf("post-detector layout: %d shards, %+v", s.Shards(), s.RebalanceStats())
+	}
+
+	// Merge detection: traffic on the upper shards only leaves the
+	// bottom adjacent pair cold.
+	mopt := RebalanceOptions{MinOps: 64, HotFraction: 0.99, ColdFraction: 0.2, Interval: time.Hour}
+	if act, err := s.CheckRebalance(mopt); err != nil || act != "" {
+		t.Fatalf("window re-base acted: %q, %v", act, err)
+	}
+	mid := len(pairs) / 2
+	ops = ops[:0]
+	for i := 0; i < 192; i++ {
+		p := pairs[mid+(i*37)%(len(pairs)-mid)]
+		ops = append(ops, cpubtree.Op[uint64]{Key: p.Key, Value: p.Value})
+	}
+	if _, err := s.Update(ops, core.Synchronized); err != nil {
+		t.Fatal(err)
+	}
+	act, err = s.CheckRebalance(mopt)
+	if err != nil || act == "" {
+		t.Fatalf("cold window did not merge: %q, %v", act, err)
+	}
+	if s.Shards() != 4 || s.RebalanceStats().Merges != 1 {
+		t.Fatalf("post-merge layout: %d shards, %+v", s.Shards(), s.RebalanceStats())
+	}
+	_ = hot
+}
+
+// TestScanConsistentOracleUnderRebalance is the torn-cut oracle, run
+// under -race by the race CI lane. A writer serialises acked writes
+// left-to-right: it writes v to a key in the lowest shard, waits for
+// the ack, then writes v to a key in the highest shard — so at every
+// real-time instant value(hi) <= value(lo). A cross-shard cut that is
+// NOT atomic can catch the high key's new value together with the low
+// key's old one (the plain Scan stitch reads the low shard first);
+// ScanConsistent pins one epoch for the whole stitch and must never
+// observe that inversion, even while forced split/merge cycles replace
+// the layout underneath it. The scan must also stay gap- and
+// duplicate-free: the key set is constant, so every cut returns exactly
+// the initial keys in strict order.
+func TestScanConsistentOracleUnderRebalance(t *testing.T) {
+	s, pairs := newShardedServer(t, core.Regular, 1<<12, 4)
+	kLo := pairs[0].Key
+	kHi := pairs[len(pairs)-1].Key
+	const base = uint64(1) << 40
+
+	// Establish the invariant before readers start.
+	for _, k := range []uint64{kLo, kHi} {
+		if _, err := s.Update([]cpubtree.Op[uint64]{{Key: k, Value: base}}, core.Synchronized); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The forcer drives termination: writers and readers run until it
+	// has completed a fixed number of split/merge cycles, so the test is
+	// immune to scheduling starvation on small GOMAXPROCS.
+	done := make(chan struct{})
+	finished := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan string, 8)
+	report := func(format string, args ...any) {
+		select {
+		case errc <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	// Writer: value(hi) trails value(lo) by construction.
+	var lastAcked uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := base + 1; !finished(); v++ {
+			if _, err := s.Update([]cpubtree.Op[uint64]{{Key: kLo, Value: v}}, core.Synchronized); err != nil {
+				report("writer lo: %v", err)
+				return
+			}
+			if _, err := s.Update([]cpubtree.Op[uint64]{{Key: kHi, Value: v}}, core.Synchronized); err != nil {
+				report("writer hi: %v", err)
+				return
+			}
+			lastAcked = v
+		}
+	}()
+
+	// Rebalance forcer: split and re-merge the bottom shard in a loop,
+	// so cuts constantly straddle layout transitions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			if err := s.SplitShard(0); err != nil {
+				report("split: %v", err)
+				return
+			}
+			if err := s.MergeShards(0); err != nil {
+				report("merge: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !finished() {
+				cut := s.ScanConsistent(0, len(pairs)+8)
+				if len(cut) != len(pairs) {
+					report("cut has %d pairs, want %d", len(cut), len(pairs))
+					return
+				}
+				var vLo, vHi uint64
+				for i, p := range cut {
+					if p.Key != pairs[i].Key {
+						report("cut[%d] key %d, want %d (gap or duplicate)", i, p.Key, pairs[i].Key)
+						return
+					}
+					switch p.Key {
+					case kLo:
+						vLo = p.Value
+					case kHi:
+						vHi = p.Value
+					}
+				}
+				if vHi > vLo {
+					report("torn cut: value(hi)=%d > value(lo)=%d", vHi, vLo)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	// Zero lost acked writes across all the rebalances.
+	if v, ok := s.Lookup(kLo); !ok || v < lastAcked {
+		t.Fatalf("acked write lost on lo: (%d,%v), last acked %d", v, ok, lastAcked)
+	}
+	if v, ok := s.Lookup(kHi); !ok || v < lastAcked {
+		t.Fatalf("acked write lost on hi: (%d,%v), last acked %d", v, ok, lastAcked)
+	}
+	if s.RebalanceStats().Rebalances == 0 {
+		t.Fatal("oracle ran without any rebalance")
+	}
+}
+
+// TestRebalanceSmokeSkewed is the acceptance smoke: a 90/10 skewed
+// update stream triggers the background rebalancer, the split completes
+// online with zero lost acked writes and no request hang, and the
+// post-rebalance per-shard update spread is measurably better than the
+// pre-rebalance one. The CI scaling lane runs it at GOMAXPROCS=4.
+func TestRebalanceSmokeSkewed(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 1<<13, 42)
+	s, err := BuildSharded(pairs, core.Options{Variant: core.Regular, BucketSize: 64}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	hotPool := pairs[:len(pairs)/4] // initial shard 0's range
+	acked := make(map[uint64]uint64)
+	rng := uint64(1)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+	skewedBatch := func(n int, tag uint64) []cpubtree.Op[uint64] {
+		ops := make([]cpubtree.Op[uint64], n)
+		for i := range ops {
+			var p = pairs[next()%uint64(len(pairs))]
+			if next()%10 < 9 { // 90% hot
+				p = hotPool[next()%uint64(len(hotPool))]
+			}
+			ops[i] = cpubtree.Op[uint64]{Key: p.Key, Value: tag}
+		}
+		return ops
+	}
+	drive := func(batches int, tag uint64) {
+		for b := 0; b < batches; b++ {
+			ops := skewedBatch(16, tag)
+			if _, err := s.Update(ops, core.Synchronized); err != nil {
+				t.Fatalf("skewed update: %v", err)
+			}
+			for _, op := range ops {
+				acked[op.Key] = op.Value
+			}
+		}
+	}
+	// spread routes one synthetic window of the skewed stream through
+	// the CURRENT split-key table and returns the hottest shard's share
+	// — a deterministic measure of how the layout divides the skew,
+	// independent of which shard servers happened to exist mid-window.
+	spread := func() (maxShare float64) {
+		probe := uint64(12345)
+		pnext := func() uint64 { probe = probe*6364136223846793005 + 1442695040888963407; return probe >> 33 }
+		counts := make([]int64, s.Shards())
+		const window = 4096
+		for i := 0; i < window; i++ {
+			p := pairs[pnext()%uint64(len(pairs))]
+			if pnext()%10 < 9 {
+				p = hotPool[pnext()%uint64(len(hotPool))]
+			}
+			if idx := s.route(p.Key); idx < len(counts) {
+				counts[idx]++
+			}
+		}
+		for _, c := range counts {
+			if share := float64(c) / float64(window); share > maxShare {
+				maxShare = share
+			}
+		}
+		return maxShare
+	}
+
+	// Pre-rebalance: the initial equal-cut table sends ~90% of the
+	// stream to one shard.
+	preMax := spread()
+	if preMax < 0.8 {
+		t.Fatalf("skew generator too weak: hottest share %.2f", preMax)
+	}
+	drive(64, 1)
+
+	s.StartRebalancer(RebalanceOptions{
+		MinOps: 512, HotFraction: 0.6, ColdFraction: -1,
+		MaxShards: 8, Interval: time.Millisecond,
+	})
+	waitUntil := time.Now().Add(10 * time.Second)
+	for s.RebalanceStats().Splits == 0 {
+		if time.Now().After(waitUntil) {
+			t.Fatalf("rebalancer never split under skew: %+v", s.RebalanceStats())
+		}
+		drive(8, 2)
+	}
+
+	// Drain one more acked round through the post-rebalance layout, then
+	// measure how the new table divides the same skewed stream: the hot
+	// range now spans at least two shards.
+	drive(64, 3)
+	postMax := spread()
+	if postMax > preMax-0.15 {
+		t.Fatalf("split did not improve spread: pre %.2f, post %.2f (stats %+v)",
+			preMax, postMax, s.RebalanceStats())
+	}
+
+	// Zero lost acked writes, served without a hang.
+	for k, v := range acked {
+		if got, ok := s.Lookup(k); !ok || got != v {
+			t.Fatalf("acked write lost: key %d = (%d,%v), want %d", k, got, ok, v)
+		}
+	}
+	if s.NumPairs() != len(pairs) {
+		t.Fatalf("rebalance changed pair count: %d, want %d", s.NumPairs(), len(pairs))
+	}
+}

@@ -95,7 +95,18 @@ func (s *Server[K]) lookupBatchResilient(tree *core.Tree[K], queries []K, values
 		s.brk.Failure()
 		s.gpuFaults.Add(1)
 	}
-	stats := tree.LookupBatchCPUInto(queries, values, found)
+	// Host-only fallback. A load-balanced server keeps the balanced
+	// plan's partial-descent shape — pre-walk to the discovered depth,
+	// then resume the remaining levels on the host instead of the device
+	// — so degraded-mode serving exercises the same bucket structure and
+	// cache-resident top levels as the healthy path. Plain servers take
+	// the flat host batch search.
+	var stats core.SearchStats
+	if s.opt.LoadBalance {
+		stats = tree.LookupBatchPartialCPUInto(queries, values, found)
+	} else {
+		stats = tree.LookupBatchCPUInto(queries, values, found)
+	}
 	s.fbBatches.Add(1)
 	s.fbQueries.Add(int64(len(queries)))
 	return stats, nil

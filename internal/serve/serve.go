@@ -13,22 +13,29 @@
 // calls under a size-or-deadline window, so the serving layer recovers
 // the paper's batched throughput from a point-request workload.
 //
-// # Snapshot reads
+// # Snapshot reads and the epoch registry
 //
-// The default Server publishes the tree behind an atomic pointer with
-// reference-counted snapshots (RCU-style): read operations acquire the
-// current snapshot, run against it without blocking, and release it;
-// batch updates and rebuilds construct a successor tree aside — a
-// clone patched with the batch, or a fresh build — and atomically swap
-// it in. Readers that acquired the old snapshot finish on it
-// undisturbed; its device-resident I-segment replica is released when
-// the last such reader drains. This mirrors the paper's asynchronous
-// update mode (Section 5.6) at the serving layer: the index remains
-// searchable for the full duration of a batch update, at the cost of
-// the clone/rebuild work and a transiently doubled I-segment footprint
-// on the device. NewLockedServer retains the PR-1 discipline — one
-// sync.RWMutex, writers excluding all readers — as the comparison
-// baseline and for memory-constrained deployments.
+// The default Server publishes tree versions through an epoch.Registry
+// — the generation-stamped snapshot registry shared with ShardedServer.
+// Read operations pin the registry's current state, run against it
+// without blocking, and unpin; batch updates and rebuilds construct a
+// successor tree aside — a clone patched with the batch, or a fresh
+// build — and publish it as a new epoch. Readers that pinned the old
+// epoch finish on it undisturbed; its device-resident I-segment replica
+// is released when the last pin drains. This mirrors the paper's
+// asynchronous update mode (Section 5.6) at the serving layer: the
+// index remains searchable for the full duration of a batch update, at
+// the cost of the clone/rebuild work and a transiently doubled
+// I-segment footprint on the device.
+//
+// A standalone Server owns a one-slot registry; shard members of a
+// ShardedServer share one registry whose vector holds every shard's
+// tree and whose metadata carries the split-key table — which is what
+// gives the sharded layer atomic cross-shard cuts and online
+// rebalancing for free (see sharded.go and DESIGN §6). NewLockedServer
+// retains the PR-1 discipline — one sync.RWMutex, writers excluding all
+// readers — as the comparison baseline and for memory-constrained
+// deployments.
 //
 // Virtual-time accounting follows requests through the layer: point
 // lookups served individually are charged the modelled serial descent
@@ -46,47 +53,20 @@ import (
 	"hbtree/internal/breaker"
 	"hbtree/internal/core"
 	"hbtree/internal/cpubtree"
+	"hbtree/internal/epoch"
 	"hbtree/internal/fault"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
 	"hbtree/internal/vclock"
 )
 
-// snapshot is one published version of the tree. refs starts at 1 (the
-// server's publication reference); every reader adds one for the span
-// of its operation. When the snapshot has been retired (superseded or
-// the server closed) and the last reference drains, the tree's device
-// buffers are released.
-type snapshot[K keys.Key] struct {
-	tree    *core.Tree[K]
-	refs    atomic.Int64
-	retired atomic.Bool
-	once    sync.Once
-}
-
-func newSnapshot[K keys.Key](t *core.Tree[K]) *snapshot[K] {
-	sn := &snapshot[K]{tree: t}
-	sn.refs.Store(1)
-	return sn
-}
-
-// release drops one reference; the snapshot's tree is closed when the
-// count reaches zero after retirement. The server's own reference is
-// dropped only after retired is set, so a reader observing zero always
-// observes retired too.
-func (sn *snapshot[K]) release() {
-	if sn.refs.Add(-1) == 0 && sn.retired.Load() {
-		sn.once.Do(sn.tree.Close)
-	}
-}
-
 // Server wraps a core.Tree with a reader/writer contract. In the
-// default snapshot mode, read operations run against an atomically
-// published snapshot and never block on writers; Update and Rebuild
-// build a successor version aside and swap it in. In locked mode
-// (NewLockedServer), a sync.RWMutex is used instead and writers exclude
-// all readers. The zero value is not usable; construct with NewServer
-// or NewLockedServer.
+// default snapshot mode, read operations run against a pinned epoch of
+// the snapshot registry and never block on writers; Update and Rebuild
+// build a successor version aside and publish it as a new epoch. In
+// locked mode (NewLockedServer), a sync.RWMutex is used instead and
+// writers exclude all readers. The zero value is not usable; construct
+// with NewServer or NewLockedServer.
 type Server[K keys.Key] struct {
 	locked bool
 
@@ -94,11 +74,17 @@ type Server[K keys.Key] struct {
 	mu   sync.RWMutex
 	tree *core.Tree[K]
 
-	// Snapshot mode: the current version and the writer serialisation.
-	// The writer "mutex" is a capacity-1 channel so UpdateCtx/RebuildCtx
-	// can abandon the wait when the caller's deadline expires.
-	cur  atomic.Pointer[snapshot[K]]
-	wsem chan struct{}
+	// Snapshot mode: the epoch registry holding the published versions
+	// and this server's slot in its vector. A standalone server owns a
+	// one-slot registry (ownReg); a shard member shares the
+	// ShardedServer's registry, and its slot index is restamped when a
+	// rebalance reorders the vector. The writer "mutex" is a capacity-1
+	// channel so UpdateCtx/RebuildCtx can abandon the wait when the
+	// caller's deadline expires.
+	reg    *epoch.Registry[*core.Tree[K], shardMeta[K]]
+	slot   atomic.Int32
+	ownReg bool
+	wsem   chan struct{}
 
 	opt       core.Options
 	pointCost vclock.Duration // modelled cost of one per-request lookup
@@ -108,6 +94,10 @@ type Server[K keys.Key] struct {
 	// snapshot swaps replace trees but error history must survive them.
 	brk   *breaker.Breaker
 	retry RetryOptions
+
+	// repairing single-flights the background replica repair (see
+	// repair.go).
+	repairing atomic.Bool
 
 	// Serving metrics (atomic: updated outside the locks).
 	vtimeNs   atomic.Int64 // accumulated virtual serving time, ns
@@ -121,6 +111,14 @@ type Server[K keys.Key] struct {
 	fbBatches atomic.Int64 // batches answered by the CPU fallback
 	fbQueries atomic.Int64 // queries answered by the CPU fallback
 	deadlines atomic.Int64 // requests failed with ErrDeadlineExceeded
+	repairs   atomic.Int64 // background replica repairs completed
+}
+
+// pin is the registry reference type every snapshot-mode read holds.
+// Go has no generic type aliases, so the helper functions below spell
+// the full instantiation once.
+func zeroPin[K keys.Key]() epoch.Pin[*core.Tree[K], shardMeta[K]] {
+	return epoch.Pin[*core.Tree[K], shardMeta[K]]{}
 }
 
 // NewServer wraps t in snapshot mode: reads never block on batch
@@ -129,7 +127,8 @@ type Server[K keys.Key] struct {
 // never contend on discovery.
 func NewServer[K keys.Key](t *core.Tree[K]) *Server[K] {
 	s := newServer(t)
-	s.cur.Store(newSnapshot(t))
+	s.reg = epoch.New([]*core.Tree[K]{t}, shardMeta[K]{}, func(tr *core.Tree[K]) { tr.Close() })
+	s.ownReg = true
 	return s
 }
 
@@ -141,6 +140,17 @@ func NewLockedServer[K keys.Key](t *core.Tree[K]) *Server[K] {
 	s := newServer(t)
 	s.locked = true
 	s.tree = t
+	return s
+}
+
+// newShardMember wraps t as one shard of a shared registry: the server
+// reads and publishes through reg at the given slot and does not own
+// the registry's lifetime (ShardedServer closes it once for all
+// shards).
+func newShardMember[K keys.Key](t *core.Tree[K], reg *epoch.Registry[*core.Tree[K], shardMeta[K]], slot int) *Server[K] {
+	s := newServer(t)
+	s.reg = reg
+	s.slot.Store(int32(slot))
 	return s
 }
 
@@ -174,43 +184,69 @@ func attachEnvInjector(d *gpusim.Device) {
 }
 
 // acquire pins the current tree version for one read operation. In
-// snapshot mode the returned snapshot must be released; in locked mode
-// the snapshot is nil and the read lock is held until releaseRead.
-func (s *Server[K]) acquire() (*core.Tree[K], *snapshot[K]) {
+// snapshot mode the returned pin must be released with releaseRead; in
+// locked mode the pin is the zero value (Valid() false) and the read
+// lock is held until releaseRead.
+//
+// A shard member resolves its tree from the pinned state: the slot
+// index is validated against the pinned metadata and, when a
+// just-published rebalance has restamped it, the member locates itself
+// in the pinned vector instead — so a read never mixes a new index
+// with an old epoch. Acquiring on a shard server that a rebalance has
+// replaced panics: retired members must not be used for new reads
+// (ShardedServer's read paths resolve members through the pin, which
+// makes that unreachable).
+func (s *Server[K]) acquire() (*core.Tree[K], epoch.Pin[*core.Tree[K], shardMeta[K]]) {
 	if s.locked {
 		s.mu.RLock()
-		return s.tree, nil
+		return s.tree, zeroPin[K]()
 	}
-	for {
-		sn := s.cur.Load()
-		sn.refs.Add(1)
-		if s.cur.Load() == sn {
-			// Still the published version: the reference taken above
-			// keeps it alive for the span of this read.
-			return sn.tree, sn
-		}
-		// A writer swapped between the load and the reference; drop it
-		// and retry on the new version.
-		sn.release()
+	tree, p, ok := s.pinCurrent()
+	if !ok {
+		panic("serve: read on a shard server replaced by rebalance")
 	}
+	return tree, p
 }
 
-func (s *Server[K]) releaseRead(sn *snapshot[K]) {
-	if sn == nil {
+// pinCurrent pins the registry and resolves this server's tree in the
+// pinned state. ok is false — with nothing pinned — when the server is
+// no longer part of the current state (replaced by a rebalance).
+// Snapshot mode only.
+func (s *Server[K]) pinCurrent() (*core.Tree[K], epoch.Pin[*core.Tree[K], shardMeta[K]], bool) {
+	p := s.reg.Pin()
+	m := p.Meta()
+	if len(m.subs) == 0 {
+		// Standalone registry: one slot, never restamped.
+		return p.Get(0), p, true
+	}
+	if i := int(s.slot.Load()); i < len(m.subs) && m.subs[i] == s {
+		return p.Get(i), p, true
+	}
+	// Slow path: the pin and the slot stamp straddle a rebalance —
+	// locate this member in the pinned vector itself.
+	for j, sub := range m.subs {
+		if sub == s {
+			return p.Get(j), p, true
+		}
+	}
+	p.Unpin()
+	return nil, zeroPin[K](), false
+}
+
+func (s *Server[K]) releaseRead(p epoch.Pin[*core.Tree[K], shardMeta[K]]) {
+	if !p.Valid() {
 		s.mu.RUnlock()
 		return
 	}
-	sn.release()
+	p.Unpin()
 }
 
-// publish retires the current snapshot in favour of t. Callers hold
-// wmu. In-flight readers of the old version finish on it; its device
-// buffers are released when the last one drains.
+// publish installs t as this server's slot in a new epoch. Callers hold
+// the writer slot. In-flight readers of the old version finish on it;
+// its device buffers are released when the last pin drains.
 func (s *Server[K]) publish(t *core.Tree[K]) {
-	old := s.cur.Swap(newSnapshot(t))
+	s.reg.Publish(int(s.slot.Load()), t)
 	s.swaps.Add(1)
-	old.retired.Store(true)
-	old.release()
 }
 
 // Metrics is a snapshot of the serving counters.
@@ -227,6 +263,7 @@ type Metrics struct {
 	FallbackBatches int64         // batches answered host-only
 	FallbackQueries int64         // queries answered host-only
 	Deadlines       int64         // requests failed with ErrDeadlineExceeded
+	Repairs         int64         // background replica repairs completed
 	BreakerTrips    int64         // closed/half-open -> open transitions
 	BreakerState    breaker.State // current breaker state
 
@@ -249,6 +286,7 @@ func (s *Server[K]) Metrics() Metrics {
 		FallbackBatches: s.fbBatches.Load(),
 		FallbackQueries: s.fbQueries.Load(),
 		Deadlines:       s.deadlines.Load(),
+		Repairs:         s.repairs.Load(),
 		BreakerTrips:    s.brk.Counters().Trips,
 		BreakerState:    s.brk.State(),
 		VirtualTime:     vclock.Duration(s.vtimeNs.Load()),
@@ -270,6 +308,7 @@ func (s *Server[K]) ResetMetrics() {
 	s.fbBatches.Store(0)
 	s.fbQueries.Store(0)
 	s.deadlines.Store(0)
+	s.repairs.Store(0)
 }
 
 // VirtualTime returns the accumulated virtual serving time.
@@ -287,16 +326,38 @@ func (s *Server[K]) addVirtual(d vclock.Duration) {
 // individually served lookup.
 func (s *Server[K]) PointLookupCost() vclock.Duration { return s.pointCost }
 
-// Swaps returns how many snapshot versions have been published.
+// Swaps returns how many snapshot versions this server has published.
 func (s *Server[K]) Swaps() int64 { return s.swaps.Load() }
+
+// Epoch returns the registry's current generation stamp (0 in locked
+// mode, which has no registry).
+func (s *Server[K]) Epoch() uint64 {
+	if s.locked {
+		return 0
+	}
+	return s.reg.Epoch()
+}
+
+// Degraded reports whether the server is in degraded mode: the breaker
+// over the device is open and batches are answered by the CPU fallback.
+// The Coalescer's fault-aware admission sheds earlier while this holds.
+func (s *Server[K]) Degraded() bool { return s.brk.State() == breaker.Open }
 
 // Lookup resolves one query on the CPU path against the current
 // version. Each call is charged the full serial descent on the virtual
 // clock — the per-request serving cost a Coalescer amortises away.
 func (s *Server[K]) Lookup(q K) (K, bool) {
-	tree, sn := s.acquire()
+	tree, p := s.acquire()
+	v, ok := s.lookupPinned(tree, q)
+	s.releaseRead(p)
+	return v, ok
+}
+
+// lookupPinned is the point-lookup body against an already-pinned
+// tree: ShardedServer resolves the tree from its own pin and calls
+// this, so shard reads never re-pin per member.
+func (s *Server[K]) lookupPinned(tree *core.Tree[K], q K) (K, bool) {
 	v, ok := tree.Lookup(q)
-	s.releaseRead(sn)
 	s.lookups.Add(1)
 	s.addVirtual(s.pointCost)
 	return v, ok
@@ -323,9 +384,17 @@ func (s *Server[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchStats, err
 // state allocates nothing — the path the Coalescer's flushers use. The
 // same retry/fallback discipline as LookupBatch applies.
 func (s *Server[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
-	tree, sn := s.acquire()
+	tree, p := s.acquire()
+	stats, err := s.lookupBatchPinned(tree, queries, values, found)
+	s.releaseRead(p)
+	return stats, err
+}
+
+// lookupBatchPinned is the batch-search body against an already-pinned
+// tree, with the resilient retry/fallback discipline and this server's
+// counters.
+func (s *Server[K]) lookupBatchPinned(tree *core.Tree[K], queries []K, values []K, found []bool) (core.SearchStats, error) {
 	stats, err := s.lookupBatchResilient(tree, queries, values, found)
-	s.releaseRead(sn)
 	if err == nil {
 		s.batched.Add(int64(len(queries)))
 		s.batches.Add(1)
@@ -337,8 +406,8 @@ func (s *Server[K]) LookupBatchInto(queries []K, values []K, found []bool) (core
 // RangeQuery returns up to count pairs with key >= start against the
 // current version.
 func (s *Server[K]) RangeQuery(start K, count int) []keys.Pair[K] {
-	tree, sn := s.acquire()
-	defer s.releaseRead(sn)
+	tree, p := s.acquire()
+	defer s.releaseRead(p)
 	return tree.RangeQuery(start, count, nil)
 }
 
@@ -346,9 +415,9 @@ func (s *Server[K]) RangeQuery(start K, count int) []keys.Pair[K] {
 // current version, charging its simulated makespan. Like LookupBatch
 // it degrades to host-side range scans on injected device faults.
 func (s *Server[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], core.RangeStats, error) {
-	tree, sn := s.acquire()
+	tree, p := s.acquire()
 	out, stats, err := s.rangeBatchResilient(tree, starts, count)
-	s.releaseRead(sn)
+	s.releaseRead(p)
 	if err == nil {
 		s.addVirtual(stats.SimTime)
 	}
@@ -360,10 +429,15 @@ func (s *Server[K]) RangeQueryBatch(starts []K, count int) ([][]keys.Pair[K], co
 // outlive the version pin, so the walk is materialised before
 // returning.
 func (s *Server[K]) Scan(start K, count int) []keys.Pair[K] {
-	tree, sn := s.acquire()
-	defer s.releaseRead(sn)
-	out := make([]keys.Pair[K], 0, count)
-	cur := tree.Seek(start)
+	tree, p := s.acquire()
+	defer s.releaseRead(p)
+	return scanTree(tree, start, count, make([]keys.Pair[K], 0, count))
+}
+
+// scanTree materialises up to count pairs from a pinned tree's cursor
+// into out — shared by Server.Scan and the sharded stitch loops.
+func scanTree[K keys.Key](t *core.Tree[K], start K, count int, out []keys.Pair[K]) []keys.Pair[K] {
+	cur := t.Seek(start)
 	for len(out) < count {
 		p, ok := cur.Next()
 		if !ok {
@@ -383,8 +457,9 @@ func (s *Server[K]) Scan(start K, count int) []keys.Pair[K] {
 //
 // A batch whose host-side mutation succeeded but whose device re-sync
 // faulted is still acknowledged: the (replica-stale) version is kept,
-// reads on it degrade to the CPU path, and a later successful mirror
-// heals it — acked writes are never lost to an injected fault.
+// reads on it degrade to the CPU path, and a background repair
+// re-mirrors it (with heal-on-next-mirror as the fallback) — acked
+// writes are never lost to an injected fault.
 func (s *Server[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
 	return s.UpdateCtx(context.Background(), ops, method)
 }
@@ -407,7 +482,7 @@ func (s *Server[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method 
 		return core.UpdateStats{}, err
 	}
 	defer s.releaseWriter()
-	clone, err := s.cur.Load().tree.Clone()
+	clone, err := s.reg.Current(int(s.slot.Load())).Clone()
 	if err != nil {
 		return core.UpdateStats{}, err
 	}
@@ -444,7 +519,7 @@ func (s *Server[K]) RebuildCtx(ctx context.Context, pairs []keys.Pair[K]) (core.
 		return core.UpdateStats{}, err
 	}
 	defer s.releaseWriter()
-	nt, stats, err := s.cur.Load().tree.Rebuilt(pairs)
+	nt, stats, err := s.reg.Current(int(s.slot.Load())).Rebuilt(pairs)
 	if err != nil {
 		return stats, err
 	}
@@ -460,8 +535,9 @@ func (s *Server[K]) RebuildCtx(ctx context.Context, pairs []keys.Pair[K]) (core.
 
 // ackStaleSync classifies a batch-update error: an injected fault that
 // left the tree replica-stale means the host mutation itself succeeded —
-// the batch is acknowledged (nil) and only the device image lags. Any
-// other error is returned unchanged.
+// the batch is acknowledged (nil), only the device image lags, and a
+// background repair is kicked off to re-mirror it. Any other error is
+// returned unchanged.
 func (s *Server[K]) ackStaleSync(t *core.Tree[K], err error) error {
 	if err == nil {
 		return nil
@@ -469,6 +545,7 @@ func (s *Server[K]) ackStaleSync(t *core.Tree[K], err error) error {
 	if fault.Is(err) && t.ReplicaStale() {
 		s.gpuFaults.Add(1)
 		s.brk.Failure()
+		s.maybeRepair()
 		return nil
 	}
 	return err
@@ -502,30 +579,30 @@ func (s *Server[K]) noteUpdate(ops int, stats core.UpdateStats, err error) {
 
 // Stats reports the tree geometry of the current version.
 func (s *Server[K]) Stats() cpubtree.Stats {
-	tree, sn := s.acquire()
-	defer s.releaseRead(sn)
+	tree, p := s.acquire()
+	defer s.releaseRead(p)
 	return tree.Stats()
 }
 
 // Describe returns the current version's human-readable report.
 func (s *Server[K]) Describe() string {
-	tree, sn := s.acquire()
-	defer s.releaseRead(sn)
+	tree, p := s.acquire()
+	defer s.releaseRead(p)
 	return tree.Describe()
 }
 
 // NumPairs returns the stored pair count of the current version.
 func (s *Server[K]) NumPairs() int {
-	tree, sn := s.acquire()
-	defer s.releaseRead(sn)
+	tree, p := s.acquire()
+	defer s.releaseRead(p)
 	return tree.NumPairs()
 }
 
 // DeviceCounters snapshots the simulated GPU's hardware counters. The
 // device is shared by every snapshot, so the counters span versions.
 func (s *Server[K]) DeviceCounters() gpusim.Counters {
-	tree, sn := s.acquire()
-	defer s.releaseRead(sn)
+	tree, p := s.acquire()
+	defer s.releaseRead(p)
 	return tree.Device().Counters()
 }
 
@@ -540,12 +617,14 @@ func (s *Server[K]) Tree() *core.Tree[K] {
 	if s.locked {
 		return s.tree
 	}
-	return s.cur.Load().tree
+	return s.reg.Current(int(s.slot.Load()))
 }
 
 // Close releases the current version's device buffers. In snapshot
 // mode, readers still pinning the version finish first — the buffers
-// are released when the last reference drains. Close is idempotent.
+// are released when the last pin drains. A shard member does not own
+// its registry and must be closed through its ShardedServer; Close on
+// it only quiesces the writer slot. Close is idempotent.
 func (s *Server[K]) Close() {
 	if s.locked {
 		s.mu.Lock()
@@ -555,8 +634,7 @@ func (s *Server[K]) Close() {
 	}
 	s.wsem <- struct{}{}
 	defer s.releaseWriter()
-	cur := s.cur.Load()
-	if cur.retired.CompareAndSwap(false, true) {
-		cur.release() // drop the publication reference
+	if s.ownReg {
+		s.reg.Close()
 	}
 }

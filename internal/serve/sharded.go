@@ -12,6 +12,7 @@ import (
 	"hbtree/internal/breaker"
 	"hbtree/internal/core"
 	"hbtree/internal/cpubtree"
+	"hbtree/internal/epoch"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
 	"hbtree/internal/vclock"
@@ -22,22 +23,61 @@ import (
 // behind one mutex, so write cost is O(data) and rebuilds cannot
 // overlap — the scaling wall the ROADMAP's "sharded trees" item names.
 // ShardedServer partitions the key space across T independent trees,
-// each behind its own snapshot Server with its own refcounted snapshot
-// pointer and a dedicated update-pump goroutine (the per-shard worker
-// pool standing in for NUMA placement until real NUMA is observable).
-// Writers clone 1/T of the data and shards rebuild concurrently, so
-// clone cost drops to O(data/T) and update throughput scales with
-// cores; point lookups route by key and stay allocation-free; range
-// reads stitch ordered results across shard boundaries.
+// each behind its own shard Server with a dedicated update-pump
+// goroutine (the per-shard worker pool standing in for NUMA placement
+// until real NUMA is observable). Writers clone 1/T of the data and
+// shards rebuild concurrently, so clone cost drops to O(data/T) and
+// update throughput scales with cores; point lookups route by key and
+// stay allocation-free; range reads stitch ordered results across shard
+// boundaries.
+//
+// All T shard versions live in ONE epoch.Registry: the registry's
+// vector holds every shard's current tree and its metadata carries the
+// split-key table. A per-shard update publishes only its own slot
+// (sharing the other T-1 by reference), while a rebalance installs a
+// new table and a new tree set as one whole-vector transition — which
+// is what makes ScanConsistent/RangeQueryConsistent an atomic
+// cross-shard cut at the cost of a single pin, and lets the shard
+// layout change online without ever blocking readers.
 
-// shardJob is one unit of write work handed to a shard's update pump:
-// either a batch of routed ops or a rebuild of the shard's key range.
-// ctx carries the dispatcher's deadline into the pump's writer wait.
+// shardMeta is the registry metadata published atomically with the
+// shard tree vector: the split-key table, the shard servers serving
+// each slot, and a table generation bumped by every rebalance.
+type shardMeta[K keys.Key] struct {
+	bounds []K          // lower bounds of shards 1..T-1
+	subs   []*Server[K] // shard servers, index-aligned with the vector
+	gen    uint64       // split-key table generation
+}
+
+// route returns the shard owning key k under this table: the number of
+// shard lower bounds at or below k. Manual binary search keeps the hot
+// lookup path free of closures and allocations.
+func (m *shardMeta[K]) route(k K) int {
+	lo, hi := 0, len(m.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if k < m.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// shardJob is one unit of write work handed to an update pump: a batch
+// of routed ops, a rebuild of one shard's key range, or a rebalance
+// barrier. ctx carries the dispatcher's deadline into the pump's writer
+// wait; sub binds the job to the shard server it was routed to at
+// dispatch time.
 type shardJob[K keys.Key] struct {
 	ctx     context.Context
+	sub     *Server[K]
+	pump    int
 	ops     []cpubtree.Op[K]
 	pairs   []keys.Pair[K]
 	rebuild bool
+	barrier bool
 	method  core.UpdateMethod
 	done    chan<- shardDone
 }
@@ -48,32 +88,35 @@ type shardDone struct {
 	err   error
 }
 
-// ShardedServer partitions the key space across T independent snapshot
-// Servers. Shard i (i > 0) serves keys in [bounds[i-1], bounds[i]);
-// shard 0 serves everything below bounds[0] and the last shard
-// everything from its lower bound up. The bounds are fixed at
-// construction from the initial key distribution.
+// ShardedServer partitions the key space across T shard Servers behind
+// one epoch registry. Shard i (i > 0) serves keys in
+// [bounds[i-1], bounds[i]); shard 0 serves everything below bounds[0]
+// and the last shard everything from its lower bound up. The bounds are
+// set at construction from the initial key distribution and move only
+// through rebalancing (SplitShard/MergeShards/CheckRebalance), each
+// move one atomic epoch transition.
 //
-// Contract (DESIGN §6): point and batch lookups observe the snapshot of
-// the one shard that owns each key; a cross-shard RangeQuery or Scan
-// pins each shard's snapshot independently as the stitch walks the
-// boundary, so it is per-shard consistent — ordered, and never a torn
-// view *within* a shard — but not a single atomic cut across shards.
-// Update splits its ops by shard and applies the per-shard sub-batches
-// concurrently (each one a clone-aside-and-swap on 1/T of the data);
-// ops for the same key keep their submission order because routing
-// preserves relative order within a shard. Rebuild partitions the
-// replacement pairs by the fixed bounds and rebuilds all shards
-// concurrently.
+// Contract (DESIGN §6): point and batch lookups observe the epoch
+// current at their pin; a cross-shard RangeQuery or Scan re-pins as the
+// stitch walks the key space, so it is per-segment consistent —
+// ordered, never torn within a segment, gap- and duplicate-free across
+// concurrent rebalances — but not a single atomic cut.
+// ScanConsistent/RangeQueryConsistent pin ONE epoch for the whole
+// stitch and are the atomic cross-shard cut. Update splits its ops by
+// shard and applies the per-shard sub-batches concurrently (each one a
+// clone-aside-and-publish on 1/T of the data); ops for the same key
+// keep their submission order because routing preserves relative order
+// within a shard. Rebuild partitions the replacement pairs by the
+// current bounds and rebuilds all shards concurrently.
 type ShardedServer[K keys.Key] struct {
-	bounds []K          // lower bounds of shards 1..T-1
-	subs   []*Server[K] // one snapshot server per shard
+	reg *epoch.Registry[*core.Tree[K], shardMeta[K]]
+	opt core.Options // shard build options; Device is the shared card
 
 	// Per-shard update pumps: one goroutine per shard applies that
 	// shard's write jobs serially, so writers on different shards never
 	// contend while a single shard's writes stay ordered. pumpMu
-	// excludes Close (which closes the job channels) from in-flight
-	// dispatches.
+	// excludes Close and rebalancing (which replace the channel set)
+	// from in-flight dispatches.
 	pumps  []chan shardJob[K]
 	pumpWG sync.WaitGroup
 	pumpMu sync.RWMutex
@@ -83,13 +126,39 @@ type ShardedServer[K keys.Key] struct {
 	// or outcome wait); per-shard waits are counted by the sub-servers.
 	deadlines atomic.Int64
 
+	// Recorded resilience policy, inherited by shard servers created
+	// during a rebalance (fresh breaker instances — shared ones would
+	// double-count trips in the aggregate).
+	polMu      sync.Mutex
+	polSet     bool
+	polBrk     breaker.Options
+	polRetry   RetryOptions
+	forcedOpen atomic.Bool
+
+	// Rebalancing state (rebalance.go). rbMu serialises the detector
+	// and the manual split/merge entry points.
+	rbMu       sync.Mutex
+	rbLastGen  uint64
+	rbLast     []int64
+	rebalances atomic.Int64
+	splits     atomic.Int64
+	merges     atomic.Int64
+	lastRb     atomic.Pointer[string]
+	rbStop     chan struct{}
+	rbWG       sync.WaitGroup
+
+	// Counters of shard servers replaced by rebalances, folded into the
+	// aggregates so metrics stay continuous across layout changes.
+	retMu   sync.Mutex
+	retired Metrics
+
 	closeOnce sync.Once
 }
 
 // BuildSharded builds a ShardedServer over T trees from sorted,
 // distinct pairs: the pairs are cut into T equal contiguous runs, the
-// run boundaries become the fixed shard bounds, and every shard tree is
-// built with opt on one shared simulated device (opt.Device, or the
+// run boundaries become the initial shard bounds, and every shard tree
+// is built with opt on one shared simulated device (opt.Device, or the
 // first shard's device when nil). shards <= 0 selects GOMAXPROCS.
 func BuildSharded[K keys.Key](pairs []keys.Pair[K], opt core.Options, shards int) (*ShardedServer[K], error) {
 	if shards <= 0 {
@@ -98,20 +167,17 @@ func BuildSharded[K keys.Key](pairs []keys.Pair[K], opt core.Options, shards int
 	if len(pairs) < shards {
 		return nil, fmt.Errorf("serve: %d pairs cannot populate %d shards", len(pairs), shards)
 	}
-	s := &ShardedServer[K]{
-		bounds: make([]K, 0, shards-1),
-		subs:   make([]*Server[K], 0, shards),
-		pumps:  make([]chan shardJob[K], shards),
-	}
+	bounds := make([]K, 0, shards-1)
+	trees := make([]*core.Tree[K], 0, shards)
 	for i := 0; i < shards; i++ {
 		lo, hi := i*len(pairs)/shards, (i+1)*len(pairs)/shards
 		if i > 0 {
-			s.bounds = append(s.bounds, pairs[lo].Key)
+			bounds = append(bounds, pairs[lo].Key)
 		}
 		tree, err := core.Build(pairs[lo:hi], opt)
 		if err != nil {
-			for _, sub := range s.subs {
-				sub.Close()
+			for _, t := range trees {
+				t.Close()
 			}
 			return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 		}
@@ -120,12 +186,23 @@ func BuildSharded[K keys.Key](pairs []keys.Pair[K], opt core.Options, shards int
 			// paper envisions for a database with many indexes.
 			opt.Device = tree.Device()
 		}
-		s.subs = append(s.subs, NewServer(tree))
+		trees = append(trees, tree)
 	}
+	s := &ShardedServer[K]{opt: opt}
+	subs := make([]*Server[K], len(trees))
+	for i, t := range trees {
+		subs[i] = newShardMember(t, nil, i)
+	}
+	s.reg = epoch.New(trees, shardMeta[K]{bounds: bounds, subs: subs, gen: 1},
+		func(t *core.Tree[K]) { t.Close() })
+	for _, sub := range subs {
+		sub.reg = s.reg
+	}
+	s.pumps = make([]chan shardJob[K], shards)
 	for i := range s.pumps {
 		s.pumps[i] = make(chan shardJob[K])
 		s.pumpWG.Add(1)
-		go s.pump(i)
+		go s.pumpLoop(s.pumps[i])
 	}
 	return s, nil
 }
@@ -135,7 +212,15 @@ func BuildSharded[K keys.Key](pairs []keys.Pair[K], opt core.Options, shards int
 // device. t itself is left untouched (and no longer needed for
 // serving); the caller may Close it to release its device replica.
 func NewShardedServer[K keys.Key](t *core.Tree[K], shards int) (*ShardedServer[K], error) {
-	pairs := make([]keys.Pair[K], 0, t.NumPairs())
+	opt := t.Options()
+	opt.Device = t.Device()
+	return BuildSharded(materialisePairs(t), opt, shards)
+}
+
+// materialisePairs walks a tree's cursor from the bottom of the key
+// space and collects every stored pair in key order.
+func materialisePairs[K keys.Key](t *core.Tree[K]) []keys.Pair[K] {
+	out := make([]keys.Pair[K], 0, t.NumPairs())
 	var zero K
 	cur := t.Seek(zero)
 	for {
@@ -143,82 +228,95 @@ func NewShardedServer[K keys.Key](t *core.Tree[K], shards int) (*ShardedServer[K
 		if !ok {
 			break
 		}
-		pairs = append(pairs, p)
+		out = append(out, p)
 	}
-	opt := t.Options()
-	opt.Device = t.Device()
-	return BuildSharded(pairs, opt, shards)
+	return out
 }
 
-// route returns the shard owning key k: the number of shard lower
-// bounds at or below k. Manual binary search keeps the hot lookup path
-// free of closures and allocations.
+// members returns the current shard servers. The slice is immutable
+// once published; rebalances install a fresh one.
+func (s *ShardedServer[K]) members() []*Server[K] { return s.reg.Meta().subs }
+
+// route returns the shard owning key k under the current split-key
+// table (advisory across a concurrent rebalance; read paths re-resolve
+// under their pin).
 func (s *ShardedServer[K]) route(k K) int {
-	lo, hi := 0, len(s.bounds)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if k < s.bounds[mid] {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
+	m := s.reg.Meta()
+	return m.route(k)
 }
 
-// Shards returns the shard count T.
-func (s *ShardedServer[K]) Shards() int { return len(s.subs) }
+// Shards returns the current shard count T.
+func (s *ShardedServer[K]) Shards() int { return s.reg.Len() }
 
-// Bounds returns the shard lower bounds (len T-1), fixed at
-// construction.
-func (s *ShardedServer[K]) Bounds() []K { return s.bounds }
+// Bounds returns the current shard lower bounds (len T-1).
+func (s *ShardedServer[K]) Bounds() []K { return s.reg.Meta().bounds }
 
-// pump is shard i's dedicated update worker: it applies the shard's
-// write jobs serially — each a clone-aside-and-swap on 1/T of the data
-// — while pumps of other shards run concurrently.
-func (s *ShardedServer[K]) pump(i int) {
+// Epoch returns the registry's current generation stamp: it advances on
+// every per-shard publication and every rebalance transition.
+func (s *ShardedServer[K]) Epoch() uint64 { return s.reg.Epoch() }
+
+// pumpLoop is an update worker: it applies routed write jobs serially
+// against whatever shard server each job carries, and echoes barrier
+// jobs back (the rebalancer's drain handshake). Workers are anonymous —
+// shard identity lives in the job, so the worker set survives layout
+// changes unchanged.
+func (s *ShardedServer[K]) pumpLoop(ch chan shardJob[K]) {
 	defer s.pumpWG.Done()
-	for job := range s.pumps[i] {
+	for job := range ch {
+		if job.barrier {
+			job.done <- shardDone{}
+			continue
+		}
 		var d shardDone
 		if job.rebuild {
-			d.stats, d.err = s.subs[i].RebuildCtx(job.ctx, job.pairs)
+			d.stats, d.err = job.sub.RebuildCtx(job.ctx, job.pairs)
 		} else {
-			d.stats, d.err = s.subs[i].UpdateCtx(job.ctx, job.ops, job.method)
+			d.stats, d.err = job.sub.UpdateCtx(job.ctx, job.ops, job.method)
 		}
 		job.done <- d
 	}
 }
 
-// dispatch hands one job per selected shard to the pumps and merges the
-// outcomes: counters sum across shards, while each virtual-time
-// component reports the slowest shard — the makespan of the concurrent
-// execution. build must return false for shards with no work.
+// dispatch routes one write batch: build receives the pinned shard
+// table and returns the per-shard jobs, which are handed to the pumps
+// and their outcomes merged — counters sum across shards, while each
+// virtual-time component reports the slowest shard (the makespan of the
+// concurrent execution).
+//
+// The jobs are built and sent under one registry pin and the pump read
+// lock, so a rebalance cannot slide between routing and hand-off: every
+// job reaches the pump targeting a shard server that is current at send
+// time, and the rebalancer's barrier drains it before any layout
+// change.
 //
 // ctx bounds both the pump hand-off (a stalled pump no longer parks the
 // dispatcher) and the outcome wait. The done channel is buffered to the
-// shard count, so an abandoned dispatch never blocks a pump delivering
-// a late outcome — the job still completes on its shard, the caller
-// just stops waiting (per-shard atomicity: a deadline reply means
-// "outcome unknown on some shards", exactly like any distributed write
-// timeout).
-func (s *ShardedServer[K]) dispatch(ctx context.Context, build func(i int) (shardJob[K], bool)) (core.UpdateStats, error) {
+// job count, so an abandoned dispatch never blocks a pump delivering a
+// late outcome — the job still completes on its shard, the caller just
+// stops waiting (per-shard atomicity: a deadline reply means "outcome
+// unknown on some shards", exactly like any distributed write timeout).
+func (s *ShardedServer[K]) dispatch(ctx context.Context, build func(m *shardMeta[K]) ([]shardJob[K], error)) (core.UpdateStats, error) {
 	s.pumpMu.RLock()
 	if s.closed {
 		s.pumpMu.RUnlock()
 		return core.UpdateStats{}, ErrClosed
 	}
-	done := make(chan shardDone, len(s.subs))
+	p := s.reg.Pin()
+	m := p.Meta()
+	jobs, err := build(&m)
+	p.Unpin()
+	if err != nil {
+		s.pumpMu.RUnlock()
+		return core.UpdateStats{}, err
+	}
+	done := make(chan shardDone, len(jobs))
 	n := 0
 	expired := false
-	for i := range s.subs {
-		job, ok := build(i)
-		if !ok {
-			continue
-		}
+	for _, job := range jobs {
 		job.ctx = ctx
 		job.done = done
 		select {
-		case s.pumps[i] <- job:
+		case s.pumps[job.pump] <- job:
 			n++
 		case <-ctx.Done():
 			expired = true
@@ -272,7 +370,7 @@ func (s *ShardedServer[K]) dispatch(ctx context.Context, build func(i int) (shar
 }
 
 // Update splits ops by shard and applies the sub-batches concurrently,
-// one clone-aside-and-swap per touched shard. Per-shard sub-batches
+// one clone-aside-and-publish per touched shard. Per-shard sub-batches
 // keep their submission order, so same-key ops retain last-write-wins
 // semantics; shards that fail leave their published version untouched
 // while other shards may have applied (per-shard, not cross-shard,
@@ -284,55 +382,68 @@ func (s *ShardedServer[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod
 // UpdateCtx is Update with a caller deadline over the whole dispatch:
 // pump hand-off, per-shard writer waits, and outcome collection.
 func (s *ShardedServer[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
-	groups := make([][]cpubtree.Op[K], len(s.subs))
-	for _, op := range ops {
-		i := s.route(op.Key)
-		groups[i] = append(groups[i], op)
-	}
-	return s.dispatch(ctx, func(i int) (shardJob[K], bool) {
-		if len(groups[i]) == 0 {
-			return shardJob[K]{}, false
+	return s.dispatch(ctx, func(m *shardMeta[K]) ([]shardJob[K], error) {
+		groups := make([][]cpubtree.Op[K], len(m.subs))
+		for _, op := range ops {
+			i := m.route(op.Key)
+			groups[i] = append(groups[i], op)
 		}
-		return shardJob[K]{ops: groups[i], method: method}, true
+		jobs := make([]shardJob[K], 0, len(m.subs))
+		for i, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			jobs = append(jobs, shardJob[K]{sub: m.subs[i], pump: i, ops: g, method: method})
+		}
+		return jobs, nil
 	})
 }
 
-// Rebuild partitions the sorted replacement pairs by the fixed shard
+// Rebuild partitions the sorted replacement pairs by the current shard
 // bounds and rebuilds every shard concurrently (implicit variant). The
-// replacement must leave no shard empty: bounds do not move, and an
-// empty shard tree cannot be built.
+// replacement must leave no shard empty: an empty shard tree cannot be
+// built (a later merge can retire a shard, a rebuild cannot).
 func (s *ShardedServer[K]) Rebuild(pairs []keys.Pair[K]) (core.UpdateStats, error) {
 	return s.RebuildCtx(context.Background(), pairs)
 }
 
 // RebuildCtx is Rebuild with a caller deadline over the whole dispatch.
 func (s *ShardedServer[K]) RebuildCtx(ctx context.Context, pairs []keys.Pair[K]) (core.UpdateStats, error) {
-	parts := make([][]keys.Pair[K], len(s.subs))
-	lo := 0
-	for i := range s.subs {
-		hi := len(pairs)
-		if i < len(s.bounds) {
-			b := s.bounds[i]
-			hi = lo + sort.Search(len(pairs)-lo, func(j int) bool { return pairs[lo+j].Key >= b })
+	return s.dispatch(ctx, func(m *shardMeta[K]) ([]shardJob[K], error) {
+		parts := make([][]keys.Pair[K], len(m.subs))
+		lo := 0
+		for i := range m.subs {
+			hi := len(pairs)
+			if i < len(m.bounds) {
+				b := m.bounds[i]
+				hi = lo + sort.Search(len(pairs)-lo, func(j int) bool { return pairs[lo+j].Key >= b })
+			}
+			parts[i] = pairs[lo:hi]
+			lo = hi
 		}
-		parts[i] = pairs[lo:hi]
-		lo = hi
-	}
-	for i, part := range parts {
-		if len(part) == 0 {
-			return core.UpdateStats{}, fmt.Errorf("serve: rebuild leaves shard %d empty (shard bounds are fixed at construction)", i)
+		for i, part := range parts {
+			if len(part) == 0 {
+				return nil, fmt.Errorf("serve: rebuild leaves shard %d empty", i)
+			}
 		}
-	}
-	return s.dispatch(ctx, func(i int) (shardJob[K], bool) {
-		return shardJob[K]{pairs: parts[i], rebuild: true}, true
+		jobs := make([]shardJob[K], 0, len(m.subs))
+		for i, part := range parts {
+			jobs = append(jobs, shardJob[K]{sub: m.subs[i], pump: i, pairs: part, rebuild: true})
+		}
+		return jobs, nil
 	})
 }
 
-// Lookup routes one point lookup to the shard owning q; the path is
-// allocation-free (binary-search route plus the shard Server's
-// snapshot-pinned lookup).
+// Lookup routes one point lookup to the shard owning q under a single
+// registry pin; the path is allocation-free (binary-search route plus
+// the shard's pinned lookup).
 func (s *ShardedServer[K]) Lookup(q K) (K, bool) {
-	return s.subs[s.route(q)].Lookup(q)
+	p := s.reg.Pin()
+	m := p.Meta()
+	i := m.route(q)
+	v, ok := m.subs[i].lookupPinned(p.Get(i), q)
+	p.Unpin()
+	return v, ok
 }
 
 // LookupBatch splits the queries by shard, runs the per-shard
@@ -347,44 +458,52 @@ func (s *ShardedServer[K]) LookupBatch(queries []K) ([]K, []bool, core.SearchSta
 }
 
 // LookupBatchInto is LookupBatch into caller-owned result slices (at
-// least len(queries) long each). Unlike the single-tree path it is not
-// allocation-free: the split and scatter buffers are per-call.
+// least len(queries) long each). The whole batch runs under one
+// registry pin — an atomic cross-shard cut. Unlike the single-tree path
+// it is not allocation-free: the split and scatter buffers are
+// per-call.
 func (s *ShardedServer[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
-	qs := make([][]K, len(s.subs))
-	idx := make([][]int, len(s.subs))
-	for p, q := range queries {
-		i := s.route(q)
+	p := s.reg.Pin()
+	defer p.Unpin()
+	m := p.Meta()
+	T := len(m.subs)
+	qs := make([][]K, T)
+	idx := make([][]int, T)
+	for pos, q := range queries {
+		i := m.route(q)
 		qs[i] = append(qs[i], q)
-		idx[i] = append(idx[i], p)
+		idx[i] = append(idx[i], pos)
 	}
-	subVals := make([][]K, len(s.subs))
-	subFound := make([][]bool, len(s.subs))
-	subStats := make([]core.SearchStats, len(s.subs))
-	errs := make([]error, len(s.subs))
+	subVals := make([][]K, T)
+	subFound := make([][]bool, T)
+	subStats := make([]core.SearchStats, T)
+	errs := make([]error, T)
 	var wg sync.WaitGroup
-	for i := range s.subs {
+	for i := 0; i < T; i++ {
 		if len(qs[i]) == 0 {
 			continue
 		}
+		subVals[i] = make([]K, len(qs[i]))
+		subFound[i] = make([]bool, len(qs[i]))
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			subVals[i], subFound[i], subStats[i], errs[i] = s.subs[i].LookupBatch(qs[i])
+			subStats[i], errs[i] = m.subs[i].lookupBatchPinned(p.Get(i), qs[i], subVals[i], subFound[i])
 		}(i)
 	}
 	wg.Wait()
 	var agg core.SearchStats
-	agg.BucketSize = s.subs[0].Options().BucketSize
-	for i := range s.subs {
+	agg.BucketSize = s.opt.BucketSize
+	for i := 0; i < T; i++ {
 		if len(qs[i]) == 0 {
 			continue
 		}
 		if errs[i] != nil {
 			return agg, errs[i]
 		}
-		for j, p := range idx[i] {
-			values[p] = subVals[i][j]
-			found[p] = subFound[i][j]
+		for j, pos := range idx[i] {
+			values[pos] = subVals[i][j]
+			found[pos] = subFound[i][j]
 		}
 		agg.Queries += subStats[i].Queries
 		agg.Buckets += subStats[i].Buckets
@@ -399,82 +518,177 @@ func (s *ShardedServer[K]) LookupBatchInto(queries []K, values []K, found []bool
 }
 
 // RangeQuery returns up to count pairs with key >= start, stitched in
-// key order across shard boundaries: the owning shard is read first,
-// and each following shard continues from its own lower bound until
-// count pairs are collected or the key space is exhausted. Shard
-// ranges are disjoint and ascending, so concatenation preserves order.
+// key order across shard boundaries. Each segment re-pins the registry
+// and routes its continuation key under the fresh table, so the stitch
+// is gap- and duplicate-free even across a concurrent rebalance: the
+// continuation token is the next key, never a shard index. Each segment
+// is a consistent snapshot; the whole stitch is not one atomic cut —
+// use RangeQueryConsistent for that.
 func (s *ShardedServer[K]) RangeQuery(start K, count int) []keys.Pair[K] {
 	out := make([]keys.Pair[K], 0, count)
-	for i := s.route(start); i < len(s.subs) && len(out) < count; i++ {
-		from := start
-		if i > 0 && s.bounds[i-1] > start {
-			from = s.bounds[i-1]
+	from := start
+	for len(out) < count {
+		p := s.reg.Pin()
+		m := p.Meta()
+		i := m.route(from)
+		out = append(out, p.Get(i).RangeQuery(from, count-len(out), nil)...)
+		last := i == len(m.subs)-1
+		if !last {
+			from = m.bounds[i]
 		}
-		out = append(out, s.subs[i].RangeQuery(from, count-len(out))...)
+		p.Unpin()
+		if last {
+			break
+		}
 	}
 	return out
 }
 
 // Scan is the cursor-walk counterpart of RangeQuery with the same
-// cross-shard stitching.
+// per-segment stitching.
 func (s *ShardedServer[K]) Scan(start K, count int) []keys.Pair[K] {
 	out := make([]keys.Pair[K], 0, count)
-	for i := s.route(start); i < len(s.subs) && len(out) < count; i++ {
-		from := start
-		if i > 0 && s.bounds[i-1] > start {
-			from = s.bounds[i-1]
+	from := start
+	for len(out) < count {
+		p := s.reg.Pin()
+		m := p.Meta()
+		i := m.route(from)
+		out = scanTree(p.Get(i), from, count, out)
+		last := i == len(m.subs)-1
+		if !last {
+			from = m.bounds[i]
 		}
-		out = append(out, s.subs[i].Scan(from, count-len(out))...)
+		p.Unpin()
+		if last {
+			break
+		}
 	}
 	return out
 }
 
-// Metrics returns the serving counters summed across shards. The
-// aggregate BreakerState reports the worst shard (open > half-open >
-// closed), so one degraded shard is visible at the top level.
+// ScanConsistent is Scan against ONE pinned epoch: every shard segment
+// reads the same generation, so the result is an atomic cross-shard cut
+// — no interleaved update or rebalance is ever partially visible, at
+// exactly the cost of a single-slot pin. The pin holds all T shard
+// versions alive for the duration, so a slow consistent scan delays
+// device-replica reclamation of concurrently superseded versions.
+func (s *ShardedServer[K]) ScanConsistent(start K, count int) []keys.Pair[K] {
+	p := s.reg.Pin()
+	defer p.Unpin()
+	m := p.Meta()
+	out := make([]keys.Pair[K], 0, count)
+	from := start
+	for i := m.route(from); i < len(m.subs) && len(out) < count; i++ {
+		if i > 0 && m.bounds[i-1] > from {
+			from = m.bounds[i-1]
+		}
+		out = scanTree(p.Get(i), from, count, out)
+	}
+	return out
+}
+
+// RangeQueryConsistent is RangeQuery against one pinned epoch — the
+// same atomic cross-shard cut as ScanConsistent.
+func (s *ShardedServer[K]) RangeQueryConsistent(start K, count int) []keys.Pair[K] {
+	p := s.reg.Pin()
+	defer p.Unpin()
+	m := p.Meta()
+	out := make([]keys.Pair[K], 0, count)
+	from := start
+	for i := m.route(from); i < len(m.subs) && len(out) < count; i++ {
+		if i > 0 && m.bounds[i-1] > from {
+			from = m.bounds[i-1]
+		}
+		out = append(out, p.Get(i).RangeQuery(from, count-len(out), nil)...)
+	}
+	return out
+}
+
+// addMetrics folds o into m (BreakerState is aggregated separately).
+func addMetrics(m *Metrics, o Metrics) {
+	m.Lookups += o.Lookups
+	m.BatchedQueries += o.BatchedQueries
+	m.Batches += o.Batches
+	m.Updates += o.Updates
+	m.Swaps += o.Swaps
+	m.GPUFaults += o.GPUFaults
+	m.Retries += o.Retries
+	m.FallbackBatches += o.FallbackBatches
+	m.FallbackQueries += o.FallbackQueries
+	m.Deadlines += o.Deadlines
+	m.Repairs += o.Repairs
+	m.BreakerTrips += o.BreakerTrips
+	m.VirtualTime += o.VirtualTime
+}
+
+// absorbRetired folds a replaced shard server's counters into the
+// retired accumulator so aggregates stay continuous across rebalances.
+// Callers hold pumpMu exclusively (the member is quiesced).
+func (s *ShardedServer[K]) absorbRetired(sub *Server[K]) {
+	m := sub.Metrics()
+	s.retMu.Lock()
+	addMetrics(&s.retired, m)
+	s.retMu.Unlock()
+}
+
+// Metrics returns the serving counters summed across current shards
+// plus every shard retired by a rebalance. The aggregate BreakerState
+// reports the worst current shard (open > half-open > closed), so one
+// degraded shard is visible at the top level.
 func (s *ShardedServer[K]) Metrics() Metrics {
-	var agg Metrics
-	for _, sub := range s.subs {
+	s.retMu.Lock()
+	agg := s.retired
+	s.retMu.Unlock()
+	for _, sub := range s.members() {
 		m := sub.Metrics()
-		agg.Lookups += m.Lookups
-		agg.BatchedQueries += m.BatchedQueries
-		agg.Batches += m.Batches
-		agg.Updates += m.Updates
-		agg.Swaps += m.Swaps
-		agg.GPUFaults += m.GPUFaults
-		agg.Retries += m.Retries
-		agg.FallbackBatches += m.FallbackBatches
-		agg.FallbackQueries += m.FallbackQueries
-		agg.Deadlines += m.Deadlines
-		agg.BreakerTrips += m.BreakerTrips
+		addMetrics(&agg, m)
 		agg.BreakerState = worseState(agg.BreakerState, m.BreakerState)
-		agg.VirtualTime += m.VirtualTime
 	}
 	agg.Deadlines += s.deadlines.Load()
 	return agg
 }
 
 // SetResilience applies one breaker/retry policy to every shard server
-// (each shard keeps its own independent breaker instance).
+// (each shard keeps its own independent breaker instance) and records
+// it for shards created by later rebalances.
 func (s *ShardedServer[K]) SetResilience(b breaker.Options, r RetryOptions) {
-	for _, sub := range s.subs {
+	s.polMu.Lock()
+	s.polBrk, s.polRetry, s.polSet = b, r, true
+	s.polMu.Unlock()
+	for _, sub := range s.members() {
 		sub.SetResilience(b, r)
 	}
 }
 
 // ForceBreakerOpen pins (or releases) every shard's breaker open — the
-// bench harness's lever for measuring pure CPU-fallback throughput.
+// bench harness's lever for measuring pure CPU-fallback throughput. The
+// setting carries over to shards created by later rebalances.
 func (s *ShardedServer[K]) ForceBreakerOpen(on bool) {
-	for _, sub := range s.subs {
+	s.forcedOpen.Store(on)
+	for _, sub := range s.members() {
 		sub.Breaker().ForceOpen(on)
 	}
 }
 
-// ShardMetrics returns each shard's own serving counters, index-aligned
-// with the shard order (ascending key ranges).
+// applyPolicy stamps the recorded resilience policy and forced-open
+// state onto a shard server created during a rebalance.
+func (s *ShardedServer[K]) applyPolicy(sub *Server[K]) {
+	s.polMu.Lock()
+	if s.polSet {
+		sub.SetResilience(s.polBrk, s.polRetry)
+	}
+	s.polMu.Unlock()
+	if s.forcedOpen.Load() {
+		sub.Breaker().ForceOpen(true)
+	}
+}
+
+// ShardMetrics returns each current shard's own serving counters,
+// index-aligned with the shard order (ascending key ranges).
 func (s *ShardedServer[K]) ShardMetrics() []Metrics {
-	out := make([]Metrics, len(s.subs))
-	for i, sub := range s.subs {
+	subs := s.members()
+	out := make([]Metrics, len(subs))
+	for i, sub := range subs {
 		out[i] = sub.Metrics()
 	}
 	return out
@@ -483,24 +697,33 @@ func (s *ShardedServer[K]) ShardMetrics() []Metrics {
 // ShardStats returns each shard tree's geometry, index-aligned with the
 // shard order.
 func (s *ShardedServer[K]) ShardStats() []cpubtree.Stats {
-	out := make([]cpubtree.Stats, len(s.subs))
-	for i, sub := range s.subs {
+	subs := s.members()
+	out := make([]cpubtree.Stats, len(subs))
+	for i, sub := range subs {
 		out[i] = sub.Stats()
 	}
 	return out
 }
 
-// ResetMetrics zeroes every shard's serving counters.
+// ResetMetrics zeroes every shard's serving counters and the retired
+// accumulator.
 func (s *ShardedServer[K]) ResetMetrics() {
-	for _, sub := range s.subs {
+	s.retMu.Lock()
+	s.retired = Metrics{}
+	s.retMu.Unlock()
+	s.deadlines.Store(0)
+	for _, sub := range s.members() {
 		sub.ResetMetrics()
 	}
 }
 
-// Swaps returns the total snapshot publications across all shards.
+// Swaps returns the total snapshot publications across all shards,
+// including shards since retired by rebalances.
 func (s *ShardedServer[K]) Swaps() int64 {
-	var n int64
-	for _, sub := range s.subs {
+	s.retMu.Lock()
+	n := s.retired.Swaps
+	s.retMu.Unlock()
+	for _, sub := range s.members() {
 		n += sub.Swaps()
 	}
 	return n
@@ -511,7 +734,7 @@ func (s *ShardedServer[K]) Swaps() int64 {
 // shard.
 func (s *ShardedServer[K]) Stats() cpubtree.Stats {
 	var agg cpubtree.Stats
-	for _, sub := range s.subs {
+	for _, sub := range s.members() {
 		st := sub.Stats()
 		agg.NumPairs += st.NumPairs
 		agg.InnerBytes += st.InnerBytes
@@ -526,20 +749,24 @@ func (s *ShardedServer[K]) Stats() cpubtree.Stats {
 	return agg
 }
 
-// NumPairs returns the stored pair count across all shards.
+// NumPairs returns the stored pair count across all shards, under one
+// pin so a concurrent rebalance never double-counts moving keys.
 func (s *ShardedServer[K]) NumPairs() int {
+	p := s.reg.Pin()
+	defer p.Unpin()
 	n := 0
-	for _, sub := range s.subs {
-		n += sub.NumPairs()
+	for i := 0; i < p.Len(); i++ {
+		n += p.Get(i).NumPairs()
 	}
 	return n
 }
 
 // Describe concatenates each shard's report under a shard header.
 func (s *ShardedServer[K]) Describe() string {
+	subs := s.members()
 	var b strings.Builder
-	fmt.Fprintf(&b, "sharded serving: %d shards by key range\n", len(s.subs))
-	for i, sub := range s.subs {
+	fmt.Fprintf(&b, "sharded serving: %d shards by key range\n", len(subs))
+	for i, sub := range subs {
 		fmt.Fprintf(&b, "--- shard %d ---\n", i)
 		b.WriteString(sub.Describe())
 	}
@@ -549,24 +776,32 @@ func (s *ShardedServer[K]) Describe() string {
 // DeviceCounters snapshots the shared simulated GPU's hardware
 // counters (all shards live on one card).
 func (s *ShardedServer[K]) DeviceCounters() gpusim.Counters {
-	return s.subs[0].DeviceCounters()
+	return s.opt.Device.Counters()
 }
 
 // Options returns the shard trees' common configuration.
-func (s *ShardedServer[K]) Options() core.Options { return s.subs[0].Options() }
+func (s *ShardedServer[K]) Options() core.Options { return s.opt }
 
 // PointLookupCost returns the modelled per-request lookup cost of the
 // first shard (shards share one configuration and key distribution).
 func (s *ShardedServer[K]) PointLookupCost() vclock.Duration {
-	return s.subs[0].PointLookupCost()
+	return s.members()[0].PointLookupCost()
 }
 
-// Close drains the per-shard update pumps — jobs already dispatched
-// complete and deliver their results — then releases every shard's
-// snapshot and device buffers. Writes arriving after Close fail with
-// ErrClosed. Close is idempotent.
+// Close stops the rebalancer, drains the update pumps — jobs already
+// dispatched complete and deliver their results — then retires the
+// registry's current epoch: every shard's device buffers are released
+// once the last reader pin drains. Writes arriving after Close fail
+// with ErrClosed. Close is idempotent.
 func (s *ShardedServer[K]) Close() {
 	s.closeOnce.Do(func() {
+		s.rbMu.Lock()
+		stop := s.rbStop
+		s.rbMu.Unlock()
+		if stop != nil {
+			close(stop)
+			s.rbWG.Wait()
+		}
 		s.pumpMu.Lock()
 		s.closed = true
 		for _, p := range s.pumps {
@@ -574,55 +809,137 @@ func (s *ShardedServer[K]) Close() {
 		}
 		s.pumpMu.Unlock()
 		s.pumpWG.Wait()
-		for _, sub := range s.subs {
-			sub.Close()
-		}
+		s.reg.Close()
 	})
 }
 
+// Backend is what a Coalescer flushes against: the single-tree Server
+// and the sharded backend both satisfy it.
+type Backend[K keys.Key] interface {
+	// LookupBatchInto serves one coalesced batch into the caller's
+	// slices (see Server.LookupBatchInto).
+	LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error)
+	// Options exposes the tree configuration (MaxBatch defaults to its
+	// BucketSize).
+	Options() core.Options
+	// Degraded reports whether the backend is serving in degraded mode
+	// (breaker open, CPU fallback); the coalescer sheds earlier while it
+	// holds.
+	Degraded() bool
+}
+
+// shardBackend adapts a ShardedServer to the Coalescer Backend: one
+// flush pins the registry once, then serves each contiguous same-shard
+// run of the batch against the pinned trees. With per-shard submission
+// routing a batch is a single run (no splitting at all); a mixed batch
+// — possible right after a rebalance moved a boundary — degrades to a
+// few sub-batches, still correct because the runs are routed under the
+// pin. SimTime sums the serial runs.
+type shardBackend[K keys.Key] struct {
+	s *ShardedServer[K]
+}
+
+func (b shardBackend[K]) Options() core.Options { return b.s.Options() }
+
+// Degraded reports whether ANY shard's breaker is open: a mixed batch
+// may touch any shard, so admission tightens as soon as one is
+// degraded.
+func (b shardBackend[K]) Degraded() bool {
+	for _, sub := range b.s.members() {
+		if sub.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+func (b shardBackend[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
+	p := b.s.reg.Pin()
+	defer p.Unpin()
+	m := p.Meta()
+	var agg core.SearchStats
+	agg.BucketSize = b.s.opt.BucketSize
+	start := 0
+	for start < len(queries) {
+		i := m.route(queries[start])
+		end := start + 1
+		for end < len(queries) && m.route(queries[end]) == i {
+			end++
+		}
+		stats, err := m.subs[i].lookupBatchPinned(p.Get(i),
+			queries[start:end], values[start:end], found[start:end])
+		if err != nil {
+			return agg, err
+		}
+		agg.Queries += stats.Queries
+		agg.Buckets += stats.Buckets
+		agg.SimTime += stats.SimTime
+		start = end
+	}
+	if agg.SimTime > 0 {
+		agg.ThroughputQPS = float64(agg.Queries) / agg.SimTime.Seconds()
+	}
+	return agg, nil
+}
+
 // ShardedCoalescer routes coalesced point lookups to a per-shard
-// coalescer group: each shard Server gets its own Coalescer (the
-// "coalescer shard group" of the NUMA stand-in — batches form and
-// flush against the tree they will search), and submissions route by
-// key exactly like direct lookups. The coalesced route stays
-// allocation-free in steady state.
+// coalescer group over one shared sharded backend: batches form against
+// the shard a key routes to at submission (an affinity hint, so a
+// steady-state batch flushes as one contiguous run), while flushes
+// re-route under a registry pin — which keeps results correct across a
+// rebalance that moved the boundary after submission. The coalesced
+// route stays allocation-free in steady state.
 type ShardedCoalescer[K keys.Key] struct {
 	s   *ShardedServer[K]
 	cos []*Coalescer[K]
 }
 
-// Coalesce starts one coalescer per shard over the shard's Server.
-// When opt.Shards is zero, each per-shard coalescer gets
-// GOMAXPROCS/T pending queues (at least one) so the total queue count
-// stays at GOMAXPROCS across the server. Admission control
-// (opt.MaxPending, opt.Shed) applies per pending queue, exactly as on
-// a single-tree Coalescer.
+// Coalesce starts one coalescer per current shard over the shared
+// sharded backend. When opt.Shards is zero, each per-shard coalescer
+// gets GOMAXPROCS/T pending queues (at least one) so the total queue
+// count stays at GOMAXPROCS across the server. Admission control
+// (opt.MaxPending, opt.Shed, opt.DegradedPending) applies per pending
+// queue, exactly as on a single-tree Coalescer.
 func (s *ShardedServer[K]) Coalesce(opt Options) *ShardedCoalescer[K] {
+	T := s.Shards()
 	if opt.Shards <= 0 {
-		opt.Shards = max(1, runtime.GOMAXPROCS(0)/len(s.subs))
+		opt.Shards = max(1, runtime.GOMAXPROCS(0)/T)
 	}
-	cos := make([]*Coalescer[K], len(s.subs))
+	be := shardBackend[K]{s: s}
+	cos := make([]*Coalescer[K], T)
 	for i := range cos {
-		cos[i] = NewCoalescer(s.subs[i], opt)
+		cos[i] = NewCoalescer[K](be, opt)
 	}
 	return &ShardedCoalescer[K]{s: s, cos: cos}
+}
+
+// group picks the coalescer group for a key: the owning shard under the
+// current table, clamped for layouts that grew past the group count
+// after a split (the group is only an affinity hint — the flush
+// re-routes under its own pin).
+func (c *ShardedCoalescer[K]) group(key K) *Coalescer[K] {
+	i := c.s.route(key)
+	if i >= len(c.cos) {
+		i = len(c.cos) - 1
+	}
+	return c.cos[i]
 }
 
 // Lookup routes one coalesced lookup to the owning shard's coalescer
 // and blocks for the batched result.
 func (c *ShardedCoalescer[K]) Lookup(key K) (K, bool, error) {
-	return c.cos[c.s.route(key)].Lookup(key)
+	return c.group(key).Lookup(key)
 }
 
 // LookupCtx is Lookup with a caller deadline (see Coalescer.LookupCtx).
 func (c *ShardedCoalescer[K]) LookupCtx(ctx context.Context, key K) (K, bool, error) {
-	return c.cos[c.s.route(key)].LookupCtx(ctx, key)
+	return c.group(key).LookupCtx(ctx, key)
 }
 
 // Submit routes one lookup to the owning shard's coalescer and returns
 // its result channel.
 func (c *ShardedCoalescer[K]) Submit(key K) <-chan Result[K] {
-	return c.cos[c.s.route(key)].Submit(key)
+	return c.group(key).Submit(key)
 }
 
 // Batches returns the number of flushed batches across all shards.
@@ -650,6 +967,16 @@ func (c *ShardedCoalescer[K]) Shed() int64 {
 	var n int64
 	for _, co := range c.cos {
 		n += co.Shed()
+	}
+	return n
+}
+
+// DegradedShed returns the requests refused by fault-aware admission
+// (the shrunken degraded-mode window) across all shards.
+func (c *ShardedCoalescer[K]) DegradedShed() int64 {
+	var n int64
+	for _, co := range c.cos {
+		n += co.DegradedShed()
 	}
 	return n
 }

@@ -20,7 +20,7 @@ func TestSnapshotReaderSeesOldVersionToCompletion(t *testing.T) {
 	oldVal := pairs[9].Value
 
 	tree0, sn := srv.acquire()
-	if sn == nil {
+	if !sn.Valid() {
 		t.Fatal("snapshot server returned a locked-mode pin")
 	}
 

@@ -68,6 +68,19 @@ type WallOptions struct {
 	// UpdateBatch is the update pump's batch size (4096 default).
 	UpdateBatch int
 
+	// UpdateSkew, when positive, draws this fraction of the update
+	// operations from the hottest quarter of the key space (the lowest
+	// keys) instead of uniformly — the skewed write stream that
+	// concentrates load on one shard. With Rebalance set, this is the
+	// pressure the online rebalancer relieves.
+	UpdateSkew float64
+
+	// Rebalance, when non-nil, starts the background rebalancer on the
+	// sharded server with these options (requires Shards > 1): the
+	// detector watches per-shard update shares and splits hot shards /
+	// merges cold neighbours online while the run is serving.
+	Rebalance *RebalanceOptions
+
 	// RebuildEvery, when non-zero, rebuilds the whole tree from the
 	// original pairs on this period (implicit variant only). This is the
 	// reader-stall stress: under the locked baseline every rebuild
@@ -126,13 +139,19 @@ type WallResult struct {
 	Swaps    int64 // snapshot publications (0 for the locked baseline)
 	Rebuilds int64 // full rebuilds executed (RebuildEvery runs)
 
-	// Shards is the shard count of the sharded configuration (0
-	// otherwise); ShardSwaps and ShardUpdates are the per-shard snapshot
-	// publications and applied update batches, index-aligned with the
-	// ascending key ranges.
+	// Shards is the shard count of the sharded configuration at the end
+	// of the run (0 otherwise); ShardSwaps and ShardUpdates are the
+	// per-shard snapshot publications and applied update batches,
+	// index-aligned with the ascending key ranges of the final layout.
 	Shards       int
 	ShardSwaps   []int64
 	ShardUpdates []int64
+
+	// Rebalances/Splits/Merges count the online shard-layout transitions
+	// the background rebalancer performed during the run (Rebalance
+	// runs only); Epoch is the final registry epoch.
+	Rebalances, Splits, Merges int64
+	Epoch                      uint64
 }
 
 func (r WallResult) String() string {
@@ -143,6 +162,10 @@ func (r WallResult) String() string {
 		r.DuringWriteSamples, r.WriteTime.Round(time.Millisecond), r.Batches, r.Swaps)
 	if r.Shards > 0 {
 		s += fmt.Sprintf(", %d shards (swaps %v)", r.Shards, r.ShardSwaps)
+	}
+	if r.Rebalances > 0 {
+		s += fmt.Sprintf(", %d rebalances (%d splits, %d merges, epoch %d)",
+			r.Rebalances, r.Splits, r.Merges, r.Epoch)
 	}
 	return s
 }
@@ -182,6 +205,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	if opt.Locked && opt.Shards > 1 {
 		return WallResult{}, fmt.Errorf("serve: Locked and Shards are mutually exclusive")
 	}
+	if opt.Rebalance != nil && opt.Shards <= 1 {
+		return WallResult{}, fmt.Errorf("serve: Rebalance requires a sharded configuration (Shards > 1)")
+	}
 
 	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed}
 	var backend wallBackend[K]
@@ -194,6 +220,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		}
 		backend, sharded = s, s
 		co = s.Coalesce(coOpt)
+		if opt.Rebalance != nil {
+			s.StartRebalancer(*opt.Rebalance)
+		}
 	} else {
 		tree, err := core.Build(pairs, treeOpt)
 		if err != nil {
@@ -353,6 +382,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 			for running.Load() {
 				p := pairs[rng.Intn(len(pairs))]
 				if opt.UpdateFrac > 0 && rng.Float64() < opt.UpdateFrac {
+					if opt.UpdateSkew > 0 && rng.Float64() < opt.UpdateSkew {
+						p = pairs[rng.Intn(max(1, len(pairs)/4))]
+					}
 					// Blocking hand-off: client-perceived update cost is
 					// the enqueue; the pump amortises the batch.
 					updates <- cpubtree.Op[K]{Key: p.Key, Value: p.Value + 1}
@@ -409,6 +441,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 			res.ShardSwaps = append(res.ShardSwaps, m.Swaps)
 			res.ShardUpdates = append(res.ShardUpdates, m.Updates)
 		}
+		rs := sharded.RebalanceStats()
+		res.Rebalances, res.Splits, res.Merges = rs.Rebalances, rs.Splits, rs.Merges
+		res.Epoch = rs.Epoch
 	}
 	return res, nil
 }

@@ -88,15 +88,34 @@ func (t *Tree[K]) Coalesced() (*Server[K], *Coalescer[K]) {
 	return s, s.Coalesce(CoalescerOptions{})
 }
 
-// ShardedServer partitions the key space across T independent trees,
-// each behind its own snapshot pointer and update-pump goroutine:
-// writers clone 1/T of the data, shards rebuild concurrently, point
-// lookups route by key allocation-free, and range reads stitch ordered
-// results across shard boundaries. Cross-shard reads are per-shard
-// consistent, not one atomic cut — see DESIGN §6 for the contract.
+// ShardedServer partitions the key space across T independent trees
+// behind one epoch-versioned snapshot registry: writers clone 1/T of
+// the data, shards rebuild concurrently, point lookups route by key
+// allocation-free, and range reads stitch ordered results across shard
+// boundaries. Scan and RangeQuery are per-shard consistent;
+// ScanConsistent and RangeQueryConsistent pin a single registry epoch
+// across every shard for one atomic cross-shard cut — see DESIGN §6
+// for the consistency matrix.
+//
+// The shard layout itself is dynamic: SplitShard and MergeShards
+// retile the key space online through single epoch transitions (no
+// stop-the-world), and StartRebalancer runs a background detector that
+// splits hot shards and merges cold neighbours as the update stream
+// skews (RebalanceStats reports what it did).
 type ShardedServer[K Key] struct {
 	*serve.ShardedServer[K]
 }
+
+// RebalanceOptions tunes the online shard-rebalancing detector
+// (ShardedServer.StartRebalancer, ShardedServer.CheckRebalance): the
+// hot/cold share thresholds, the window's minimum update volume, the
+// shard-count bounds, and the poll interval.
+type RebalanceOptions = serve.RebalanceOptions
+
+// RebalanceStats reports a ShardedServer's rebalancing state: the
+// registry epoch, split-key table generation, current shard count, and
+// the split/merge decision counters.
+type RebalanceStats = serve.RebalanceStats
 
 // NewShardedServer reshards t's pairs across `shards` trees (zero or
 // negative selects GOMAXPROCS) on t's simulated device. t itself is

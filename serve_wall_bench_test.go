@@ -217,3 +217,50 @@ func TestWallShardedUpdateThroughputScales(t *testing.T) {
 			sharded.DuringWriteP50, fast.DuringWriteP50)
 	}
 }
+
+// TestWallSkewedRebalanceSmoke drives the full serving pipeline — the
+// pipelined clients, the sharded coalescer, the per-shard update pumps
+// AND the background rebalancer — with a 90%-skewed update stream, and
+// checks the run stays correct while the shard layout is retiled under
+// live wall-clock load: the driver finishes without error, the skew
+// triggers at least one online split, and the final layout/epoch
+// counters are coherent. Throughput is reported, not gated.
+func TestWallSkewedRebalanceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	pairs := hbtree.GeneratePairs[uint64](1<<16, 42)
+	res, err := serve.RunWall(pairs, hbtree.Options{Variant: hbtree.Regular}, serve.WallOptions{
+		Clients:     4,
+		Duration:    700 * time.Millisecond,
+		UpdateFrac:  0.5,
+		UpdateSkew:  0.9,
+		UpdateBatch: 512,
+		Shards:      4,
+		Rebalance: &serve.RebalanceOptions{
+			MinOps:       256,
+			HotFraction:  0.5,
+			ColdFraction: -1, // splits only: keep the outcome monotone
+			Interval:     time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("skewed+rebalance: %s", res)
+	if res.Updates < 2048 {
+		t.Skipf("host too slow to accumulate a detector window (%d updates)", res.Updates)
+	}
+	if res.Splits < 1 {
+		t.Errorf("90%%-skewed stream triggered no online split: %+v", res)
+	}
+	if res.Merges != 0 || res.Rebalances != res.Splits {
+		t.Errorf("split-only run has incoherent counters: %+v", res)
+	}
+	if res.Shards != 4+int(res.Splits) {
+		t.Errorf("final shard count %d does not reflect %d splits of 4", res.Shards, res.Splits)
+	}
+	if res.Epoch < uint64(res.Rebalances) {
+		t.Errorf("epoch %d below rebalance count %d", res.Epoch, res.Rebalances)
+	}
+}
