@@ -19,6 +19,8 @@
 //	DESCRIBE             -> multi-line tree report, then END
 //	STATS                -> tree geometry, device counters, serving metrics
 //	SHARDSTATS           -> one "SHARD <i> ..." line per shard, then END
+//	PERSIST              -> WAL/snapshot counters and recovery stats (-data-dir only)
+//	SNAPSHOT             -> commit an epoch-aligned snapshot now; OK epoch=<e> | ERR
 //	QUIT                 -> closes the connection
 //
 // Connections are served concurrently through the hbtree.Server
@@ -48,6 +50,16 @@
 //
 // The server bulk-loads a synthetic uniform dataset at startup, or
 // restores a snapshot written by -save via -load.
+//
+// -data-dir <dir> turns on the durability subsystem (DESIGN §8): every
+// acked PUT/DEL is appended to a per-partition write-ahead log and
+// group-commit fsynced (-fsync-interval) BEFORE the OK is written, and
+// epoch-aligned snapshots (-snapshot-every, the SNAPSHOT command, and
+// shutdown) bound the log so a restart bulk-loads the snapshot images
+// and replays only the WAL tail. A dir holding a committed snapshot is
+// recovered — its shard layout wins over -shards and the seed flags are
+// ignored. -data-dir supersedes -load/-save (combining them is an
+// error).
 //
 // -pprof <addr> serves net/http/pprof on a side listener (e.g.
 // -pprof localhost:6060, then `go tool pprof
@@ -126,6 +138,7 @@ type server struct {
 	srv     backend
 	co      coalescer                      // nil when -coalesce is off
 	sharded *hbtree.ShardedServer[uint64]  // non-nil in sharded mode
+	dur     *hbtree.Durable[uint64]        // non-nil with -data-dir; all writes route through it
 
 	deadline      time.Duration // per-request budget for GET/PUT/DEL (0 = none)
 	overloadReply string        // precomputed "ERR OVERLOADED retry-after-ms=<n>\n"
@@ -147,10 +160,9 @@ type serveConfig struct {
 	deadline   time.Duration // per-request budget for GET/PUT/DEL (0 = none)
 }
 
-// newServer builds the serving stack for cfg. In sharded mode the
-// tree's pairs are resharded across cfg.shards trees and the original
-// tree is closed; the caller must not use it afterwards.
-func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
+// newServerShell builds the connection-tracking shell shared by both
+// serving constructors.
+func newServerShell(cfg serveConfig) *server {
 	s := &server{conns: make(map[net.Conn]struct{}), deadline: cfg.deadline}
 	// A shed request was refused before queueing; the soonest the next
 	// window can have room is one coalescing window away, so that is the
@@ -160,12 +172,24 @@ func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
 		retryMS = 1
 	}
 	s.overloadReply = fmt.Sprintf("ERR OVERLOADED retry-after-ms=%d\n", retryMS)
-	coOpt := hbtree.CoalescerOptions{
+	return s
+}
+
+func coalescerOptions(cfg serveConfig) hbtree.CoalescerOptions {
+	return hbtree.CoalescerOptions{
 		MaxBatch:   cfg.maxBatch,
 		Window:     cfg.window,
 		MaxPending: cfg.maxPending,
 		Shed:       cfg.shed,
 	}
+}
+
+// newServer builds the serving stack for cfg. In sharded mode the
+// tree's pairs are resharded across cfg.shards trees and the original
+// tree is closed; the caller must not use it afterwards.
+func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
+	s := newServerShell(cfg)
+	coOpt := coalescerOptions(cfg)
 	if cfg.shards > 1 {
 		sh, err := tree.Sharded(cfg.shards)
 		if err != nil {
@@ -184,6 +208,29 @@ func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
 		s.co = srv.Coalesce(coOpt)
 	}
 	return s, nil
+}
+
+// newDurableServer builds the serving stack over an opened Durable
+// (-data-dir): reads go to the wrapped server (and the coalescer when
+// enabled), every write routes through the Durable's WAL-before-ack
+// discipline.
+func newDurableServer(dur *hbtree.Durable[uint64], cfg serveConfig) *server {
+	s := newServerShell(cfg)
+	s.dur = dur
+	coOpt := coalescerOptions(cfg)
+	if sh := dur.Sharded(); sh != nil {
+		s.srv, s.sharded = sh, sh
+		if cfg.coalesce {
+			s.co = sh.Coalesce(coOpt)
+		}
+		return s
+	}
+	srv := dur.Server()
+	s.srv = srv
+	if cfg.coalesce {
+		s.co = srv.Coalesce(coOpt)
+	}
+	return s
 }
 
 // acceptLoop accepts until the listener is closed. Transient accept
@@ -257,6 +304,13 @@ func (s *server) shutdown() {
 		s.co.Close()
 	}
 	s.wg.Wait()
+	if s.dur != nil {
+		// Durable first: a final snapshot commits while the server is
+		// still alive, so a graceful shutdown restarts with zero replay.
+		if err := s.dur.Close(); err != nil {
+			log.Printf("hbserve: durable close: %v", err)
+		}
+	}
 	s.srv.Close()
 }
 
@@ -566,6 +620,29 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 				metrics[i].GPUFaults, metrics[i].FallbackBatches, metrics[i].BreakerTrips, metrics[i].BreakerState)
 		}
 		io.WriteString(w, "END\n")
+	case cmdIs(cmd, "PERSIST"):
+		if s.dur == nil {
+			io.WriteString(w, "ERR not durable (-data-dir)\n")
+			break
+		}
+		pm := s.dur.Metrics()
+		rs := s.dur.Recovery()
+		fmt.Fprintf(w, "PERSIST appends=%d ops=%d syncs=%d walbytes=%d partitions=%d segments=%d truncated=%d snapshots=%d skips=%d lastsnap=%d barriers=%d snapfailures=%d recovered=%t snapepoch=%d tablegen=%d rshards=%d bulkloaded=%d replayed=%d replayedops=%d rbarriers=%d torntails=%d\n",
+			pm.Appends, pm.AppendedOps, pm.Syncs, pm.WalBytes, pm.Partitions, pm.Segments,
+			pm.Truncated, pm.Snapshots, pm.SnapshotSkips, pm.LastSnapshot, pm.Barriers, pm.SnapFailures,
+			rs.Recovered, rs.SnapshotEpoch, rs.TableGen, rs.Shards, rs.BulkLoadedPairs,
+			rs.ReplayedRecords, rs.ReplayedOps, rs.Barriers, rs.TornTails)
+	case cmdIs(cmd, "SNAPSHOT"):
+		if s.dur == nil {
+			io.WriteString(w, "ERR not durable (-data-dir)\n")
+			break
+		}
+		ep, err := s.dur.Snapshot()
+		if err != nil {
+			fmt.Fprintf(w, "ERR snapshot: %v\n", err)
+			break
+		}
+		ls.writeUintLine(w, "OK epoch=", ep)
 	case cmdIs(cmd, "QUIT"):
 		io.WriteString(w, "BYE\n")
 		return true
@@ -632,13 +709,22 @@ func (s *server) errReply(err error) string {
 	}
 }
 
-// update runs one PUT/DEL batch under the per-request deadline.
+// update runs one PUT/DEL batch under the per-request deadline. With
+// -data-dir the batch flows through the Durable: it is WAL-appended and
+// group-commit fsynced before it is applied, so the OK the client sees
+// survives a crash.
 func (s *server) update(ops []hbtree.Op[uint64]) (hbtree.UpdateStats, error) {
 	if s.deadline <= 0 {
+		if s.dur != nil {
+			return s.dur.Update(ops, hbtree.Synchronized)
+		}
 		return s.srv.Update(ops, hbtree.Synchronized)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.deadline)
 	defer cancel()
+	if s.dur != nil {
+		return s.dur.UpdateCtx(ctx, ops, hbtree.Synchronized)
+	}
 	return s.srv.UpdateCtx(ctx, ops, hbtree.Synchronized)
 }
 
@@ -701,6 +787,11 @@ func main() {
 		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
 		pprofTo  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 
+		dataDir   = flag.String("data-dir", "", "durable data directory (WAL + epoch-aligned snapshots); acked writes survive a crash")
+		fsyncIv   = flag.Duration("fsync-interval", 2*time.Millisecond, "WAL group-commit window (0 = fsync every append inline)")
+		snapEvery = flag.Duration("snapshot-every", 0, "background snapshot period (0 = snapshot only on SNAPSHOT and shutdown)")
+		walParts  = flag.Int("wal-partitions", 0, "WAL partition count, fixed at first boot (0 = the shard count)")
+
 		deadline = flag.Duration("deadline", 0, "per-request budget for GET/PUT/DEL; expiry answers ERR DEADLINE (0 = none)")
 
 		fKernel   = flag.Float64("fault-kernel", 0, "injected kernel launch failure rate [0,1]")
@@ -734,51 +825,7 @@ func main() {
 		log.Fatalf("hbserve: unknown -variant %q", *variant)
 	}
 
-	var tree *hbtree.Tree[uint64]
-	var err error
-	if *loadPath != "" {
-		f, ferr := os.Open(*loadPath)
-		if ferr != nil {
-			log.Fatalf("hbserve: open snapshot: %v", ferr)
-		}
-		tree, err = hbtree.Load[uint64](f, opt)
-		f.Close()
-		if err != nil {
-			log.Fatalf("hbserve: load snapshot: %v", err)
-		}
-		log.Printf("hbserve: restored %d tuples from %s", tree.NumPairs(), *loadPath)
-	} else {
-		log.Printf("hbserve: loading %d tuples...", *n)
-		pairs := hbtree.GeneratePairs[uint64](*n, *seed)
-		tree, err = hbtree.New(pairs, opt)
-		if err != nil {
-			log.Fatalf("hbserve: build: %v", err)
-		}
-	}
-	if *savePath != "" {
-		f, ferr := os.Create(*savePath)
-		if ferr != nil {
-			log.Fatalf("hbserve: create snapshot: %v", ferr)
-		}
-		if _, err := tree.WriteTo(f); err != nil {
-			log.Fatalf("hbserve: write snapshot: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("hbserve: close snapshot: %v", err)
-		}
-		log.Printf("hbserve: snapshot written to %s", *savePath)
-	}
-	st := tree.Stats()
-	log.Printf("hbserve: height %d, I-segment %d bytes, L-segment %d bytes",
-		st.Height, st.InnerBytes, st.LeafBytes)
-
-	// All serving modes share the tree's simulated device; keep the
-	// handle so the fault injector can be armed after setup. Attaching
-	// only once the stack is built keeps the bulk load and the sharded
-	// reshard fault-free — faults exercise serving, not construction.
-	dev := tree.Device()
-
-	s, err := newServer(tree, serveConfig{
+	cfg := serveConfig{
 		coalesce:   *coalesce,
 		window:     *window,
 		maxBatch:   *maxBatch,
@@ -786,10 +833,85 @@ func main() {
 		maxPending: *pending,
 		shed:       *shed,
 		deadline:   *deadline,
-	})
-	if err != nil {
-		log.Fatalf("hbserve: serve setup: %v", err)
 	}
+
+	// All serving modes share one simulated device; keep the handle so
+	// the fault injector can be armed after setup. Attaching only once
+	// the stack is built keeps the bulk load, the sharded reshard and
+	// recovery fault-free — faults exercise serving, not construction.
+	var (
+		s   *server
+		dev *gpusim.Device
+	)
+	if *dataDir != "" {
+		if *loadPath != "" || *savePath != "" {
+			log.Fatalf("hbserve: -load/-save are superseded by -data-dir (its snapshots restore automatically)")
+		}
+		dur, err := hbtree.OpenDurable(hbtree.DurableOptions{
+			Dir:           *dataDir,
+			FsyncInterval: *fsyncIv,
+			SnapshotEvery: *snapEvery,
+			Partitions:    *walParts,
+		}, opt, *shards, func() ([]hbtree.Pair[uint64], error) {
+			log.Printf("hbserve: seeding %d tuples...", *n)
+			return hbtree.GeneratePairs[uint64](*n, *seed), nil
+		})
+		if err != nil {
+			log.Fatalf("hbserve: open durable: %v", err)
+		}
+		if rs := dur.Recovery(); rs.Recovered {
+			log.Printf("hbserve: recovered %s: epoch=%d shards=%d bulkloaded=%d replayed=%d replayedops=%d barriers=%d torntails=%d",
+				*dataDir, rs.SnapshotEpoch, rs.Shards, rs.BulkLoadedPairs,
+				rs.ReplayedRecords, rs.ReplayedOps, rs.Barriers, rs.TornTails)
+		} else {
+			log.Printf("hbserve: initialised durable dir %s", *dataDir)
+		}
+		s = newDurableServer(dur, cfg)
+		dev = dur.Device()
+	} else {
+		var tree *hbtree.Tree[uint64]
+		var err error
+		if *loadPath != "" {
+			f, ferr := os.Open(*loadPath)
+			if ferr != nil {
+				log.Fatalf("hbserve: open snapshot: %v", ferr)
+			}
+			tree, err = hbtree.Load[uint64](f, opt)
+			f.Close()
+			if err != nil {
+				log.Fatalf("hbserve: load snapshot: %v", err)
+			}
+			log.Printf("hbserve: restored %d tuples from %s", tree.NumPairs(), *loadPath)
+		} else {
+			log.Printf("hbserve: loading %d tuples...", *n)
+			pairs := hbtree.GeneratePairs[uint64](*n, *seed)
+			tree, err = hbtree.New(pairs, opt)
+			if err != nil {
+				log.Fatalf("hbserve: build: %v", err)
+			}
+		}
+		if *savePath != "" {
+			f, ferr := os.Create(*savePath)
+			if ferr != nil {
+				log.Fatalf("hbserve: create snapshot: %v", ferr)
+			}
+			if _, err := tree.WriteTo(f); err != nil {
+				log.Fatalf("hbserve: write snapshot: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("hbserve: close snapshot: %v", err)
+			}
+			log.Printf("hbserve: snapshot written to %s", *savePath)
+		}
+		dev = tree.Device()
+		s, err = newServer(tree, cfg)
+		if err != nil {
+			log.Fatalf("hbserve: serve setup: %v", err)
+		}
+	}
+	st := s.srv.Stats()
+	log.Printf("hbserve: height %d, I-segment %d bytes, L-segment %d bytes",
+		st.Height, st.InnerBytes, st.LeafBytes)
 
 	if *rebalance {
 		if s.sharded == nil {

@@ -3,6 +3,7 @@ package cpubtree
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -14,6 +15,36 @@ import (
 // persisted and re-opened without reconstruction. The format stores the
 // exact in-memory node pools; loading re-registers the segments with a
 // fresh simulated allocator.
+//
+// Decode failures are typed: ErrCorruptImage for bytes that violate the
+// format (bad magic, impossible geometry, inconsistent pools),
+// ErrTruncatedImage for an image that ends mid-field — the distinction
+// the durability layer surfaces, since a truncated snapshot points at an
+// interrupted write while a corrupt one points at storage damage.
+
+// ErrCorruptImage reports a tree image whose bytes violate the format:
+// wrong magic, kind or key width, impossible geometry, or node pools
+// inconsistent with their metadata.
+var ErrCorruptImage = errors.New("cpubtree: corrupt tree image")
+
+// ErrTruncatedImage reports a tree image that ends before the encoding
+// is complete (a short read mid-field or a missing end marker).
+var ErrTruncatedImage = errors.New("cpubtree: truncated tree image")
+
+// corruptf wraps ErrCorruptImage with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorruptImage}, args...)...)
+}
+
+// readErr classifies a raw decode I/O error: EOF mid-structure is a
+// truncated image; anything else passes through as the I/O failure it
+// is.
+func readErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", ErrTruncatedImage, err)
+	}
+	return err
+}
 
 // Format identifiers.
 const (
@@ -46,16 +77,16 @@ func writeHeader[K keys.Key](w io.Writer, kind byte) error {
 func readHeader[K keys.Key](r io.Reader, wantKind byte) error {
 	buf := make([]byte, 6)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("cpubtree: reading header: %w", err)
+		return readErr(err)
 	}
 	if string(buf[:4]) != serialMagic {
-		return fmt.Errorf("cpubtree: bad magic %q", buf[:4])
+		return corruptf("bad magic %q", buf[:4])
 	}
 	if buf[4] != wantKind {
-		return fmt.Errorf("cpubtree: tree kind %d, want %d", buf[4], wantKind)
+		return corruptf("tree kind %d, want %d", buf[4], wantKind)
 	}
 	if bits := byte(keys.Size[K]() * 8); buf[5] != bits {
-		return fmt.Errorf("cpubtree: key width %d bits, want %d", buf[5], bits)
+		return corruptf("key width %d bits, want %d", buf[5], bits)
 	}
 	return nil
 }
@@ -67,7 +98,7 @@ func writeInts(w io.Writer, vs ...uint64) error {
 func readInts(r io.Reader, vs ...*uint64) error {
 	for _, v := range vs {
 		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-			return err
+			return readErr(err)
 		}
 	}
 	return nil
@@ -86,11 +117,11 @@ func readSliceK[K keys.Key](r io.Reader, limit uint64) ([]K, error) {
 		return nil, err
 	}
 	if n > limit {
-		return nil, fmt.Errorf("cpubtree: slice length %d exceeds limit %d", n, limit)
+		return nil, corruptf("slice length %d exceeds limit %d", n, limit)
 	}
 	s := make([]K, n)
 	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
-		return nil, err
+		return nil, readErr(err)
 	}
 	return s, nil
 }
@@ -142,7 +173,10 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 	}
 	kpn := keys.PerLine[K]()
 	if fanout < 2 || fanout > uint64(kpn+1) || height == 0 || height > 64 {
-		return nil, fmt.Errorf("cpubtree: corrupt implicit geometry (fanout %d, height %d)", fanout, height)
+		return nil, corruptf("implicit geometry (fanout %d, height %d)", fanout, height)
+	}
+	if numPairs > sliceLimit || numLeaves > sliceLimit || numPairs > numLeaves*uint64(kpn) {
+		return nil, corruptf("implicit geometry (%d pairs in %d leaf lines)", numPairs, numLeaves)
 	}
 	t := &ImplicitTree[K]{
 		cfg:       cfg,
@@ -155,15 +189,18 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 	}
 	lv := make([]uint64, height)
 	if err := binary.Read(br, binary.LittleEndian, lv); err != nil {
-		return nil, err
+		return nil, readErr(err)
 	}
 	t.levelNodes = make([]int, height)
 	t.levelOff = make([]int, height)
-	total := 0
+	total := uint64(0)
 	for i, n := range lv {
-		t.levelOff[i] = total
+		t.levelOff[i] = int(total)
 		t.levelNodes[i] = int(n)
-		total += int(n)
+		total += n
+		if n == 0 || total > sliceLimit {
+			return nil, corruptf("implicit level %d holds %d nodes (total %d)", i, n, total)
+		}
 	}
 	var err error
 	if t.inner, err = readSliceK[K](br, sliceLimit); err != nil {
@@ -172,15 +209,18 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 	if t.leaves, err = readSliceK[K](br, sliceLimit); err != nil {
 		return nil, err
 	}
-	if len(t.inner) != total*kpn {
-		return nil, fmt.Errorf("cpubtree: inner array %d != %d nodes", len(t.inner), total)
+	if uint64(len(t.inner)) != total*uint64(kpn) {
+		return nil, corruptf("inner array %d keys for %d nodes", len(t.inner), total)
 	}
 	if len(t.leaves) != t.numLeaves*kpn {
-		return nil, fmt.Errorf("cpubtree: leaf array %d != %d lines", len(t.leaves), t.numLeaves)
+		return nil, corruptf("leaf array %d keys for %d lines", len(t.leaves), t.numLeaves)
 	}
 	var end uint64
-	if err := readInts(br, &end); err != nil || end != serialEndCheck {
-		return nil, fmt.Errorf("cpubtree: missing end marker (err %v)", err)
+	if err := readInts(br, &end); err != nil {
+		return nil, err
+	}
+	if end != serialEndCheck {
+		return nil, corruptf("bad end marker %#x", end)
 	}
 	sz := int64(keys.Size[K]())
 	t.iseg = cfg.Alloc.Alloc(int64(len(t.inner))*sz, cfg.ISegPages)
@@ -265,7 +305,10 @@ func ReadRegular[K keys.Key](r io.Reader, cfg Config) (*RegularTree[K], error) {
 		return nil, err
 	}
 	if height == 0 || height > 16 {
-		return nil, fmt.Errorf("cpubtree: corrupt regular geometry (height %d)", height)
+		return nil, corruptf("regular geometry (height %d)", height)
+	}
+	if numPairs > sliceLimit {
+		return nil, corruptf("regular geometry (%d pairs)", numPairs)
 	}
 	kpl := keys.PerLine[K]()
 	t := &RegularTree[K]{
@@ -298,13 +341,13 @@ func ReadRegular[K keys.Key](r io.Reader, cfg Config) (*RegularTree[K], error) {
 			return nil, err
 		}
 		if n > sliceLimit {
-			return nil, fmt.Errorf("cpubtree: meta length %d", n)
+			return nil, corruptf("meta length %d", n)
 		}
 		ms := make([]nodeMeta, n)
 		for i := range ms {
 			var v [2]int32
 			if err := binary.Read(br, binary.LittleEndian, v[:]); err != nil {
-				return nil, err
+				return nil, readErr(err)
 			}
 			ms[i] = nodeMeta{nchild: v[0], parent: v[1]}
 		}
@@ -321,13 +364,13 @@ func ReadRegular[K keys.Key](r io.Reader, cfg Config) (*RegularTree[K], error) {
 		return nil, err
 	}
 	if nLeafMeta > sliceLimit {
-		return nil, fmt.Errorf("cpubtree: leaf meta length %d", nLeafMeta)
+		return nil, corruptf("leaf meta length %d", nLeafMeta)
 	}
 	t.leafMeta = make([]leafMeta, nLeafMeta)
 	for i := range t.leafMeta {
 		var v [3]int32
 		if err := binary.Read(br, binary.LittleEndian, v[:]); err != nil {
-			return nil, err
+			return nil, readErr(err)
 		}
 		t.leafMeta[i] = leafMeta{npairs: v[0], next: v[1], prev: v[2]}
 	}
@@ -337,11 +380,11 @@ func ReadRegular[K keys.Key](r io.Reader, cfg Config) (*RegularTree[K], error) {
 			return nil, err
 		}
 		if n > sliceLimit {
-			return nil, fmt.Errorf("cpubtree: free list length %d", n)
+			return nil, corruptf("free list length %d", n)
 		}
 		fs := make([]int32, n)
 		if err := binary.Read(br, binary.LittleEndian, fs); err != nil {
-			return nil, err
+			return nil, readErr(err)
 		}
 		return fs, nil
 	}
@@ -352,18 +395,66 @@ func ReadRegular[K keys.Key](r io.Reader, cfg Config) (*RegularTree[K], error) {
 		return nil, err
 	}
 	var end uint64
-	if err := readInts(br, &end); err != nil || end != serialEndCheck {
-		return nil, fmt.Errorf("cpubtree: missing end marker (err %v)", err)
+	if err := readInts(br, &end); err != nil {
+		return nil, err
+	}
+	if end != serialEndCheck {
+		return nil, corruptf("bad end marker %#x", end)
 	}
 	// Structural sanity before first use.
 	if len(t.upper)%t.nodeSlots != 0 || len(t.last)%t.nodeSlots != 0 {
-		return nil, fmt.Errorf("cpubtree: pool sizes not node-aligned")
+		return nil, corruptf("pool sizes not node-aligned (%d/%d keys, %d slots per node)",
+			len(t.upper), len(t.last), t.nodeSlots)
+	}
+	if len(t.upperMeta) != len(t.upper)/t.nodeSlots {
+		return nil, corruptf("upper metadata %d entries for %d nodes", len(t.upperMeta), len(t.upper)/t.nodeSlots)
 	}
 	if len(t.lastMeta) != len(t.last)/t.nodeSlots || len(t.leafMeta) != len(t.lastMeta) {
-		return nil, fmt.Errorf("cpubtree: metadata/pool mismatch")
+		return nil, corruptf("last metadata %d / leaf metadata %d for %d nodes",
+			len(t.lastMeta), len(t.leafMeta), len(t.last)/t.nodeSlots)
 	}
 	if len(t.leafData) != len(t.leafMeta)*t.leafSlots {
-		return nil, fmt.Errorf("cpubtree: leaf data/meta mismatch")
+		return nil, corruptf("leaf data %d keys for %d leaf groups", len(t.leafData), len(t.leafMeta))
+	}
+	// Link sanity: the root must index the pool its height implies, the
+	// leaf chain endpoints must be real leaf groups, and every meta link
+	// must stay inside its pool — a corrupt image must fail here, not as
+	// an index panic on first use.
+	nUpper, nLast := int32(len(t.upperMeta)), int32(len(t.lastMeta))
+	rootPool := nUpper
+	if t.height < 2 {
+		rootPool = nLast
+	}
+	if t.root < 0 || t.root >= rootPool {
+		return nil, corruptf("root %d outside its pool of %d nodes", t.root, rootPool)
+	}
+	if t.headLeaf < 0 || t.headLeaf >= nLast || t.tailLeaf < 0 || t.tailLeaf >= nLast {
+		return nil, corruptf("leaf chain endpoints %d..%d outside %d leaf groups", t.headLeaf, t.tailLeaf, nLast)
+	}
+	for i, m := range t.upperMeta {
+		if m.nchild < 0 || int(m.nchild) > t.fanout || m.parent < -1 || m.parent >= nUpper {
+			return nil, corruptf("upper node %d meta (nchild %d, parent %d)", i, m.nchild, m.parent)
+		}
+	}
+	for i, m := range t.lastMeta {
+		if m.nchild < 0 || int(m.nchild) > t.fanout || m.parent < -1 || m.parent >= nUpper {
+			return nil, corruptf("last node %d meta (nchild %d, parent %d)", i, m.nchild, m.parent)
+		}
+	}
+	for i, m := range t.leafMeta {
+		if m.npairs < 0 || int(m.npairs) > t.leafCap || m.next < -1 || m.next >= nLast || m.prev < -1 || m.prev >= nLast {
+			return nil, corruptf("leaf group %d meta (npairs %d, next %d, prev %d)", i, m.npairs, m.next, m.prev)
+		}
+	}
+	for i, fi := range t.freeUpper {
+		if fi < 0 || fi >= nUpper {
+			return nil, corruptf("free upper entry %d = %d outside %d nodes", i, fi, nUpper)
+		}
+	}
+	for i, fi := range t.freeLast {
+		if fi < 0 || fi >= nLast {
+			return nil, corruptf("free last entry %d = %d outside %d nodes", i, fi, nLast)
+		}
 	}
 	sz := int64(keys.Size[K]())
 	t.upperSeg = cfg.Alloc.Alloc(int64(len(t.upper))*sz, cfg.ISegPages)

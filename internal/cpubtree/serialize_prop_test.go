@@ -1,0 +1,160 @@
+package cpubtree
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hbtree/internal/keys"
+	"hbtree/internal/workload"
+)
+
+// Property test (ISSUE PR-6 satellite): a serialised tree image loaded
+// back equals its source key-for-key, across randomized tree shapes,
+// key distributions and mutation histories — including the leaf-group
+// boundary cases the snapshot writer must survive: a tree emptied by
+// deletes, a single pair, and exactly-full leaves (LeafFill 1.0).
+
+// collect walks a cursor from the bottom of the key space.
+func collect[K keys.Key](seek func(K) Cursor[K]) []keys.Pair[K] {
+	var out []keys.Pair[K]
+	var zero K
+	cur := seek(zero)
+	for {
+		p, ok := cur.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// assertEqualPairs compares two pair sequences key-for-key.
+func assertEqualPairs[K keys.Key](t *testing.T, label string, want, got []keys.Pair[K]) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d pairs loaded, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: pair %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func roundTripRegular(t *testing.T, label string, tr *RegularTree[uint64]) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("%s: WriteTo: %v", label, err)
+	}
+	rt, err := ReadRegular[uint64](&buf, Config{})
+	if err != nil {
+		t.Fatalf("%s: ReadRegular: %v", label, err)
+	}
+	if rt.NumPairs() != tr.NumPairs() {
+		t.Fatalf("%s: NumPairs %d, want %d", label, rt.NumPairs(), tr.NumPairs())
+	}
+	assertEqualPairs(t, label, collect(tr.Seek), collect(rt.Seek))
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	distros := []workload.Distribution{workload.Uniform, workload.Normal, workload.Gamma, workload.Zipf}
+	for seed := uint64(1); seed <= 8; seed++ {
+		r := workload.NewRNG(seed * 977)
+		n := 1 + r.Intn(60000)
+		d := distros[r.Intn(len(distros))]
+		if d == workload.Zipf && n > 2000 {
+			// Zipf(alpha=2) concentrates so hard that drawing tens of
+			// thousands of DISTINCT keys regenerates nearly every batch;
+			// small n exercises the shape without the quadratic dedup.
+			n = 1 + n%2000
+		}
+		fill := []float64{0, 0.55, 0.8, 1.0}[r.Intn(4)] // 0 = default; 1.0 = exactly-full leaves
+		label := fmt.Sprintf("seed=%d n=%d dist=%v fill=%.2f", seed, n, d, fill)
+
+		pairs := workload.Dataset[uint64](d, n, seed)
+		tr, err := BuildRegular(pairs, Config{LeafFill: fill})
+		if err != nil {
+			t.Fatalf("%s: build: %v", label, err)
+		}
+		// Random mutation history so splits, merges, free lists and
+		// leaf-chain unlinks shape the pools.
+		muts := r.Intn(2 * len(pairs))
+		for i := 0; i < muts; i++ {
+			if r.Intn(3) == 0 && len(pairs) > 0 {
+				tr.Delete(pairs[r.Intn(len(pairs))].Key)
+			} else {
+				k := r.Uint64() % (keys.Max[uint64]() - 1)
+				tr.Insert(k, workload.ValueFor(k))
+			}
+		}
+		roundTripRegular(t, label, tr)
+
+		// The implicit variant round-trips the same source.
+		impl, err := BuildImplicit(pairs, Config{})
+		if err != nil {
+			t.Fatalf("%s: build implicit: %v", label, err)
+		}
+		var buf bytes.Buffer
+		if _, err := impl.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: implicit WriteTo: %v", label, err)
+		}
+		ri, err := ReadImplicit[uint64](&buf, Config{})
+		if err != nil {
+			t.Fatalf("%s: ReadImplicit: %v", label, err)
+		}
+		assertEqualPairs(t, label+" (implicit)", collect(impl.Seek), collect(ri.Seek))
+	}
+}
+
+func TestSnapshotRoundTripBoundaryShapes(t *testing.T) {
+	// Single pair: the smallest buildable tree.
+	one := []keys.Pair[uint64]{{Key: 42, Value: 7}}
+	tr, err := BuildRegular(one, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTripRegular(t, "single pair", tr)
+
+	// Emptied tree: every key deleted, so the image carries only free
+	// lists and an empty leaf chain — the empty-shard shape.
+	pairs := workload.Dataset[uint64](workload.Uniform, 500, 3)
+	tr, err = BuildRegular(pairs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if found, _ := tr.Delete(p.Key); !found {
+			t.Fatalf("delete %d: not found", p.Key)
+		}
+	}
+	if tr.NumPairs() != 0 {
+		t.Fatalf("tree not emptied: %d pairs", tr.NumPairs())
+	}
+	roundTripRegular(t, "emptied tree", tr)
+	// And the emptied round-trip remains usable.
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	rt, err := ReadRegular[uint64](&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Insert(9, 9); err != nil {
+		t.Fatalf("insert into loaded empty tree: %v", err)
+	}
+	if v, ok := rt.Lookup(9); !ok || v != 9 {
+		t.Fatalf("lookup after refill: (%d, %v)", v, ok)
+	}
+
+	// Exactly-full leaves: LeafFill 1.0 packs every leaf line to
+	// capacity, so group boundaries sit exactly on line edges.
+	for _, n := range []int{64, 1024, 4096, 4097} {
+		pairs := workload.Dataset[uint64](workload.Uniform, n, uint64(n))
+		tr, err := BuildRegular(pairs, Config{LeafFill: 1.0})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		roundTripRegular(t, fmt.Sprintf("full leaves n=%d", n), tr)
+	}
+}

@@ -2,6 +2,8 @@ package cpubtree
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"strings"
 	"testing"
 
@@ -165,5 +167,80 @@ func TestSerializeErrors(t *testing.T) {
 	img[6] = 0xFF // low byte of fanout
 	if _, err := ReadImplicit[uint64](bytes.NewReader(img), Config{}); err == nil {
 		t.Fatal("corrupt fanout accepted")
+	}
+}
+
+// TestSerializeTypedErrors pins the decode error taxonomy: format
+// violations surface ErrCorruptImage, short reads ErrTruncatedImage,
+// and the two never blur — the distinction the durability layer's
+// recovery reporting relies on.
+func TestSerializeTypedErrors(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 2000, 11)
+	impl, _ := BuildImplicit(pairs, Config{})
+	reg, _ := BuildRegular(pairs, Config{})
+	var ibuf, rbuf bytes.Buffer
+	impl.WriteTo(&ibuf)
+	reg.WriteTo(&rbuf)
+
+	wantCorrupt := func(what string, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrCorruptImage) {
+			t.Fatalf("%s: err %v, want ErrCorruptImage", what, err)
+		}
+		if errors.Is(err, ErrTruncatedImage) {
+			t.Fatalf("%s: corrupt error also matches truncated: %v", what, err)
+		}
+	}
+	wantTruncated := func(what string, err error) {
+		t.Helper()
+		if !errors.Is(err, ErrTruncatedImage) {
+			t.Fatalf("%s: err %v, want ErrTruncatedImage", what, err)
+		}
+		if errors.Is(err, ErrCorruptImage) {
+			t.Fatalf("%s: truncated error also matches corrupt: %v", what, err)
+		}
+	}
+
+	// Corruptions.
+	bad := append([]byte("NOPE"), ibuf.Bytes()[4:]...)
+	_, err := ReadImplicit[uint64](bytes.NewReader(bad), Config{})
+	wantCorrupt("bad magic", err)
+	_, err = ReadRegular[uint64](bytes.NewReader(ibuf.Bytes()), Config{})
+	wantCorrupt("wrong kind", err)
+	_, err = ReadImplicit[uint32](bytes.NewReader(ibuf.Bytes()), Config{})
+	wantCorrupt("wrong width", err)
+
+	img := append([]byte(nil), ibuf.Bytes()...)
+	img[6] = 0xFF
+	_, err = ReadImplicit[uint64](bytes.NewReader(img), Config{})
+	wantCorrupt("absurd fanout", err)
+
+	img = append([]byte(nil), ibuf.Bytes()...)
+	binary.LittleEndian.PutUint64(img[len(img)-8:], 0xdeadbeef) // end marker
+	_, err = ReadImplicit[uint64](bytes.NewReader(img), Config{})
+	wantCorrupt("bad end marker", err)
+
+	// Regular-tree link corruption: point the root far outside its pool.
+	img = append([]byte(nil), rbuf.Bytes()...)
+	binary.LittleEndian.PutUint64(img[6+16:6+24], 1<<30) // root field
+	_, err = ReadRegular[uint64](bytes.NewReader(img), Config{})
+	wantCorrupt("root outside pool", err)
+
+	// Regular-tree link corruption: break the leaf chain head.
+	img = append([]byte(nil), rbuf.Bytes()...)
+	binary.LittleEndian.PutUint64(img[6+24:6+32], 1<<30) // headLeaf field
+	_, err = ReadRegular[uint64](bytes.NewReader(img), Config{})
+	wantCorrupt("leaf chain endpoint outside pool", err)
+
+	// Short reads: every strategic truncation is typed as truncated, not
+	// corrupt (the header itself excepted — 0 bytes has no format to
+	// violate, it is just short).
+	for _, cut := range []int{0, 3, 6, 20, ibuf.Len() / 2, ibuf.Len() - 4} {
+		_, err := ReadImplicit[uint64](bytes.NewReader(ibuf.Bytes()[:cut]), Config{})
+		wantTruncated("implicit truncation", err)
+	}
+	for _, cut := range []int{6, 40, rbuf.Len() / 2, rbuf.Len() - 4} {
+		_, err := ReadRegular[uint64](bytes.NewReader(rbuf.Bytes()[:cut]), Config{})
+		wantTruncated("regular truncation", err)
 	}
 }

@@ -1,0 +1,372 @@
+package harness
+
+// Kill-and-restart durability acceptance (ISSUE PR-6 tentpole): build
+// the real hbserve binary, storm it with writes over TCP, SIGKILL it
+// mid-storm, restart it on the same data dir, and assert the durability
+// contract from the client's chair:
+//
+//   - zero lost acked writes: every PUT/DEL the client saw OK for is in
+//     the recovered state with its acked value;
+//   - no phantom state: the recovered state holds nothing outside the
+//     seeded dataset and the submitted writes — un-acked submissions MAY
+//     appear (they were WAL-appended before the ack was cut off) but
+//     never with a value the client did not send;
+//   - recovery is bulk load + tail replay: the PERSIST stats of the
+//     restarted server must show the snapshot bulk load, and across the
+//     seeded runs the WAL tail replay must actually fire — the proof is
+//     the recovery counters, not timing.
+//
+// Each run uses a seeded kill schedule (ack-count threshold drawn from
+// the run seed) so failures reproduce.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"hbtree"
+)
+
+const (
+	durabilityRuns      = 20
+	durabilityRunsShort = 4
+	durDatasetN         = 20000
+	durDatasetSeed      = 42
+	// putBase starts the storm's key range far above the seeded
+	// dataset's plausible density so phantom checks are unambiguous.
+	putBase = uint64(1) << 40
+)
+
+var listenRE = regexp.MustCompile(`listening on ([0-9.]+:[0-9]+)`)
+
+// buildHBServe compiles cmd/hbserve once per test into dir.
+func buildHBServe(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "hbserve")
+	cmd := exec.Command("go", "build", "-o", bin, "hbtree/cmd/hbserve")
+	cmd.Dir = "../.." // module root; tests run in internal/harness
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build hbserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// child is one hbserve process plus its captured stderr.
+type child struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *bytes.Buffer
+	mu     sync.Mutex
+}
+
+// startChild launches hbserve on an ephemeral port and waits for its
+// "listening on" line.
+func startChild(t *testing.T, bin, dataDir string, extra ...string) *child {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-variant", "regular",
+		"-n", fmt.Sprint(durDatasetN),
+		"-seed", fmt.Sprint(durDatasetSeed),
+		"-data-dir", dataDir,
+		"-fsync-interval", "500us",
+	}, extra...)
+	c := &child{cmd: exec.Command(bin, args...), stderr: &bytes.Buffer{}}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.cmd.Stderr = pw
+	if err := c.cmd.Start(); err != nil {
+		t.Fatalf("start hbserve: %v", err)
+	}
+	pw.Close()
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			c.mu.Lock()
+			c.stderr.WriteString(line)
+			c.stderr.WriteByte('\n')
+			c.mu.Unlock()
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case c.addr = <-addrCh:
+	case <-time.After(60 * time.Second):
+		c.kill()
+		t.Fatalf("hbserve did not come up; stderr:\n%s", c.log())
+	}
+	return c
+}
+
+func (c *child) log() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stderr.String()
+}
+
+func (c *child) kill() {
+	c.cmd.Process.Signal(syscall.SIGKILL)
+	c.cmd.Wait()
+}
+
+// dial opens one protocol connection to the child.
+func (c *child) dial(t *testing.T) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", c.addr, err)
+	}
+	return conn, bufio.NewReader(conn)
+}
+
+// ask sends one line and returns the trimmed single-line reply.
+func ask(conn net.Conn, r *bufio.Reader, line string) (string, error) {
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		return "", err
+	}
+	resp, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp), nil
+}
+
+// ackLog is a writer connection's record of what the server acked.
+type ackLog struct {
+	ackedPut  map[uint64]uint64 // key -> last value the server acked
+	ackedDel  map[uint64]bool   // dataset keys whose DEL was acked
+	submitted map[uint64]uint64 // every PUT sent, acked or not
+	delSent   map[uint64]bool   // every DEL sent, acked or not
+}
+
+// storm writes PUTs (and, on lane 0, DELs of dataset keys) until the
+// connection dies under the SIGKILL; everything read as OK before the
+// cut is recorded as acked.
+func storm(c *child, t *testing.T, lane int, pairs []hbtree.Pair[uint64], acks *atomic.Int64) *ackLog {
+	t.Helper()
+	al := &ackLog{
+		ackedPut:  make(map[uint64]uint64),
+		ackedDel:  make(map[uint64]bool),
+		submitted: make(map[uint64]uint64),
+		delSent:   make(map[uint64]bool),
+	}
+	conn, r := c.dial(t)
+	defer conn.Close()
+	base := putBase + uint64(lane)<<32
+	for i := uint64(0); ; i++ {
+		if lane == 0 && i%8 == 3 {
+			// Interleave deletes of seeded dataset keys.
+			k := pairs[int(i)%len(pairs)].Key
+			al.delSent[k] = true
+			resp, err := ask(conn, r, fmt.Sprintf("DEL %d", k))
+			if err != nil {
+				return al // the kill landed
+			}
+			if resp == "OK" || resp == "NOTFOUND" {
+				al.ackedDel[k] = true
+				acks.Add(1)
+			}
+			continue
+		}
+		k, v := base+i, i*2+uint64(lane)+1
+		al.submitted[k] = v
+		resp, err := ask(conn, r, fmt.Sprintf("PUT %d %d", k, v))
+		if err != nil {
+			return al
+		}
+		if resp == "OK" {
+			al.ackedPut[k] = v
+			acks.Add(1)
+		}
+	}
+}
+
+// runKillRestart performs one seeded kill-and-restart cycle and returns
+// the restarted server's replayed-record count.
+func runKillRestart(t *testing.T, bin string, runSeed int64, pairs []hbtree.Pair[uint64]) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(runSeed))
+	dataDir := filepath.Join(t.TempDir(), "data")
+	killAfter := int64(100 + rng.Intn(900)) // acks before the SIGKILL
+	extra := []string{"-shards", fmt.Sprint(1 + rng.Intn(3))}
+	if rng.Intn(3) == 0 {
+		// Let background snapshots race the kill on some runs.
+		extra = append(extra, "-snapshot-every", "200ms")
+	}
+
+	c := startChild(t, bin, dataDir, extra...)
+	var acks atomic.Int64
+	const lanes = 4
+	logs := make([]*ackLog, lanes)
+	var wg sync.WaitGroup
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			logs[lane] = storm(c, t, lane, pairs, &acks)
+		}(lane)
+	}
+	// The seeded kill schedule: SIGKILL the instant the acked-write
+	// count crosses the threshold (bounded by a hard deadline so a
+	// stalled storm cannot hang the run).
+	deadline := time.Now().Add(30 * time.Second)
+	for acks.Load() < killAfter && time.Now().Before(deadline) {
+		time.Sleep(200 * time.Microsecond)
+	}
+	c.kill()
+	wg.Wait()
+	if got := acks.Load(); got < killAfter {
+		t.Fatalf("run %d: storm stalled at %d acks (wanted %d before the kill)", runSeed, got, killAfter)
+	}
+
+	// Restart on the same data dir and interrogate the recovery.
+	rc := startChild(t, bin, dataDir, extra...)
+	defer rc.kill()
+	conn, r := rc.dial(t)
+	defer conn.Close()
+
+	persist, err := ask(conn, r, "PERSIST")
+	if err != nil {
+		t.Fatalf("run %d: PERSIST: %v", runSeed, err)
+	}
+	stats := parseKV(persist)
+	if stats["recovered"] != "true" {
+		t.Fatalf("run %d: restart did not recover: %s", runSeed, persist)
+	}
+	var bulk, replayed int
+	fmt.Sscan(stats["bulkloaded"], &bulk)
+	fmt.Sscan(stats["replayed"], &replayed)
+	if bulk <= 0 {
+		t.Fatalf("run %d: recovery bulk-loaded nothing: %s", runSeed, persist)
+	}
+
+	get := func(k uint64) (uint64, bool) {
+		resp, err := ask(conn, r, fmt.Sprintf("GET %d", k))
+		if err != nil {
+			t.Fatalf("run %d: GET: %v", runSeed, err)
+		}
+		if resp == "NOTFOUND" {
+			return 0, false
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(resp, "VALUE %d", &v); err != nil {
+			t.Fatalf("run %d: GET reply %q", runSeed, resp)
+		}
+		return v, true
+	}
+
+	// Zero lost acked writes; no value the client never sent.
+	for _, al := range logs {
+		for k, v := range al.ackedPut {
+			got, ok := get(k)
+			if !ok {
+				t.Fatalf("run %d: acked PUT %d=%d lost", runSeed, k, v)
+			}
+			if got != v {
+				if sub, wasSub := al.submitted[k]; !wasSub || got != sub {
+					t.Fatalf("run %d: key %d recovered as %d, acked %d", runSeed, k, got, v)
+				}
+			}
+		}
+		for k := range al.ackedDel {
+			if v, ok := get(k); ok {
+				t.Fatalf("run %d: acked DEL of %d lost (value %d back)", runSeed, k, v)
+			}
+		}
+		// Un-acked submissions may appear — but only with the submitted
+		// value (the in-flight record was either fully replayed or torn
+		// off; never mangled).
+		for k, v := range al.submitted {
+			if _, acked := al.ackedPut[k]; acked {
+				continue
+			}
+			if got, ok := get(k); ok && got != v {
+				t.Fatalf("run %d: un-acked key %d recovered as %d, submitted %d", runSeed, k, got, v)
+			}
+		}
+	}
+	// No phantom state: keys nobody ever wrote are absent.
+	for lane := 0; lane < lanes; lane++ {
+		probe := putBase + uint64(lane)<<32 + uint64(len(logs[lane].submitted)) + 1000
+		if v, ok := get(probe); ok {
+			t.Fatalf("run %d: phantom key %d=%d appeared", runSeed, probe, v)
+		}
+	}
+	// Untouched dataset keys survive with their original values.
+	deleted := make(map[uint64]bool)
+	for _, al := range logs {
+		for k := range al.delSent {
+			deleted[k] = true
+		}
+	}
+	checked := 0
+	for i := 0; i < len(pairs) && checked < 50; i += 97 {
+		p := pairs[i]
+		if deleted[p.Key] {
+			continue
+		}
+		checked++
+		if v, ok := get(p.Key); !ok || v != p.Value {
+			t.Fatalf("run %d: dataset key %d recovered as (%d,%v), want %d", runSeed, p.Key, v, ok, p.Value)
+		}
+	}
+	return replayed
+}
+
+// parseKV splits "NAME k=v k=v ..." into a map.
+func parseKV(line string) map[string]string {
+	out := make(map[string]string)
+	for _, f := range strings.Fields(line) {
+		if i := strings.IndexByte(f, '='); i > 0 {
+			out[f[:i]] = f[i+1:]
+		}
+	}
+	return out
+}
+
+func TestKillRestartDurability(t *testing.T) {
+	if testing.Short() && os.Getenv("DURABILITY_FULL") == "" {
+		t.Log("-short: running the reduced seeded schedule")
+	}
+	bin := buildHBServe(t, t.TempDir())
+	pairs := hbtree.GeneratePairs[uint64](durDatasetN, durDatasetSeed)
+
+	runs := durabilityRuns
+	if testing.Short() {
+		runs = durabilityRunsShort
+	}
+	totalReplayed := 0
+	for i := 0; i < runs; i++ {
+		seed := int64(1000 + i)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			totalReplayed += runKillRestart(t, bin, seed, pairs)
+		})
+	}
+	// The contract is proven by recovery stats, not timing: across the
+	// seeded schedule the WAL tail replay must actually have fired.
+	if totalReplayed == 0 {
+		t.Fatalf("no run replayed a WAL tail — every kill landed on a clean snapshot, the schedule is not exercising recovery")
+	}
+	t.Logf("replayed %d WAL records across %d kill-and-restart runs", totalReplayed, runs)
+}

@@ -313,6 +313,10 @@ func (s *ShardedServer[K]) splitShard(i int) error {
 	s.resizePumps(len(ns))
 	s.splits.Add(1)
 	s.noteRebalance(fmt.Sprintf("split shard %d at %v (gen %d, %d shards)", i, splitKey, m.gen+1, len(ns)))
+	// The write plane is still quiesced here, so the barrier the hook
+	// logs lands between the last pre-layout record and the first
+	// post-layout one in every WAL partition.
+	s.notifyLayout(m.gen+1, len(ns))
 	return nil
 }
 
@@ -363,6 +367,7 @@ func (s *ShardedServer[K]) mergeShards(i int) error {
 	s.resizePumps(len(ns))
 	s.merges.Add(1)
 	s.noteRebalance(fmt.Sprintf("merged shards %d+%d (gen %d, %d shards)", i, i+1, m.gen+1, len(ns)))
+	s.notifyLayout(m.gen+1, len(ns))
 	return nil
 }
 

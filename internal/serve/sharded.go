@@ -152,7 +152,34 @@ type ShardedServer[K keys.Key] struct {
 	retMu   sync.Mutex
 	retired Metrics
 
+	// layoutHook, when set, runs after every committed rebalance
+	// transition with the new table generation and shard count — the
+	// durability layer's barrier writer (DESIGN §8).
+	hookMu     sync.Mutex
+	layoutHook func(gen uint64, shards int)
+
 	closeOnce sync.Once
+}
+
+// SetLayoutHook registers fn to run after every committed rebalance
+// transition, with the new split-key table generation and shard count.
+// The hook runs on the rebalancing goroutine while the layout change is
+// still excluding dispatches, so it must not write through the server.
+// A nil fn clears the hook.
+func (s *ShardedServer[K]) SetLayoutHook(fn func(gen uint64, shards int)) {
+	s.hookMu.Lock()
+	s.layoutHook = fn
+	s.hookMu.Unlock()
+}
+
+// notifyLayout invokes the registered layout hook, if any.
+func (s *ShardedServer[K]) notifyLayout(gen uint64, shards int) {
+	s.hookMu.Lock()
+	fn := s.layoutHook
+	s.hookMu.Unlock()
+	if fn != nil {
+		fn(gen, shards)
+	}
 }
 
 // BuildSharded builds a ShardedServer over T trees from sorted,
@@ -188,23 +215,35 @@ func BuildSharded[K keys.Key](pairs []keys.Pair[K], opt core.Options, shards int
 		}
 		trees = append(trees, tree)
 	}
+	return newShardedFromTrees(trees, bounds, opt, 1), nil
+}
+
+// newShardedFromTrees assembles a ShardedServer over already-built
+// shard trees: trees[i] serves [bounds[i-1], bounds[i]) (open-ended at
+// the edges) and gen seeds the split-key table generation — 1 for a
+// fresh build, the recovered manifest's generation when the durability
+// layer restores a layout. Ownership of the trees passes to the server.
+func newShardedFromTrees[K keys.Key](trees []*core.Tree[K], bounds []K, opt core.Options, gen uint64) *ShardedServer[K] {
+	if opt.Device == nil {
+		opt.Device = trees[0].Device()
+	}
 	s := &ShardedServer[K]{opt: opt}
 	subs := make([]*Server[K], len(trees))
 	for i, t := range trees {
 		subs[i] = newShardMember(t, nil, i)
 	}
-	s.reg = epoch.New(trees, shardMeta[K]{bounds: bounds, subs: subs, gen: 1},
+	s.reg = epoch.New(trees, shardMeta[K]{bounds: bounds, subs: subs, gen: gen},
 		func(t *core.Tree[K]) { t.Close() })
 	for _, sub := range subs {
 		sub.reg = s.reg
 	}
-	s.pumps = make([]chan shardJob[K], shards)
+	s.pumps = make([]chan shardJob[K], len(trees))
 	for i := range s.pumps {
 		s.pumps[i] = make(chan shardJob[K])
 		s.pumpWG.Add(1)
 		go s.pumpLoop(s.pumps[i])
 	}
-	return s, nil
+	return s
 }
 
 // NewShardedServer shards an existing tree: its pairs are materialised

@@ -1,0 +1,148 @@
+// Package wal implements the durability substrate of the serving layer:
+// per-shard append-only write-ahead logs and the snapshot manifest that
+// anchors them.
+//
+// A log is a sequence of segment files, each a fixed header followed by
+// length-prefixed, CRC32C-checksummed records. Records carry opaque
+// typed payloads — the serving layer encodes update batches and
+// rebalance barriers with the codecs in this file — and every record
+// has a dense per-partition sequence number, so a snapshot can name the
+// exact log position it covers ("everything at or below seq S is in the
+// image") and recovery replays only the tail past it.
+//
+// The reader never trusts the bytes: a short tail, a bit-flipped CRC or
+// a nonsense length terminates the scan at the longest valid prefix
+// instead of panicking — the property FuzzWALDecode pins. Torn final
+// records are the EXPECTED crash artifact (a record was being appended
+// when the process died past the last group commit) and are
+// distinguished from mid-log corruption so recovery can report them.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"hbtree/internal/cpubtree"
+	"hbtree/internal/keys"
+)
+
+// Record payload types.
+const (
+	// RecOps is a batch of key-value update operations (the WAL image
+	// of one acked write batch routed to this partition).
+	RecOps = byte(1)
+	// RecBarrier marks a shard-layout change (rebalance split/merge):
+	// the manifest barrier record of DESIGN §8. It carries the new
+	// split-key table generation and shard count and is a replay no-op —
+	// partition routing is layout-independent — but recovery counts the
+	// barriers it crosses so tests can assert log/layout alignment.
+	RecBarrier = byte(2)
+)
+
+// castagnoli is the CRC32C polynomial table used for every checksum in
+// the package (record payloads, segment headers, the manifest).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C of p.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// ErrCorrupt reports bytes that cannot be a record stream produced by
+// this package: a bad magic, an impossible length, a checksum mismatch
+// on a non-final record, or a malformed payload. Torn tails are NOT
+// corruption — see Scan.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// maxRecordLen bounds a single record's payload so a corrupt length
+// prefix cannot drive a giant allocation before the CRC is checked.
+const maxRecordLen = 1 << 26 // 64 MiB
+
+// Barrier is the decoded form of a RecBarrier payload.
+type Barrier struct {
+	Gen    uint64 // split-key table generation after the rebalance
+	Shards uint32 // shard count after the rebalance
+}
+
+// AppendBarrier encodes a rebalance barrier payload into dst.
+func AppendBarrier(dst []byte, b Barrier) []byte {
+	dst = append(dst, RecBarrier)
+	dst = binary.LittleEndian.AppendUint64(dst, b.Gen)
+	dst = binary.LittleEndian.AppendUint32(dst, b.Shards)
+	return dst
+}
+
+// DecodeBarrier decodes a RecBarrier payload (including the type byte).
+func DecodeBarrier(p []byte) (Barrier, error) {
+	if len(p) != 13 || p[0] != RecBarrier {
+		return Barrier{}, fmt.Errorf("%w: barrier payload %d bytes", ErrCorrupt, len(p))
+	}
+	return Barrier{
+		Gen:    binary.LittleEndian.Uint64(p[1:9]),
+		Shards: binary.LittleEndian.Uint32(p[9:13]),
+	}, nil
+}
+
+// Op flag bits.
+const opDelete = byte(1)
+
+// AppendOps encodes an update batch payload into dst: the type byte,
+// the update method, the op count, then each op as key, value (K-width
+// little-endian) and a flag byte. method is the core.UpdateMethod the
+// batch was applied with, carried as an opaque byte so replay reuses it.
+func AppendOps[K keys.Key](dst []byte, ops []cpubtree.Op[K], method byte) []byte {
+	dst = append(dst, RecOps, method)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(ops)))
+	wide := keys.Size[K]() == 8
+	for _, op := range ops {
+		if wide {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(op.Key))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(op.Value))
+		} else {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(op.Key))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(op.Value))
+		}
+		var f byte
+		if op.Delete {
+			f |= opDelete
+		}
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+// DecodeOps decodes a RecOps payload (including the type byte) into an
+// op batch and the update method byte it was applied with.
+func DecodeOps[K keys.Key](p []byte) ([]cpubtree.Op[K], byte, error) {
+	if len(p) < 6 || p[0] != RecOps {
+		return nil, 0, fmt.Errorf("%w: ops payload %d bytes", ErrCorrupt, len(p))
+	}
+	method := p[1]
+	n := binary.LittleEndian.Uint32(p[2:6])
+	sz := keys.Size[K]()
+	opLen := 2*sz + 1
+	body := p[6:]
+	if uint64(len(body)) != uint64(n)*uint64(opLen) {
+		return nil, 0, fmt.Errorf("%w: ops payload %d bytes for %d ops", ErrCorrupt, len(p), n)
+	}
+	ops := make([]cpubtree.Op[K], n)
+	for i := range ops {
+		rec := body[i*opLen:]
+		if sz == 8 {
+			ops[i].Key = K(binary.LittleEndian.Uint64(rec[0:8]))
+			ops[i].Value = K(binary.LittleEndian.Uint64(rec[8:16]))
+		} else {
+			ops[i].Key = K(binary.LittleEndian.Uint32(rec[0:4]))
+			ops[i].Value = K(binary.LittleEndian.Uint32(rec[4:8]))
+		}
+		ops[i].Delete = rec[2*sz]&opDelete != 0
+	}
+	return ops, method, nil
+}
+
+// appendFrame frames one payload: [len uint32][crc32c uint32][payload].
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.LittleEndian.AppendUint32(dst, Checksum(payload))
+	return append(dst, payload...)
+}

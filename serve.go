@@ -143,3 +143,57 @@ type ShardedCoalescer[K Key] struct {
 func (s *ShardedServer[K]) Coalesce(opt CoalescerOptions) *ShardedCoalescer[K] {
 	return &ShardedCoalescer[K]{s.ShardedServer.Coalesce(opt)}
 }
+
+// DurableOptions configures OpenDurable: the data directory, the WAL
+// group-commit window, the background snapshot period, and the WAL
+// partition count fixed at first boot.
+type DurableOptions = serve.DurableOptions
+
+// RecoveryStats reports what a Durable's recovery did at open: the
+// snapshot epoch it bulk-loaded, the shard layout it restored, and the
+// WAL tail it replayed past the snapshot floor.
+type RecoveryStats = serve.RecoveryStats
+
+// PersistMetrics is a snapshot of a Durable's WAL and snapshot counters.
+type PersistMetrics = serve.PersistMetrics
+
+// Durable fronts a Server or ShardedServer with write-ahead logging and
+// epoch-aligned snapshots (DESIGN §8): every update batch is logged and
+// group-commit fsynced BEFORE it is applied and acked, snapshots pin one
+// registry epoch across every shard and truncate the log below the
+// covered floor, and recovery bulk-loads the snapshot images bottom-up
+// and replays only the WAL tail. Reads go straight to the wrapped
+// server; writes MUST go through the Durable to survive a crash.
+type Durable[K Key] struct {
+	*serve.Durable[K]
+}
+
+// OpenDurable opens (or creates) the durable serving stack in dopt.Dir.
+// A directory holding a committed snapshot is recovered — shard trees
+// bulk-loaded from images, layout restored from the manifest (shards is
+// ignored), WAL tails replayed; otherwise seed() provides the initial
+// sorted pairs and an initial snapshot is committed. Close the Durable
+// first, then the wrapped server.
+func OpenDurable[K Key](dopt DurableOptions, opt Options, shards int, seed func() ([]Pair[K], error)) (*Durable[K], error) {
+	d, err := serve.OpenDurable(dopt, opt, shards, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Durable[K]{d}, nil
+}
+
+// Server returns the wrapped single-tree server (nil in sharded mode).
+func (d *Durable[K]) Server() *Server[K] {
+	if s := d.Durable.Server(); s != nil {
+		return &Server[K]{s}
+	}
+	return nil
+}
+
+// Sharded returns the wrapped sharded server (nil in single mode).
+func (d *Durable[K]) Sharded() *ShardedServer[K] {
+	if s := d.Durable.Sharded(); s != nil {
+		return &ShardedServer[K]{s}
+	}
+	return nil
+}
