@@ -22,9 +22,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -56,6 +58,9 @@ func main() {
 		wallShards = flag.Int("shards", 0, "also run the key-space sharded configuration with this many shards (-wall; 0 = skip)")
 		updateSkew = flag.Float64("update-skew", 0, "fraction of updates drawn from the hottest key-space quarter (-wall)")
 		rebalance  = flag.Bool("rebalance", false, "run the sharded configuration with the online rebalancer armed (-wall; requires -shards > 1)")
+		coalesceB  = flag.Int("coalesce-batch", 0, "coalescer flush size (-wall; 0 = the 1024 default)")
+		unsorted   = flag.Bool("unsorted", false, "serve every -wall configuration through the unsorted flush path (skips the sorted/unsorted A/B pair)")
+		benchJSON  = flag.String("bench-json", "", "directory to write one machine-readable BENCH_<name>.json per -wall configuration")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -92,7 +97,21 @@ func main() {
 	}
 
 	if *wall {
-		if err := runWall(*wallN, *seed, *clients, *wallDur, *updateFrac, *rebuildEvr, *wallShards, *updateSkew, *rebalance); err != nil {
+		p := wallParams{
+			n:            *wallN,
+			seed:         *seed,
+			clients:      *clients,
+			dur:          *wallDur,
+			updateFrac:   *updateFrac,
+			rebuildEvery: *rebuildEvr,
+			shards:       *wallShards,
+			updateSkew:   *updateSkew,
+			rebalance:    *rebalance,
+			maxBatch:     *coalesceB,
+			unsorted:     *unsorted,
+			jsonDir:      *benchJSON,
+		}
+		if err := runWall(p); err != nil {
 			fmt.Fprintln(os.Stderr, "hbbench:", err)
 			os.Exit(1)
 		}
@@ -168,47 +187,112 @@ func main() {
 	}
 }
 
+// wallParams carries the -wall flag set into runWall.
+type wallParams struct {
+	n            int
+	seed         uint64
+	clients      int
+	dur          time.Duration
+	updateFrac   float64
+	rebuildEvery time.Duration
+	shards       int
+	updateSkew   float64
+	rebalance    bool
+	maxBatch     int
+	unsorted     bool
+	jsonDir      string
+}
+
+// benchRecord is the machine-readable form of one configuration's
+// result, written as BENCH_<name>.json for CI gates and regression
+// tracking.
+type benchRecord struct {
+	Name            string  `json:"name"`
+	Unsorted        bool    `json:"unsorted"`
+	Tuples          int     `json:"tuples"`
+	Clients         int     `json:"clients"`
+	MaxBatch        int     `json:"max_batch"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	Lookups         int64   `json:"lookups"`
+	Updates         int64   `json:"updates"`
+	MQPS            float64 `json:"mqps"`
+	P50Ns           int64   `json:"p50_ns"`
+	P95Ns           int64   `json:"p95_ns"`
+	P99Ns           int64   `json:"p99_ns"`
+	AllocsPerLookup float64 `json:"allocs_per_lookup"`
+	Batches         int64   `json:"batches"`
+	Folded          int64   `json:"folded"`
+	NodeProbes      int64   `json:"node_probes"`
+	ProbesSaved     int64   `json:"probes_saved"`
+	Shards          int     `json:"shards,omitempty"`
+}
+
+// writeBenchJSON writes one configuration's record as
+// <dir>/BENCH_<name>.json.
+func writeBenchJSON(dir string, rec benchRecord) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+rec.Name+".json"), append(data, '\n'), 0o644)
+}
+
 // runWall measures wall-clock serving throughput and latency for the
-// locked baseline, the snapshot fast path and (with shards > 1) the
-// key-space sharded server under the same client mix, printing one row
-// per configuration plus a per-shard breakdown for the sharded run.
-func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac float64, rebuildEvery time.Duration, shards int, updateSkew float64, rebalance bool) error {
-	if updateFrac > 0 && rebuildEvery > 0 {
+// locked baseline, the snapshot fast path — as a sorted/unsorted A/B
+// pair, unless -unsorted forces the baseline everywhere — and (with
+// shards > 1) the key-space sharded server under the same client mix,
+// printing one row per configuration plus a per-shard breakdown for the
+// sharded run. With -bench-json each row is also written as
+// BENCH_<name>.json.
+func runWall(p wallParams) error {
+	if p.updateFrac > 0 && p.rebuildEvery > 0 {
 		return fmt.Errorf("-update-frac and -rebuild-every are mutually exclusive")
 	}
-	if rebalance && shards <= 1 {
+	if p.rebalance && p.shards <= 1 {
 		return fmt.Errorf("-rebalance requires -shards > 1")
 	}
 	treeOpt := hbtree.Options{}
-	if updateFrac > 0 {
+	if p.updateFrac > 0 {
 		treeOpt.Variant = hbtree.Regular
 	}
-	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, shards %d, GOMAXPROCS %d\n",
-		n, clients, dur, updateFrac, rebuildEvery, shards, runtime.GOMAXPROCS(0))
-	pairs := hbtree.GeneratePairs[uint64](n, seed)
-	cfgs := []struct {
-		name   string
-		locked bool
-		shards int
-	}{{"locked", true, 0}, {"fast", false, 0}}
-	if shards > 1 {
-		cfgs = append(cfgs, struct {
-			name   string
-			locked bool
-			shards int
-		}{"sharded", false, shards})
+	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, shards %d, coalesce-batch %d, GOMAXPROCS %d\n",
+		p.n, p.clients, p.dur, p.updateFrac, p.rebuildEvery, p.shards, p.maxBatch, runtime.GOMAXPROCS(0))
+	pairs := hbtree.GeneratePairs[uint64](p.n, p.seed)
+	type wallCfg struct {
+		name     string
+		locked   bool
+		shards   int
+		unsorted bool
+	}
+	var cfgs []wallCfg
+	if p.unsorted {
+		cfgs = []wallCfg{{"locked", true, 0, true}, {"fast", false, 0, true}}
+	} else {
+		// The fast path runs as an A/B pair: identical client mix, only
+		// the flush discipline differs.
+		cfgs = []wallCfg{{"locked", true, 0, false},
+			{"fast-unsorted", false, 0, true}, {"fast", false, 0, false}}
+	}
+	if p.shards > 1 {
+		cfgs = append(cfgs, wallCfg{"sharded", false, p.shards, p.unsorted})
 	}
 	for _, cfg := range cfgs {
 		opt := serve.WallOptions{
-			Clients:      clients,
-			Duration:     dur,
-			UpdateFrac:   updateFrac,
-			UpdateSkew:   updateSkew,
-			RebuildEvery: rebuildEvery,
+			Clients:      p.clients,
+			Duration:     p.dur,
+			UpdateFrac:   p.updateFrac,
+			UpdateSkew:   p.updateSkew,
+			RebuildEvery: p.rebuildEvery,
 			Locked:       cfg.locked,
 			Shards:       cfg.shards,
+			MaxBatch:     p.maxBatch,
+			Unsorted:     cfg.unsorted,
 		}
-		if rebalance && cfg.shards > 1 {
+		if p.rebalance && cfg.shards > 1 {
 			// Defaults except the poll period: a benchmark-length run
 			// needs the detector to act within the measurement.
 			opt.Rebalance = &serve.RebalanceOptions{Interval: 10 * time.Millisecond}
@@ -217,10 +301,36 @@ func runWall(n int, seed uint64, clients int, dur time.Duration, updateFrac floa
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.name, err)
 		}
-		fmt.Printf("  %-7s  %s\n", cfg.name, res)
+		fmt.Printf("  %-13s  %s\n", cfg.name, res)
 		if res.Shards > 0 {
 			for i := 0; i < res.Shards; i++ {
 				fmt.Printf("    shard %d: %d swaps, %d update ops\n", i, res.ShardSwaps[i], res.ShardUpdates[i])
+			}
+		}
+		if p.jsonDir != "" {
+			rec := benchRecord{
+				Name:            cfg.name,
+				Unsorted:        cfg.unsorted,
+				Tuples:          p.n,
+				Clients:         p.clients,
+				MaxBatch:        p.maxBatch,
+				GOMAXPROCS:      runtime.GOMAXPROCS(0),
+				ElapsedNs:       res.Elapsed.Nanoseconds(),
+				Lookups:         res.Lookups,
+				Updates:         res.Updates,
+				MQPS:            res.MQPS,
+				P50Ns:           res.P50.Nanoseconds(),
+				P95Ns:           res.P95.Nanoseconds(),
+				P99Ns:           res.P99.Nanoseconds(),
+				AllocsPerLookup: res.AllocsPerLookup,
+				Batches:         res.Batches,
+				Folded:          res.Folded,
+				NodeProbes:      res.NodeProbes,
+				ProbesSaved:     res.ProbesSaved,
+				Shards:          res.Shards,
+			}
+			if err := writeBenchJSON(p.jsonDir, rec); err != nil {
+				return fmt.Errorf("%s: writing bench json: %w", cfg.name, err)
 			}
 		}
 	}

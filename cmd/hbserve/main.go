@@ -127,6 +127,7 @@ type coalescer interface {
 	LookupCtx(context.Context, uint64) (uint64, bool, error)
 	Shed() int64
 	Deadlines() int64
+	Folded() int64
 	Close()
 }
 
@@ -136,9 +137,9 @@ type coalescer interface {
 // shutdown.
 type server struct {
 	srv     backend
-	co      coalescer                      // nil when -coalesce is off
-	sharded *hbtree.ShardedServer[uint64]  // non-nil in sharded mode
-	dur     *hbtree.Durable[uint64]        // non-nil with -data-dir; all writes route through it
+	co      coalescer                     // nil when -coalesce is off
+	sharded *hbtree.ShardedServer[uint64] // non-nil in sharded mode
+	dur     *hbtree.Durable[uint64]       // non-nil with -data-dir; all writes route through it
 
 	deadline      time.Duration // per-request budget for GET/PUT/DEL (0 = none)
 	overloadReply string        // precomputed "ERR OVERLOADED retry-after-ms=<n>\n"
@@ -157,6 +158,7 @@ type serveConfig struct {
 	shards     int           // > 1 selects the key-space sharded server
 	maxPending int           // coalescer admission window (0 = unbounded)
 	shed       bool          // fail fast with ERR OVERLOADED instead of blocking
+	unsorted   bool          // flush through the plain (unsorted) batch path
 	deadline   time.Duration // per-request budget for GET/PUT/DEL (0 = none)
 }
 
@@ -181,6 +183,7 @@ func coalescerOptions(cfg serveConfig) hbtree.CoalescerOptions {
 		Window:     cfg.window,
 		MaxPending: cfg.maxPending,
 		Shed:       cfg.shed,
+		Unsorted:   cfg.unsorted,
 	}
 }
 
@@ -585,22 +588,24 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		if s.sharded != nil {
 			shards = s.sharded.Shards()
 		}
-		shed, deadlines := int64(0), m.Deadlines
+		shed, deadlines, folded := int64(0), m.Deadlines, int64(0)
 		if s.co != nil {
 			shed = s.co.Shed()
 			deadlines += s.co.Deadlines()
+			folded = s.co.Folded()
 		}
 		var rebalances int64
 		if s.sharded != nil {
 			rebalances = s.sharded.RebalanceStats().Rebalances
 		}
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d\n",
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
 			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime,
 			m.GPUFaults, m.Retries, m.FallbackBatches, m.FallbackQueries,
 			deadlines, shed, m.BreakerTrips, m.BreakerState,
-			s.srv.Epoch(), m.Repairs, rebalances)
+			s.srv.Epoch(), m.Repairs, rebalances,
+			m.NodeProbes, m.ProbesSaved, folded)
 	case cmdIs(cmd, "SHARDSTATS"):
 		if s.sharded == nil {
 			io.WriteString(w, "ERR not sharded (-shards > 1)\n")
@@ -775,6 +780,7 @@ func main() {
 		maxBatch = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
 		pending  = flag.Int("coalesce-pending", 0, "max in-flight GETs per coalescer window (0 = unbounded)")
 		shed     = flag.Bool("coalesce-shed", false, "past -coalesce-pending, fail GETs with ERR overloaded instead of blocking")
+		unsorted = flag.Bool("unsorted", false, "flush coalesced batches through the plain (unsorted) search path")
 		shards   = flag.Int("shards", 1, "key-space shards, each with its own snapshot pointer and update pump (1 = single tree)")
 
 		rebalance   = flag.Bool("rebalance", false, "start the online shard rebalancer: split hot shards / merge cold neighbours as the update stream skews (requires -shards > 1)")
@@ -783,9 +789,9 @@ func main() {
 		rbHot       = flag.Float64("rebalance-hot", 0.5, "split a shard once it absorbs more than this share of a window's updates")
 		rbCold      = flag.Float64("rebalance-cold", 0.05, "merge an adjacent shard pair below this combined share (negative disables merging)")
 		rbMaxShards = flag.Int("rebalance-max-shards", 0, "shard-count cap for splits (0 = twice the count at decision time)")
-		loadPath = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
-		savePath = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
-		pprofTo  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
+		loadPath    = flag.String("load", "", "restore the index from a snapshot file instead of bulk-loading")
+		savePath    = flag.String("save", "", "write a snapshot of the built index to this file and continue serving")
+		pprofTo     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060)")
 
 		dataDir   = flag.String("data-dir", "", "durable data directory (WAL + epoch-aligned snapshots); acked writes survive a crash")
 		fsyncIv   = flag.Duration("fsync-interval", 2*time.Millisecond, "WAL group-commit window (0 = fsync every append inline)")
@@ -832,6 +838,7 @@ func main() {
 		shards:     *shards,
 		maxPending: *pending,
 		shed:       *shed,
+		unsorted:   *unsorted,
 		deadline:   *deadline,
 	}
 

@@ -199,6 +199,35 @@ func (t *Tree[K]) leafStagePerQuery(p missProfile) vclock.Duration {
 	return extra + vclock.Duration(float64(model.AlgoCost(cpu, t.opt.NodeSearch))*p.Lines()) + mem
 }
 
+// cpuLeafStageDurationShared is cpuLeafStageDuration for a sorted
+// bucket whose u queries touched only `lines` distinct leaf lines:
+// adjacent sorted queries landing in the same line find it resident, so
+// the memory side of the profile scales by lines/u while the per-query
+// scheduling overhead stays.
+func (t *Tree[K]) cpuLeafStageDurationShared(u, lines int) vclock.Duration {
+	cpu := t.opt.Machine.CPU
+	p := t.leafProfile()
+	if u > 0 && lines < u {
+		f := float64(lines) / float64(u)
+		p = missProfile{Hit: p.Hit * f, Miss: p.Miss * f}
+	}
+	pq := t.leafStagePerQuery(p)
+	return cpuBatchDuration(cpu, u, pq, p.Miss*keys.LineBytes, t.opt.Threads)
+}
+
+// gpuStageDurationShared models T2 of the shared-descent kernel: the
+// transaction count the sorted kernel actually issued replaces the
+// per-query descent's n*levels*transPerLevel.
+func (t *Tree[K]) gpuStageDurationShared(n, levels int, trans int64) vclock.Duration {
+	if levels <= 0 {
+		return 0
+	}
+	if t.opt.Variant == Regular {
+		return t.dev.KernelDurationShared(n, float64(levels), trans, 3, t.warpThreads())
+	}
+	return t.dev.KernelDurationShared(n, float64(levels), trans, 1, t.warpThreads())
+}
+
 // cpuTopStageDuration models the CPU share of the load-balanced search:
 // the software-pipelined pre-walk of the top `depth` levels plus the
 // leaf stage (Equation 4 with depth = D + R_fraction). It matches the

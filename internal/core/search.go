@@ -16,6 +16,10 @@ import (
 // makespan, throughput and latency, plus the average per-bucket stage
 // durations T1..T4 of the Section 5.4 cost model, for inspection by the
 // harness and tests.
+// StatLevels bounds the per-level probe breakdown recorded in
+// SearchStats.LevelProbes; tree heights never approach it.
+const StatLevels = 16
+
 type SearchStats struct {
 	Queries    int
 	Buckets    int
@@ -29,6 +33,20 @@ type SearchStats struct {
 	LatencyP50, LatencyP95, LatencyP99 vclock.Duration
 
 	T1, T2, T3, T4 vclock.Duration // average per-bucket stage durations
+
+	// Shared-descent accounting, filled by LookupBatchSorted (zero on
+	// the unsorted path). NodeProbes is the number of device-memory
+	// transactions the kernels actually issued; ProbesSaved is how many
+	// the per-query descent would have issued on top of that;
+	// LevelProbes breaks NodeProbes down by inner level (root first).
+	// DedupFolded counts duplicate keys folded out before the descent,
+	// and LeafLines the distinct leaf lines the CPU stage touched.
+	Sorted      bool
+	NodeProbes  int64
+	ProbesSaved int64
+	DedupFolded int
+	LeafLines   int
+	LevelProbes [StatLevels]int64
 }
 
 // setLatencies fills the average and percentile latency fields from the

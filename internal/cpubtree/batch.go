@@ -96,6 +96,35 @@ func (t *ImplicitTree[K]) searchLeavesRange(queries []K, lines []int32, values [
 	}
 }
 
+// SearchLeavesBatchSorted is SearchLeavesBatch for a sorted batch, whose
+// leaf line indices arrive non-decreasing: it returns the number of
+// distinct leaf lines touched, which the cost model charges instead of
+// one line per query — adjacent sorted queries landing in the same line
+// find it already resident. Results are identical to SearchLeavesBatch.
+func (t *ImplicitTree[K]) SearchLeavesBatchSorted(queries []K, lines []int32, values []K, found []bool) int {
+	if runsInline(len(queries), t.cfg.Threads) {
+		return t.searchLeavesSortedRange(queries, lines, values, found, 0, len(queries))
+	}
+	var distinct atomic.Int64
+	parallelFor(len(queries), t.cfg.Threads, func(s, e int) {
+		distinct.Add(int64(t.searchLeavesSortedRange(queries, lines, values, found, s, e)))
+	})
+	return int(distinct.Load())
+}
+
+func (t *ImplicitTree[K]) searchLeavesSortedRange(queries []K, lines []int32, values []K, found []bool, s, e int) int {
+	distinct := 0
+	prev := int32(-1)
+	for i := s; i < e; i++ {
+		if lines[i] != prev {
+			distinct++
+			prev = lines[i]
+		}
+		values[i], found[i] = t.SearchLeafLine(int(lines[i]), queries[i])
+	}
+	return distinct
+}
+
 // LeafRef identifies one leaf cache line of the regular tree: big leaf
 // index plus line within it. It is the intermediate result the GPU
 // returns to the CPU for the regular HB+-tree.
@@ -173,6 +202,34 @@ func (t *RegularTree[K]) searchLeavesRange(queries []K, refs []LeafRef, values [
 	for i := s; i < e; i++ {
 		values[i], found[i] = t.SearchLeafLine(refs[i].Leaf, int(refs[i].Line), queries[i])
 	}
+}
+
+// SearchLeavesBatchSorted is SearchLeavesBatch for a sorted batch: the
+// (leaf, line) references arrive grouped, and the returned distinct
+// count is what the shared cost model charges for the leaf stage's
+// memory traffic. Results are identical to SearchLeavesBatch.
+func (t *RegularTree[K]) SearchLeavesBatchSorted(queries []K, refs []LeafRef, values []K, found []bool) int {
+	if runsInline(len(queries), t.cfg.Threads) {
+		return t.searchLeavesSortedRange(queries, refs, values, found, 0, len(queries))
+	}
+	var distinct atomic.Int64
+	parallelFor(len(queries), t.cfg.Threads, func(s, e int) {
+		distinct.Add(int64(t.searchLeavesSortedRange(queries, refs, values, found, s, e)))
+	})
+	return int(distinct.Load())
+}
+
+func (t *RegularTree[K]) searchLeavesSortedRange(queries []K, refs []LeafRef, values []K, found []bool, s, e int) int {
+	distinct := 0
+	prev := LeafRef{Leaf: -1, Line: -1}
+	for i := s; i < e; i++ {
+		if refs[i] != prev {
+			distinct++
+			prev = refs[i]
+		}
+		values[i], found[i] = t.SearchLeafLine(refs[i].Leaf, int(refs[i].Line), queries[i])
+	}
+	return distinct
 }
 
 // MixedKind distinguishes the operations of a mixed search/update batch

@@ -280,6 +280,55 @@ func (d *Device) KernelDuration(nQueries int, levels float64, transPerLevel, thr
 	return d.cfg.KInit + t
 }
 
+// KernelDurationShared models the execution time of a shared-descent
+// kernel over a sorted batch: nQueries queries descending `levels`
+// levels, but issuing only `trans` distinct memory transactions (as
+// returned by the sorted kernels) instead of the unsorted kernel's
+// nQueries*levels*transPerLevel. The bandwidth bound is charged on the
+// actual transactions at the device's un-derated efficiency — sorted
+// runs walk each level's node array in address order, so there is no
+// divergence penalty to apply. The latency bound scales the wave count
+// by the share of queries that lead a run (followers receive their
+// child slot from the leader's resident line, off the dependent-miss
+// chain). Compute is NOT scaled down: every query still resolves its
+// own child slot, so the term keeps the unsorted kernel's shape and
+// acts as the floor for heavily shared batches.
+func (d *Device) KernelDurationShared(nQueries int, levels float64, trans int64, transPerLevel, threadsPerQuery int) vclock.Duration {
+	if nQueries == 0 || levels <= 0 {
+		return 0
+	}
+	d.transactions.Add(trans)
+	d.kernels.Add(1)
+
+	eff := d.cfg.KernelBWEfficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	bw := vclock.Duration(float64(trans*keys.LineBytes) / (d.cfg.MemBWBytes * eff) * 1e9)
+
+	// Equivalent full-paying queries: the leaders. trans/(levels*tpl)
+	// is how many per-query descents' worth of transactions were issued.
+	leaders := float64(trans) / (levels * float64(transPerLevel))
+	if leaders > float64(nQueries) {
+		leaders = float64(nQueries)
+	}
+	conc := d.cfg.ConcurrentQueries(threadsPerQuery)
+	waves := math.Ceil(leaders / float64(conc))
+	lat := vclock.Duration(waves * levels * float64(transPerLevel) * float64(d.cfg.MemLatency))
+
+	fullTrans := float64(nQueries) * levels * float64(transPerLevel)
+	compute := vclock.Duration(fullTrans/float64(d.cfg.SMs)) * d.cfg.CostWarpStep / 32
+
+	t := bw
+	if lat > t {
+		t = lat
+	}
+	if compute > t {
+		t = compute
+	}
+	return d.cfg.KInit + t
+}
+
 // Workers returns the host-goroutine parallelism used to execute kernels
 // functionally.
 func (d *Device) Workers() int { return d.workers }

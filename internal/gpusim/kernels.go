@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hbtree/internal/fault"
 	"hbtree/internal/keys"
@@ -163,6 +164,181 @@ func regularSearchRange[K keys.Key](upper, last []K, desc RegularDesc, queries [
 		outLeaf[i] = idx
 		outLine[i] = int32(c)
 	}
+}
+
+// ImplicitSearchKernelSorted is the level-wise shared-descent variant of
+// ImplicitSearchKernel for batches sorted ascending (duplicates
+// allowed). Sorted queries keep the per-level frontier non-decreasing,
+// so all queries resolving to the same node form a contiguous run: the
+// run's first query loads the node line and runs the full warp search,
+// and every follower either reuses the leader's child slot outright
+// (q <= the matched separator) or advances the lower bound forward
+// through the already-resident line — one coalesced memory transaction
+// per distinct node per level instead of one per query per level. It
+// returns the number of transactions actually issued and, when lvl is
+// non-nil, accumulates the per-level transaction counts into
+// lvl[0..Height-1] (root level first); results are byte-identical to
+// the unsorted kernel's for the same queries.
+func ImplicitSearchKernelSorted[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, queries []K, out []int32, lvl []int64) (int64, error) {
+	if err := d.check(fault.OpKernel); err != nil {
+		return 0, err
+	}
+	if d.runsInline(len(queries)) {
+		return implicitSortedRange(iseg, desc, queries, out, lvl, 0, len(queries)), nil
+	}
+	// Each chunk is itself a sorted contiguous range, so sharing still
+	// applies within it; only the chunk-boundary nodes are re-probed.
+	var trans atomic.Int64
+	d.fanOut(len(queries), func(lo, hi int) {
+		trans.Add(implicitSortedRange(iseg, desc, queries, out, lvl, lo, hi))
+	})
+	return trans.Load(), nil
+}
+
+// implicitSortedRange descends queries[lo:hi] level by level, using out
+// as the frontier (the node index each query sits at), and returns the
+// distinct-node transaction count.
+func implicitSortedRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, out []int32, lvl []int64, lo, hi int) int64 {
+	var trans int64
+	for i := lo; i < hi; i++ {
+		out[i] = 0
+	}
+	for l := 0; l < desc.Height; l++ {
+		base := int(desc.LevelOff[l])
+		prevIdx := int32(-1)
+		var node []K
+		res := 0
+		var lt int64
+		for i := lo; i < hi; i++ {
+			idx := out[i]
+			q := queries[i]
+			if idx != prevIdx {
+				off := (base + int(idx)) * desc.Kpn
+				node = iseg[off : off+desc.Kpn]
+				prevIdx = idx
+				res = warpSearch(node, q)
+				lt++
+			} else if q > node[res] {
+				// Monotone advance: a later sorted query's lower bound
+				// never moves backwards within the resident node.
+				for res < len(node)-1 && q > node[res] {
+					res++
+				}
+			}
+			out[i] = idx*int32(desc.Fanout) + int32(res)
+		}
+		trans += lt
+		if l < len(lvl) {
+			// The fanned-out path shares lvl across chunk goroutines.
+			atomic.AddInt64(&lvl[l], lt)
+		}
+	}
+	for i := lo; i < hi; i++ {
+		if int(out[i]) >= desc.NumLeaves {
+			out[i] = int32(desc.NumLeaves - 1)
+		}
+	}
+	return trans
+}
+
+// RegularSearchKernelSorted is the shared-descent variant of
+// RegularSearchKernel for sorted batches. A run of queries bounded by
+// the matched separator key reuses the leader's (index line, key line,
+// reference) resolution wholesale; a query past the separator but still
+// inside the same node re-searches the resident index line and pays one
+// extra transaction only when it lands on a different key line. It
+// returns the transactions issued (3 per fresh node on reference-carrying
+// levels, 2 on the last inner level, +1 per key-line switch) and fills
+// the optional per-level counts like the implicit variant; results are
+// byte-identical to the unsorted kernel's.
+func RegularSearchKernelSorted[K keys.Key](d *Device, upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, lvl []int64) (int64, error) {
+	if err := d.check(fault.OpKernel); err != nil {
+		return 0, err
+	}
+	if d.runsInline(len(queries)) {
+		return regularSortedRange(upper, last, desc, queries, outLeaf, outLine, lvl, 0, len(queries)), nil
+	}
+	var trans atomic.Int64
+	d.fanOut(len(queries), func(lo, hi int) {
+		trans.Add(regularSortedRange(upper, last, desc, queries, outLeaf, outLine, lvl, lo, hi))
+	})
+	return trans.Load(), nil
+}
+
+// regularSortedRange descends queries[lo:hi] through the regular pools
+// level by level (outLeaf is the frontier), returning the transaction
+// count.
+func regularSortedRange[K keys.Key](upper, last []K, desc RegularDesc, queries []K, outLeaf, outLine []int32, lvl []int64, lo, hi int) int64 {
+	kpl := desc.Kpl
+	var trans int64
+	for i := lo; i < hi; i++ {
+		outLeaf[i] = desc.Root
+	}
+	for h := desc.Height; h >= 2; h-- {
+		prevIdx := int32(-1)
+		prevS := -1
+		var sep K
+		var next int32
+		var lt int64
+		for i := lo; i < hi; i++ {
+			idx := outLeaf[i]
+			q := queries[i]
+			if idx == prevIdx && q <= sep {
+				outLeaf[i] = next
+				continue
+			}
+			newNode := idx != prevIdx
+			base := int(idx) * desc.NodeSlots
+			s := warpSearch(upper[base:base+kpl], q)
+			u := warpSearch(upper[base+kpl+s*kpl:base+kpl+(s+1)*kpl], q)
+			sep = upper[base+kpl+s*kpl+u]
+			next = int32(upper[base+kpl+kpl*kpl+s*kpl+u])
+			switch {
+			case newNode:
+				lt += 3 // index line, key line, reference line
+			case s != prevS:
+				lt++ // new key line within the resident node
+			}
+			prevIdx, prevS = idx, s
+			outLeaf[i] = next
+		}
+		trans += lt
+		if l := desc.Height - h; l < len(lvl) {
+			atomic.AddInt64(&lvl[l], lt)
+		}
+	}
+	prevIdx := int32(-1)
+	prevS := -1
+	var sep K
+	var line int32
+	var lt int64
+	for i := lo; i < hi; i++ {
+		idx := outLeaf[i]
+		q := queries[i]
+		if idx == prevIdx && q <= sep {
+			outLine[i] = line
+			continue
+		}
+		newNode := idx != prevIdx
+		base := int(idx) * desc.NodeSlots
+		s := warpSearch(last[base:base+kpl], q)
+		u := warpSearch(last[base+kpl+s*kpl:base+kpl+(s+1)*kpl], q)
+		sep = last[base+kpl+s*kpl+u]
+		line = int32(s*kpl + u)
+		switch {
+		case newNode:
+			lt += 2 // index line + key line; the last level has no references
+		case s != prevS:
+			lt++
+		}
+		prevIdx, prevS = idx, s
+		outLine[i] = line
+	}
+	trans += lt
+	if l := desc.Height - 1; l >= 0 && l < len(lvl) {
+		atomic.AddInt64(&lvl[l], lt)
+	}
+	return trans
 }
 
 // runsInline reports whether a kernel over n queries executes on the

@@ -1,0 +1,75 @@
+package keys
+
+// SortWithPerm sorts ks ascending in place, applying every exchange to
+// perm as well, so perm[i] ends up holding the original position of the
+// key now at slot i. It exists because the serving hot path sorts every
+// coalesced window before the shared-descent search: a type-specialised
+// quicksort over the parallel arrays runs several times faster than
+// sort.Sort's interface dispatch and allocates nothing. The three-way
+// partition keeps duplicate-heavy windows (a hot key hammered by many
+// clients) linear instead of quadratic. The sort is not stable; callers
+// that fold duplicates treat equal keys as interchangeable.
+func SortWithPerm[K Key](ks []K, perm []int32) {
+	for len(ks) > 16 {
+		lt, gt := partition3(ks, perm)
+		// Recurse into the smaller side, iterate on the larger: the
+		// stack stays O(log n) even on adversarial inputs.
+		if lt < len(ks)-gt {
+			SortWithPerm(ks[:lt], perm[:lt])
+			ks, perm = ks[gt:], perm[gt:]
+		} else {
+			SortWithPerm(ks[gt:], perm[gt:])
+			ks, perm = ks[:lt], perm[:lt]
+		}
+	}
+	// Insertion sort for short runs and partition leftovers.
+	for i := 1; i < len(ks); i++ {
+		k, p := ks[i], perm[i]
+		j := i - 1
+		for j >= 0 && ks[j] > k {
+			ks[j+1], perm[j+1] = ks[j], perm[j]
+			j--
+		}
+		ks[j+1], perm[j+1] = k, p
+	}
+}
+
+// partition3 performs a Dutch-national-flag partition of (ks, perm)
+// around a median-of-three pivot: on return ks[:lt] < pivot,
+// ks[lt:gt] == pivot and ks[gt:] > pivot.
+func partition3[K Key](ks []K, perm []int32) (lt, gt int) {
+	n := len(ks)
+	m := n / 2
+	// Median of first, middle and last picks a sane pivot on sorted,
+	// reversed and random inputs alike.
+	if ks[m] < ks[0] {
+		ks[0], ks[m] = ks[m], ks[0]
+		perm[0], perm[m] = perm[m], perm[0]
+	}
+	if ks[n-1] < ks[0] {
+		ks[0], ks[n-1] = ks[n-1], ks[0]
+		perm[0], perm[n-1] = perm[n-1], perm[0]
+	}
+	if ks[n-1] < ks[m] {
+		ks[m], ks[n-1] = ks[n-1], ks[m]
+		perm[m], perm[n-1] = perm[n-1], perm[m]
+	}
+	pivot := ks[m]
+	lt, gt = 0, n
+	for i := 0; i < gt; {
+		switch {
+		case ks[i] < pivot:
+			ks[i], ks[lt] = ks[lt], ks[i]
+			perm[i], perm[lt] = perm[lt], perm[i]
+			lt++
+			i++
+		case ks[i] > pivot:
+			gt--
+			ks[i], ks[gt] = ks[gt], ks[i]
+			perm[i], perm[gt] = perm[gt], perm[i]
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}

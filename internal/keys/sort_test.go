@@ -1,0 +1,78 @@
+package keys
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortWithPerm cross-checks the specialised parallel-array sort
+// against the standard library on adversarial shapes: random,
+// presorted, reversed, all-equal, and duplicate-heavy slices, at sizes
+// straddling the insertion-sort cutoff. perm must be a permutation that
+// maps every sorted slot back to the key's original position.
+func TestSortWithPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	gen := map[string]func(n int) []uint64{
+		"random": func(n int) []uint64 {
+			ks := make([]uint64, n)
+			for i := range ks {
+				ks[i] = rng.Uint64()
+			}
+			return ks
+		},
+		"sorted": func(n int) []uint64 {
+			ks := make([]uint64, n)
+			for i := range ks {
+				ks[i] = uint64(i)
+			}
+			return ks
+		},
+		"reversed": func(n int) []uint64 {
+			ks := make([]uint64, n)
+			for i := range ks {
+				ks[i] = uint64(n - i)
+			}
+			return ks
+		},
+		"allequal": func(n int) []uint64 {
+			ks := make([]uint64, n)
+			for i := range ks {
+				ks[i] = 7
+			}
+			return ks
+		},
+		"dupheavy": func(n int) []uint64 {
+			ks := make([]uint64, n)
+			for i := range ks {
+				ks[i] = uint64(rng.Intn(4))
+			}
+			return ks
+		},
+	}
+	for name, g := range gen {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 256, 1024} {
+			orig := g(n)
+			ks := append([]uint64(nil), orig...)
+			perm := make([]int32, n)
+			for i := range perm {
+				perm[i] = int32(i)
+			}
+			SortWithPerm(ks, perm)
+			if !sort.SliceIsSorted(ks, func(a, b int) bool { return ks[a] < ks[b] }) {
+				t.Fatalf("%s/n=%d: not sorted", name, n)
+			}
+			seen := make([]bool, n)
+			for i, p := range perm {
+				if seen[p] {
+					t.Fatalf("%s/n=%d: perm[%d]=%d repeated", name, n, i, p)
+				}
+				seen[p] = true
+				if orig[p] != ks[i] {
+					t.Fatalf("%s/n=%d: slot %d holds %d but perm points at original %d",
+						name, n, i, ks[i], orig[p])
+				}
+			}
+		}
+	}
+}

@@ -66,6 +66,13 @@ type Options struct {
 	// an external caller can retry against another replica or degrade.
 	Shed bool
 
+	// Unsorted makes flushes take the plain LookupBatchInto path instead
+	// of the default sorted one: no key sort, no duplicate folding, one
+	// full descent per query. It exists as the A/B baseline for the
+	// shared-descent serving path (hbbench -unsorted) and for backends
+	// whose batches are known hostile to sorting.
+	Unsorted bool
+
 	// DegradedPending is the fault-aware admission window: while the
 	// backend reports Degraded (breaker open, batches answered by the
 	// slower CPU fallback), each shard admits only this many undelivered
@@ -93,6 +100,15 @@ type pending[K keys.Key] struct {
 	replies []chan Result[K]
 	values  []K
 	found   []bool
+
+	// Sorted-flush staging: each sorted slot's submission position and
+	// the sorted-slot-to-unique-slot map after duplicate folding. Both
+	// pooled with the batch, so the sorted flush allocates nothing. The
+	// keys themselves are sorted in place — the batch is detached from
+	// its shard before flushing and the submission order is recoverable
+	// through perm, so no second key array is needed.
+	perm []int32
+	uref []int32
 }
 
 // shard is one independent pending queue with its own deadline timer.
@@ -152,6 +168,7 @@ type Coalescer[K keys.Key] struct {
 
 	batches   atomic.Int64 // batches flushed
 	queries   atomic.Int64 // requests served through batches
+	folded    atomic.Int64 // duplicate keys folded out of sorted flushes
 	shed      atomic.Int64 // requests refused with ErrOverloaded
 	degShed   atomic.Int64 // of those, refused by fault-aware admission
 	deadlines atomic.Int64 // requests abandoned with ErrDeadlineExceeded
@@ -186,12 +203,17 @@ func NewCoalescer[K keys.Key](be Backend[K], opt Options) *Coalescer[K] {
 		done:       make(chan struct{}),
 	}
 	c.batchPool.New = func() any {
-		return &pending[K]{
+		p := &pending[K]{
 			keys:    make([]K, 0, opt.MaxBatch),
 			replies: make([]chan Result[K], 0, opt.MaxBatch),
 			values:  make([]K, opt.MaxBatch),
 			found:   make([]bool, opt.MaxBatch),
 		}
+		if !opt.Unsorted {
+			p.perm = make([]int32, opt.MaxBatch)
+			p.uref = make([]int32, opt.MaxBatch)
+		}
+		return p
 	}
 	c.replyPool.New = func() any { return make(chan Result[K], 1) }
 	for i := range c.shards {
@@ -367,19 +389,64 @@ func (c *Coalescer[K]) flusher(sh *shard[K]) {
 // flush serves one batch with the allocation-free batch search and
 // distributes each caller's result, then recycles the batch and
 // releases the shard's admission window tokens.
+//
+// The default sorted flush presorts the keys (tracking each key's
+// submission position), folds exact duplicates into one batch slot, and
+// hands the backend a sorted duplicate-free batch — which the
+// shared-descent search resolves at one node probe per distinct node
+// per level, and which decomposes into one contiguous run per shard on
+// a sharded backend. Each unique result fans back out to every waiter
+// that submitted that key.
 func (c *Coalescer[K]) flush(sh *shard[K], p *pending[K]) {
 	n := len(p.keys)
 	values, found := p.values[:n], p.found[:n]
-	_, err := c.be.LookupBatchInto(p.keys, values, found)
+	if c.opt.Unsorted {
+		_, err := c.be.LookupBatchInto(p.keys, values, found)
+		if err != nil {
+			c.fail(sh, p, err)
+			return
+		}
+		for i, reply := range p.replies {
+			reply <- Result[K]{Value: values[i], Found: found[i]}
+		}
+		c.batches.Add(1)
+		c.queries.Add(int64(n))
+		c.releaseSlots(sh, n)
+		c.batchPool.Put(p)
+		return
+	}
+
+	skeys, perm, uref := p.keys, p.perm[:n], p.uref[:n]
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	keys.SortWithPerm(skeys, perm)
+	u := 0
+	var last K
+	for i := 0; i < n; i++ {
+		k := skeys[i]
+		if u > 0 && k == last {
+			uref[i] = int32(u - 1)
+			continue
+		}
+		skeys[u] = k
+		uref[i] = int32(u)
+		last = k
+		u++
+	}
+
+	_, err := c.be.LookupBatchSortedInto(skeys[:u], values[:u], found[:u])
 	if err != nil {
 		c.fail(sh, p, err)
 		return
 	}
-	for i, reply := range p.replies {
-		reply <- Result[K]{Value: values[i], Found: found[i]}
+	for i := 0; i < n; i++ {
+		j := uref[i]
+		p.replies[perm[i]] <- Result[K]{Value: values[j], Found: found[j]}
 	}
 	c.batches.Add(1)
 	c.queries.Add(int64(n))
+	c.folded.Add(int64(n - u))
 	c.releaseSlots(sh, n)
 	c.batchPool.Put(p)
 }
@@ -431,6 +498,11 @@ func (c *Coalescer[K]) Batches() int64 { return c.batches.Load() }
 
 // Queries returns the number of requests served through batches.
 func (c *Coalescer[K]) Queries() int64 { return c.queries.Load() }
+
+// Folded returns how many duplicate keys were folded into an already-
+// occupied batch slot by sorted flushes: identical keys in one window
+// cost one descent, and the single result fans out to every waiter.
+func (c *Coalescer[K]) Folded() int64 { return c.folded.Load() }
 
 // Shed returns how many requests were refused with ErrOverloaded,
 // including those refused by fault-aware admission.

@@ -84,18 +84,18 @@ type RecoveryStats struct {
 
 // PersistMetrics is a snapshot of a Durable's counters.
 type PersistMetrics struct {
-	Appends      int64  // WAL records appended
-	AppendedOps  int64  // ops inside those records
-	Syncs        int64  // fsync calls across partitions
-	WalBytes     int64  // WAL bytes appended
-	Partitions   int    // WAL partition count
-	Segments     int    // live WAL segment files
-	Truncated    int64  // WAL segments reclaimed by snapshots
-	Snapshots    int64  // snapshots committed
-	SnapshotSkips int64 // snapshot passes skipped (epoch unchanged)
-	LastSnapshot uint64 // last committed snapshot epoch
-	Barriers     int64  // rebalance barrier records written
-	SnapFailures int64  // snapshot attempts that failed
+	Appends       int64  // WAL records appended
+	AppendedOps   int64  // ops inside those records
+	Syncs         int64  // fsync calls across partitions
+	WalBytes      int64  // WAL bytes appended
+	Partitions    int    // WAL partition count
+	Segments      int    // live WAL segment files
+	Truncated     int64  // WAL segments reclaimed by snapshots
+	Snapshots     int64  // snapshots committed
+	SnapshotSkips int64  // snapshot passes skipped (epoch unchanged)
+	LastSnapshot  uint64 // last committed snapshot epoch
+	Barriers      int64  // rebalance barrier records written
+	SnapFailures  int64  // snapshot attempts that failed
 }
 
 // applier is the write surface a Durable fronts: both Server and
@@ -382,6 +382,10 @@ func (d *Durable[K]) openLogs(partitions int, fsyncInterval time.Duration) error
 }
 
 // Server returns the wrapped single-tree server (nil in sharded mode).
+// Reads route through the wrapped servers directly — a Coalescer over
+// Server() or Sharded().Coalesce takes the sorted shared-descent flush
+// path exactly as on a non-durable deployment; durability only
+// intercepts writes.
 func (d *Durable[K]) Server() *Server[K] { return d.single }
 
 // Device returns the simulated device all wrapped shard trees share.

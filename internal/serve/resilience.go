@@ -77,14 +77,22 @@ func (s *Server[K]) backoff(attempt int) {
 // budget — or with the breaker open — answer from the host-resident
 // tree instead. Structural (non-injected) errors surface unchanged.
 // The caller still holds its snapshot pin, so the fallback reads the
-// same version the GPU attempt did.
-func (s *Server[K]) lookupBatchResilient(tree *core.Tree[K], queries []K, values []K, found []bool) (core.SearchStats, error) {
+// same version the GPU attempt did. With sorted set, the GPU attempts
+// take the shared-descent path (the host fallback is order-agnostic, so
+// degraded-mode results are identical either way).
+func (s *Server[K]) lookupBatchResilient(tree *core.Tree[K], queries []K, values []K, found []bool, sorted bool) (core.SearchStats, error) {
 	for attempt := 1; attempt <= s.retry.MaxAttempts && s.brk.Allow(); attempt++ {
 		if attempt > 1 {
 			s.retries.Add(1)
 			s.backoff(attempt - 1)
 		}
-		stats, err := tree.LookupBatchInto(queries, values, found)
+		var stats core.SearchStats
+		var err error
+		if sorted {
+			stats, err = tree.LookupBatchSortedInto(queries, values, found)
+		} else {
+			stats, err = tree.LookupBatchInto(queries, values, found)
+		}
 		if err == nil {
 			s.brk.Success()
 			return stats, nil

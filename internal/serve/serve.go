@@ -100,18 +100,20 @@ type Server[K keys.Key] struct {
 	repairing atomic.Bool
 
 	// Serving metrics (atomic: updated outside the locks).
-	vtimeNs   atomic.Int64 // accumulated virtual serving time, ns
-	lookups   atomic.Int64 // point lookups served individually
-	batched   atomic.Int64 // queries served through LookupBatch
-	batches   atomic.Int64 // LookupBatch calls
-	updates   atomic.Int64 // update/rebuild operations applied
-	swaps     atomic.Int64 // snapshot publications (snapshot mode)
-	gpuFaults atomic.Int64 // injected device faults observed
-	retries   atomic.Int64 // GPU-path retry attempts after a fault
-	fbBatches atomic.Int64 // batches answered by the CPU fallback
-	fbQueries atomic.Int64 // queries answered by the CPU fallback
-	deadlines atomic.Int64 // requests failed with ErrDeadlineExceeded
-	repairs   atomic.Int64 // background replica repairs completed
+	vtimeNs     atomic.Int64 // accumulated virtual serving time, ns
+	lookups     atomic.Int64 // point lookups served individually
+	batched     atomic.Int64 // queries served through LookupBatch
+	batches     atomic.Int64 // LookupBatch calls
+	nodeProbes  atomic.Int64 // inner-node probes issued by sorted batches
+	probesSaved atomic.Int64 // probes the shared descent avoided
+	updates     atomic.Int64 // update/rebuild operations applied
+	swaps       atomic.Int64 // snapshot publications (snapshot mode)
+	gpuFaults   atomic.Int64 // injected device faults observed
+	retries     atomic.Int64 // GPU-path retry attempts after a fault
+	fbBatches   atomic.Int64 // batches answered by the CPU fallback
+	fbQueries   atomic.Int64 // queries answered by the CPU fallback
+	deadlines   atomic.Int64 // requests failed with ErrDeadlineExceeded
+	repairs     atomic.Int64 // background replica repairs completed
 }
 
 // pin is the registry reference type every snapshot-mode read holds.
@@ -257,6 +259,12 @@ type Metrics struct {
 	Updates        int64 // update/rebuild operations applied
 	Swaps          int64 // snapshot publications (snapshot mode only)
 
+	// Shared-descent accounting (sorted batches only): inner-node probes
+	// the kernel issued, and the probes run-sharing avoided relative to
+	// one full descent per query.
+	NodeProbes  int64
+	ProbesSaved int64
+
 	// Degraded-mode counters (see DESIGN §7).
 	GPUFaults       int64         // injected device faults observed
 	Retries         int64         // GPU-path retries after a fault
@@ -281,6 +289,8 @@ func (s *Server[K]) Metrics() Metrics {
 		Batches:         s.batches.Load(),
 		Updates:         s.updates.Load(),
 		Swaps:           s.swaps.Load(),
+		NodeProbes:      s.nodeProbes.Load(),
+		ProbesSaved:     s.probesSaved.Load(),
 		GPUFaults:       s.gpuFaults.Load(),
 		Retries:         s.retries.Load(),
 		FallbackBatches: s.fbBatches.Load(),
@@ -301,6 +311,8 @@ func (s *Server[K]) ResetMetrics() {
 	s.lookups.Store(0)
 	s.batched.Store(0)
 	s.batches.Store(0)
+	s.nodeProbes.Store(0)
+	s.probesSaved.Store(0)
 	s.updates.Store(0)
 	s.swaps.Store(0)
 	s.gpuFaults.Store(0)
@@ -390,17 +402,46 @@ func (s *Server[K]) LookupBatchInto(queries []K, values []K, found []bool) (core
 	return stats, err
 }
 
+// LookupBatchSortedInto is LookupBatchInto through the shared-descent
+// batch search (core.Tree.LookupBatchSortedInto): results are identical
+// and returned in caller order, with presorted duplicate-free batches —
+// the Coalescer's steady state — resolved at one node probe per
+// distinct node per level. The same retry/fallback discipline applies.
+func (s *Server[K]) LookupBatchSortedInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
+	tree, p := s.acquire()
+	stats, err := s.lookupBatchSortedPinned(tree, queries, values, found)
+	s.releaseRead(p)
+	return stats, err
+}
+
 // lookupBatchPinned is the batch-search body against an already-pinned
 // tree, with the resilient retry/fallback discipline and this server's
 // counters.
 func (s *Server[K]) lookupBatchPinned(tree *core.Tree[K], queries []K, values []K, found []bool) (core.SearchStats, error) {
-	stats, err := s.lookupBatchResilient(tree, queries, values, found)
-	if err == nil {
-		s.batched.Add(int64(len(queries)))
-		s.batches.Add(1)
-		s.addVirtual(stats.SimTime)
-	}
+	stats, err := s.lookupBatchResilient(tree, queries, values, found, false)
+	s.noteBatch(len(queries), stats, err)
 	return stats, err
+}
+
+// lookupBatchSortedPinned is lookupBatchPinned through the
+// shared-descent path.
+func (s *Server[K]) lookupBatchSortedPinned(tree *core.Tree[K], queries []K, values []K, found []bool) (core.SearchStats, error) {
+	stats, err := s.lookupBatchResilient(tree, queries, values, found, true)
+	s.noteBatch(len(queries), stats, err)
+	return stats, err
+}
+
+func (s *Server[K]) noteBatch(n int, stats core.SearchStats, err error) {
+	if err != nil {
+		return
+	}
+	s.batched.Add(int64(n))
+	s.batches.Add(1)
+	s.addVirtual(stats.SimTime)
+	if stats.NodeProbes > 0 {
+		s.nodeProbes.Add(stats.NodeProbes)
+		s.probesSaved.Add(stats.ProbesSaved)
+	}
 }
 
 // RangeQuery returns up to count pairs with key >= start against the

@@ -650,6 +650,8 @@ func addMetrics(m *Metrics, o Metrics) {
 	m.Batches += o.Batches
 	m.Updates += o.Updates
 	m.Swaps += o.Swaps
+	m.NodeProbes += o.NodeProbes
+	m.ProbesSaved += o.ProbesSaved
 	m.GPUFaults += o.GPUFaults
 	m.Retries += o.Retries
 	m.FallbackBatches += o.FallbackBatches
@@ -858,6 +860,11 @@ type Backend[K keys.Key] interface {
 	// LookupBatchInto serves one coalesced batch into the caller's
 	// slices (see Server.LookupBatchInto).
 	LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error)
+	// LookupBatchSortedInto serves one coalesced batch through the
+	// shared-descent path (see Server.LookupBatchSortedInto); the
+	// coalescer presorts and deduplicates its batches to land on the
+	// sorted fast path.
+	LookupBatchSortedInto(queries []K, values []K, found []bool) (core.SearchStats, error)
 	// Options exposes the tree configuration (MaxBatch defaults to its
 	// BucketSize).
 	Options() core.Options
@@ -893,11 +900,25 @@ func (b shardBackend[K]) Degraded() bool {
 }
 
 func (b shardBackend[K]) LookupBatchInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
+	return b.lookupBatchInto(queries, values, found, false)
+}
+
+// LookupBatchSortedInto is the sorted-path flush: the split-key table
+// is range-partitioned, so a globally sorted batch decomposes into
+// exactly one contiguous run per touched shard — the run walk below
+// finds them with no extra work, and each run reaches its shard still
+// sorted and duplicate-free (the coalescer's contract).
+func (b shardBackend[K]) LookupBatchSortedInto(queries []K, values []K, found []bool) (core.SearchStats, error) {
+	return b.lookupBatchInto(queries, values, found, true)
+}
+
+func (b shardBackend[K]) lookupBatchInto(queries []K, values []K, found []bool, sorted bool) (core.SearchStats, error) {
 	p := b.s.reg.Pin()
 	defer p.Unpin()
 	m := p.Meta()
 	var agg core.SearchStats
 	agg.BucketSize = b.s.opt.BucketSize
+	agg.Sorted = sorted
 	start := 0
 	for start < len(queries) {
 		i := m.route(queries[start])
@@ -905,14 +926,24 @@ func (b shardBackend[K]) LookupBatchInto(queries []K, values []K, found []bool) 
 		for end < len(queries) && m.route(queries[end]) == i {
 			end++
 		}
-		stats, err := m.subs[i].lookupBatchPinned(p.Get(i),
-			queries[start:end], values[start:end], found[start:end])
+		var stats core.SearchStats
+		var err error
+		if sorted {
+			stats, err = m.subs[i].lookupBatchSortedPinned(p.Get(i),
+				queries[start:end], values[start:end], found[start:end])
+		} else {
+			stats, err = m.subs[i].lookupBatchPinned(p.Get(i),
+				queries[start:end], values[start:end], found[start:end])
+		}
 		if err != nil {
 			return agg, err
 		}
 		agg.Queries += stats.Queries
 		agg.Buckets += stats.Buckets
 		agg.SimTime += stats.SimTime
+		agg.NodeProbes += stats.NodeProbes
+		agg.ProbesSaved += stats.ProbesSaved
+		agg.DedupFolded += stats.DedupFolded
 		start = end
 	}
 	if agg.SimTime > 0 {
@@ -996,6 +1027,16 @@ func (c *ShardedCoalescer[K]) Queries() int64 {
 	var n int64
 	for _, co := range c.cos {
 		n += co.Queries()
+	}
+	return n
+}
+
+// Folded returns the duplicate keys folded by sorted flushes across all
+// shards.
+func (c *ShardedCoalescer[K]) Folded() int64 {
+	var n int64
+	for _, co := range c.cos {
+		n += co.Folded()
 	}
 	return n
 }

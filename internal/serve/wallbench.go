@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,12 @@ type WallOptions struct {
 	// Options); zero MaxPending leaves the windows unbounded.
 	MaxPending int
 	Shed       bool
+
+	// Unsorted makes coalescer flushes take the plain batch path instead
+	// of the default sorted shared-descent one — the A/B baseline for
+	// measuring what presorting, duplicate folding and level-wise probe
+	// sharing buy in wall-clock terms.
+	Unsorted bool
 
 	// MaxBatch and Window configure the coalescer (1024 and 200µs
 	// defaults: wall-clock serving wants smaller flush quanta than the
@@ -118,7 +125,21 @@ type WallResult struct {
 
 	MQPS float64 // Lookups / Elapsed, in millions/s
 
-	P50, P99 time.Duration // lookup latency percentiles
+	P50, P95, P99 time.Duration // lookup latency percentiles
+
+	// AllocsPerLookup is the process-wide heap allocation count over the
+	// measured span divided by the lookups served — the serving path's
+	// steady state should hold this near zero (pooled batches, pooled
+	// scratch, grow-once sorted staging).
+	AllocsPerLookup float64
+
+	// Folded counts duplicate keys folded into an already-occupied batch
+	// slot by sorted flushes; NodeProbes/ProbesSaved are the
+	// shared-descent kernel's accounting summed over the run (all three
+	// zero on the unsorted baseline).
+	Folded      int64
+	NodeProbes  int64
+	ProbesSaved int64
 
 	// DuringWriteP50/P99 are percentiles over lookups issued while a
 	// write (update batch or rebuild) was executing — the reader-stall
@@ -155,11 +176,16 @@ type WallResult struct {
 }
 
 func (r WallResult) String() string {
-	s := fmt.Sprintf("%.2f MQPS (%d lookups, %d updates in %v), p50 %v p99 %v, during-write p50 %v p99 %v (%d samples over %v of writes), %d batches, %d swaps",
+	s := fmt.Sprintf("%.2f MQPS (%d lookups, %d updates in %v), p50 %v p95 %v p99 %v, during-write p50 %v p99 %v (%d samples over %v of writes), %d batches, %d swaps",
 		r.MQPS, r.Lookups, r.Updates, r.Elapsed.Round(time.Millisecond),
-		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.DuringWriteP50.Round(time.Microsecond), r.DuringWriteP99.Round(time.Microsecond),
 		r.DuringWriteSamples, r.WriteTime.Round(time.Millisecond), r.Batches, r.Swaps)
+	if r.NodeProbes > 0 {
+		s += fmt.Sprintf(", %d folded, probes %d (saved %d, %.1f%%)",
+			r.Folded, r.NodeProbes, r.ProbesSaved,
+			100*float64(r.ProbesSaved)/float64(r.NodeProbes+r.ProbesSaved))
+	}
 	if r.Shards > 0 {
 		s += fmt.Sprintf(", %d shards (swaps %v)", r.Shards, r.ShardSwaps)
 	}
@@ -188,6 +214,7 @@ type wallBackend[K keys.Key] interface {
 type wallCoalescer[K keys.Key] interface {
 	Submit(K) <-chan Result[K]
 	Batches() int64
+	Folded() int64
 	Close()
 }
 
@@ -209,16 +236,18 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		return WallResult{}, fmt.Errorf("serve: Rebalance requires a sharded configuration (Shards > 1)")
 	}
 
-	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed}
+	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed, Unsorted: opt.Unsorted}
 	var backend wallBackend[K]
 	var co wallCoalescer[K]
 	var sharded *ShardedServer[K]
+	var metricsFn func() Metrics
 	if opt.Shards > 1 {
 		s, err := BuildSharded(pairs, treeOpt, opt.Shards)
 		if err != nil {
 			return WallResult{}, err
 		}
 		backend, sharded = s, s
+		metricsFn = s.Metrics
 		co = s.Coalesce(coOpt)
 		if opt.Rebalance != nil {
 			s.StartRebalancer(*opt.Rebalance)
@@ -237,6 +266,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 			srv = NewServer(tree)
 		}
 		backend = srv
+		metricsFn = srv.Metrics
 		co = NewCoalescer(srv, coOpt)
 	}
 	defer backend.Close()
@@ -346,6 +376,8 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	var running atomic.Bool
 	running.Store(true)
 	var wg sync.WaitGroup
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for c := 0; c < opt.Clients; c++ {
 		wg.Add(1)
@@ -408,6 +440,8 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	running.Store(false)
 	wg.Wait()
 	elapsed := time.Since(start)
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 	close(pumpDone)
 	pumpWG.Wait()
 	if updateErr != nil {
@@ -428,11 +462,18 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		writeLats = append(writeLats, st.writeLats...)
 	}
 	res.MQPS = float64(res.Lookups) / elapsed.Seconds() / 1e6
-	res.P50, res.P99 = percentiles(lats)
-	res.DuringWriteP50, res.DuringWriteP99 = percentiles(writeLats)
+	res.P50, res.P95, res.P99 = percentiles(lats)
+	res.DuringWriteP50, _, res.DuringWriteP99 = percentiles(writeLats)
 	res.DuringWriteSamples = len(writeLats)
 	res.WriteTime = time.Duration(writeNs)
+	if res.Lookups > 0 {
+		res.AllocsPerLookup = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Lookups)
+	}
 	res.Batches = co.Batches()
+	res.Folded = co.Folded()
+	m := metricsFn()
+	res.NodeProbes = m.NodeProbes
+	res.ProbesSaved = m.ProbesSaved
 	res.Swaps = backend.Swaps()
 	res.Rebuilds = rebuilds
 	if sharded != nil {
@@ -448,12 +489,14 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	return res, nil
 }
 
-// percentiles returns the p50 and p99 of the samples (0 when empty).
-// The slice is sorted in place.
-func percentiles(lats []time.Duration) (p50, p99 time.Duration) {
+// percentiles returns the p50, p95 and p99 of the samples (0 when
+// empty). The slice is sorted in place.
+func percentiles(lats []time.Duration) (p50, p95, p99 time.Duration) {
 	if len(lats) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	slices.Sort(lats)
-	return lats[len(lats)/2], lats[int(float64(len(lats)-1)*0.99)]
+	return lats[len(lats)/2],
+		lats[int(float64(len(lats)-1)*0.95)],
+		lats[int(float64(len(lats)-1)*0.99)]
 }
