@@ -60,6 +60,7 @@ func main() {
 		rebalance  = flag.Bool("rebalance", false, "run the sharded configuration with the online rebalancer armed (-wall; requires -shards > 1)")
 		coalesceB  = flag.Int("coalesce-batch", 0, "coalescer flush size (-wall; 0 = the 1024 default)")
 		unsorted   = flag.Bool("unsorted", false, "serve every -wall configuration through the unsorted flush path (skips the sorted/unsorted A/B pair)")
+		noDelta    = flag.Bool("no-delta-leaves", false, "disable the in-place gapped-leaf update path in every -wall configuration (skips the delta/clone A/B pair)")
 		benchJSON  = flag.String("bench-json", "", "directory to write one machine-readable BENCH_<name>.json per -wall configuration")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -109,6 +110,7 @@ func main() {
 			rebalance:    *rebalance,
 			maxBatch:     *coalesceB,
 			unsorted:     *unsorted,
+			noDelta:      *noDelta,
 			jsonDir:      *benchJSON,
 		}
 		if err := runWall(p); err != nil {
@@ -200,6 +202,7 @@ type wallParams struct {
 	rebalance    bool
 	maxBatch     int
 	unsorted     bool
+	noDelta      bool
 	jsonDir      string
 }
 
@@ -226,6 +229,15 @@ type benchRecord struct {
 	NodeProbes      int64   `json:"node_probes"`
 	ProbesSaved     int64   `json:"probes_saved"`
 	Shards          int     `json:"shards,omitempty"`
+
+	// Write-path accounting (non-zero only with -update-frac > 0).
+	NoDeltaLeaves   bool    `json:"no_delta_leaves,omitempty"`
+	UpdateMQPS      float64 `json:"update_mqps,omitempty"`
+	InPlaceBatches  int64   `json:"in_place_batches,omitempty"`
+	CloneFallbacks  int64   `json:"clone_fallbacks,omitempty"`
+	ClonedNodes     int64   `json:"cloned_nodes,omitempty"`
+	ClonedBytes     int64   `json:"cloned_bytes,omitempty"`
+	DuringWriteP99N int64   `json:"during_write_p99_ns,omitempty"`
 }
 
 // writeBenchJSON writes one configuration's record as
@@ -267,30 +279,37 @@ func runWall(p wallParams) error {
 		locked   bool
 		shards   int
 		unsorted bool
+		noDelta  bool
 	}
 	var cfgs []wallCfg
 	if p.unsorted {
-		cfgs = []wallCfg{{"locked", true, 0, true}, {"fast", false, 0, true}}
+		cfgs = []wallCfg{{"locked", true, 0, true, p.noDelta}, {"fast", false, 0, true, p.noDelta}}
 	} else {
 		// The fast path runs as an A/B pair: identical client mix, only
 		// the flush discipline differs.
-		cfgs = []wallCfg{{"locked", true, 0, false},
-			{"fast-unsorted", false, 0, true}, {"fast", false, 0, false}}
+		cfgs = []wallCfg{{"locked", true, 0, false, p.noDelta},
+			{"fast-unsorted", false, 0, true, p.noDelta}, {"fast", false, 0, false, p.noDelta}}
+	}
+	if p.updateFrac > 0 && !p.noDelta {
+		// The write-path A/B pair: same client mix and leaf layout as
+		// "fast", every batch forced through clone-and-swap.
+		cfgs = append(cfgs, wallCfg{"fast-clone", false, 0, p.unsorted, true})
 	}
 	if p.shards > 1 {
-		cfgs = append(cfgs, wallCfg{"sharded", false, p.shards, p.unsorted})
+		cfgs = append(cfgs, wallCfg{"sharded", false, p.shards, p.unsorted, p.noDelta})
 	}
 	for _, cfg := range cfgs {
 		opt := serve.WallOptions{
-			Clients:      p.clients,
-			Duration:     p.dur,
-			UpdateFrac:   p.updateFrac,
-			UpdateSkew:   p.updateSkew,
-			RebuildEvery: p.rebuildEvery,
-			Locked:       cfg.locked,
-			Shards:       cfg.shards,
-			MaxBatch:     p.maxBatch,
-			Unsorted:     cfg.unsorted,
+			Clients:       p.clients,
+			Duration:      p.dur,
+			UpdateFrac:    p.updateFrac,
+			UpdateSkew:    p.updateSkew,
+			RebuildEvery:  p.rebuildEvery,
+			Locked:        cfg.locked,
+			Shards:        cfg.shards,
+			MaxBatch:      p.maxBatch,
+			Unsorted:      cfg.unsorted,
+			NoDeltaLeaves: cfg.noDelta,
 		}
 		if p.rebalance && cfg.shards > 1 {
 			// Defaults except the poll period: a benchmark-length run
@@ -328,6 +347,13 @@ func runWall(p wallParams) error {
 				NodeProbes:      res.NodeProbes,
 				ProbesSaved:     res.ProbesSaved,
 				Shards:          res.Shards,
+				NoDeltaLeaves:   cfg.noDelta,
+				UpdateMQPS:      res.UpdateMQPS,
+				InPlaceBatches:  res.InPlaceBatches,
+				CloneFallbacks:  res.CloneFallbacks,
+				ClonedNodes:     res.ClonedNodes,
+				ClonedBytes:     res.ClonedBytes,
+				DuringWriteP99N: res.DuringWriteP99.Nanoseconds(),
 			}
 			if err := writeBenchJSON(p.jsonDir, rec); err != nil {
 				return fmt.Errorf("%s: writing bench json: %w", cfg.name, err)

@@ -598,14 +598,15 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		if s.sharded != nil {
 			rebalances = s.sharded.RebalanceStats().Rebalances
 		}
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d\n",
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d inplace=%d clonefb=%d clonednodes=%d clonedbytes=%d\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
 			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime,
 			m.GPUFaults, m.Retries, m.FallbackBatches, m.FallbackQueries,
 			deadlines, shed, m.BreakerTrips, m.BreakerState,
 			s.srv.Epoch(), m.Repairs, rebalances,
-			m.NodeProbes, m.ProbesSaved, folded)
+			m.NodeProbes, m.ProbesSaved, folded,
+			m.InPlaceApplied, m.CloneFallbacks, m.ClonedNodes, m.ClonedBytes)
 	case cmdIs(cmd, "SHARDSTATS"):
 		if s.sharded == nil {
 			io.WriteString(w, "ERR not sharded (-shards > 1)\n")
@@ -775,6 +776,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "dataset seed")
 		once     = flag.Bool("once", false, "serve a single connection and exit (for tests)")
 		variant  = flag.String("variant", "implicit", "tree organisation: implicit | regular (regular enables PUT/DEL)")
+		leafFill = flag.Float64("leaf-fill", 0, "regular-variant leaf occupancy at build, in (0,1]; <1 leaves per-leaf gaps so batched updates can apply in place (0 = full leaves, every batch clones)")
 		coalesce = flag.Bool("coalesce", false, "coalesce concurrent GETs into heterogeneous batch searches")
 		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "max time a GET waits for batch companions")
 		maxBatch = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
@@ -829,6 +831,12 @@ func main() {
 		opt.Variant = hbtree.Regular
 	default:
 		log.Fatalf("hbserve: unknown -variant %q", *variant)
+	}
+	if *leafFill != 0 {
+		if opt.Variant != hbtree.Regular {
+			log.Fatalf("hbserve: -leaf-fill requires -variant regular")
+		}
+		opt.LeafFill = *leafFill
 	}
 
 	cfg := serveConfig{

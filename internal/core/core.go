@@ -186,6 +186,14 @@ type BuildStats struct {
 // Total returns the full construction time.
 func (b BuildStats) Total() vclock.Duration { return b.LSegBuild + b.ISegBuild + b.ISegXfer }
 
+// devShare reference-counts a group of trees sharing one set of
+// device-resident I-segment buffers. ApplyDelta forks join their
+// parent's group instead of re-uploading an identical image; the
+// buffers are freed when the last member releases them.
+type devShare struct {
+	refs atomic.Int32
+}
+
 // Tree is an HB+-tree over K (uint64 or uint32 keys).
 type Tree[K keys.Key] struct {
 	opt Options
@@ -194,10 +202,16 @@ type Tree[K keys.Key] struct {
 	impl *cpubtree.ImplicitTree[K] // set when opt.Variant == Implicit
 	reg  *cpubtree.RegularTree[K]  // set when opt.Variant == Regular
 
-	// Device-resident I-segment replica.
+	// Device-resident I-segment replica. A delta fork (ApplyDelta)
+	// shares these buffers with its ancestors — the inner pools are
+	// byte-identical across an in-place epoch chain, so re-uploading
+	// them would be pure waste — and bufShare refcounts the sharing
+	// group: the buffers are freed when the last tree drops its
+	// reference, and a remirror detaches into a fresh group.
 	isegBuf  *gpusim.Buffer[K] // implicit variant
 	upperBuf *gpusim.Buffer[K] // regular variant
 	lastBuf  *gpusim.Buffer[K]
+	bufShare *devShare
 
 	implDesc gpusim.ImplicitDesc
 	regDesc  gpusim.RegularDesc
@@ -291,18 +305,7 @@ func Build[K keys.Key](pairs []keys.Pair[K], opt Options) (*Tree[K], error) {
 // mirrorISegment (re)creates the device-resident replica of the
 // I-segment, recording the transfer cost.
 func (t *Tree[K]) mirrorISegment() error {
-	if t.isegBuf != nil {
-		t.isegBuf.Free()
-		t.isegBuf = nil
-	}
-	if t.upperBuf != nil {
-		t.upperBuf.Free()
-		t.upperBuf = nil
-	}
-	if t.lastBuf != nil {
-		t.lastBuf.Free()
-		t.lastBuf = nil
-	}
+	t.releaseDeviceBufs()
 	sz := int64(keys.Size[K]())
 	switch t.opt.Variant {
 	case Implicit:
@@ -366,8 +369,37 @@ func (t *Tree[K]) mirrorISegment() error {
 		t.buildStats.ISegBytes = (int64(len(upper)) + int64(len(last))) * sz
 		t.buildStats.LSegBytes = t.reg.Stats().LeafBytes
 	}
+	sh := &devShare{}
+	sh.refs.Store(1)
+	t.bufShare = sh
 	t.replicaStale.Store(false) // a full mirror re-establishes consistency
 	return nil
+}
+
+// releaseDeviceBufs drops this tree's reference to its device-buffer
+// sharing group, freeing the buffers when it was the last holder. The
+// local pointers are always cleared, so the call is idempotent and a
+// later mirror starts from a clean slate.
+func (t *Tree[K]) releaseDeviceBufs() {
+	sh := t.bufShare
+	t.bufShare = nil
+	if sh != nil && sh.refs.Add(-1) > 0 {
+		// Other epoch-chain members still use the buffers.
+		t.isegBuf, t.upperBuf, t.lastBuf = nil, nil, nil
+		return
+	}
+	if t.isegBuf != nil {
+		t.isegBuf.Free()
+		t.isegBuf = nil
+	}
+	if t.upperBuf != nil {
+		t.upperBuf.Free()
+		t.upperBuf = nil
+	}
+	if t.lastBuf != nil {
+		t.lastBuf.Free()
+		t.lastBuf = nil
+	}
 }
 
 // ReplicaStale reports whether the device replica is known to lag the
@@ -421,15 +453,7 @@ func (t *Tree[K]) modelBuildCost() (lseg, iseg vclock.Duration) {
 // search scratch. Close is idempotent.
 func (t *Tree[K]) Close() {
 	t.drainScratch()
-	if t.isegBuf != nil {
-		t.isegBuf.Free()
-	}
-	if t.upperBuf != nil {
-		t.upperBuf.Free()
-	}
-	if t.lastBuf != nil {
-		t.lastBuf.Free()
-	}
+	t.releaseDeviceBufs()
 }
 
 // Options returns the tree's configuration.

@@ -80,6 +80,11 @@ type UpdateStats struct {
 	ISegBuild vclock.Duration
 
 	DirtyNodes int // last-level nodes re-synchronised (regular, sync method)
+
+	// In-place delta accounting (ApplyDelta vs clone-and-swap).
+	InPlace     bool  // batch landed in leaf gaps on a shared-pool fork
+	ClonedNodes int   // inner nodes copied when the clone path ran
+	ClonedBytes int64 // host bytes copied when the clone path ran
 }
 
 // Total returns the end-to-end batch cost.

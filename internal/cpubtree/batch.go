@@ -268,6 +268,7 @@ type MixedResult[K keys.Key] struct {
 // as our previously evaluated lookup methods ... due to the mutex
 // locking and synchronization overhead".
 func (t *RegularTree[K]) MixedBatch(ops []MixedOp[K], threads int) MixedResult[K] {
+	t.ensurePrivate()
 	if threads <= 0 {
 		threads = t.cfg.Threads
 	}

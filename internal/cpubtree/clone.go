@@ -1,5 +1,7 @@
 package cpubtree
 
+import "hbtree/internal/keys"
+
 // Snapshot cloning for the serving layer's RCU-style reader/writer
 // split: a batch update clones the current tree, mutates the clone, and
 // publishes it atomically, so in-flight readers keep traversing the old
@@ -22,7 +24,10 @@ func (t *ImplicitTree[K]) Clone() *ImplicitTree[K] {
 
 // Clone returns a deep copy of the tree. The copy shares no mutable
 // state with the original: updates applied to one are invisible to the
-// other.
+// other. Cloning a tree that carries gapped delta entries (delta.go)
+// compacts them into the base pairs, so a clone is always a plain
+// packed tree ready for structural mutation — this is the
+// clone-fallback entry point of the in-place update path.
 func (t *RegularTree[K]) Clone() *RegularTree[K] {
 	c := *t
 	c.upper = append([]K(nil), t.upper...)
@@ -33,5 +38,20 @@ func (t *RegularTree[K]) Clone() *RegularTree[K] {
 	c.leafMeta = append([]leafMeta(nil), t.leafMeta...)
 	c.freeLast = append([]int32(nil), t.freeLast...)
 	c.freeUpper = append([]int32(nil), t.freeUpper...)
+	c.sharedPools = false
+	c.compactDeltas()
 	return &c
+}
+
+// CloneFootprint reports what one Clone() of this tree copies: the
+// pooled node count (upper + last-level/leaf pairs) and the total bytes
+// of the copied pools — the clone-on-write amplification the in-place
+// delta path avoids.
+func (t *RegularTree[K]) CloneFootprint() (nodes int, bytes int64) {
+	sz := int64(keys.Size[K]())
+	nodes = len(t.upperMeta) + len(t.lastMeta)
+	bytes = (int64(len(t.upper)) + int64(len(t.last)) + int64(len(t.leafData))) * sz
+	bytes += int64(len(t.upperMeta))*8 + int64(len(t.lastMeta))*8 + int64(len(t.leafMeta))*28
+	bytes += (int64(len(t.freeLast)) + int64(len(t.freeUpper))) * 4
+	return nodes, bytes
 }

@@ -54,31 +54,73 @@ func (c *implicitCursor[K]) Next() (keys.Pair[K], bool) {
 	return keys.Pair[K]{}, false
 }
 
-// regularCursor walks the regular tree's big-leaf chain.
+// regularCursor walks the regular tree's big-leaf chain, merging each
+// leaf's delta region (delta.go) into the packed base pairs on the fly
+// so the stream stays sorted with tombstones suppressed.
 type regularCursor[K keys.Key] struct {
 	t    *RegularTree[K]
 	leaf int32
-	pos  int
+	pos  int // next base pair position
+
+	scan     leafScan[K] // merged delta view of scanLeaf
+	di       int         // next delta entry in scan
+	scanLeaf int32       // leaf scan was built for; nilRef when none
 }
 
 // Seek returns a cursor positioned at the first key >= start.
 func (t *RegularTree[K]) Seek(start K) Cursor[K] {
 	b, c := t.SearchToLeaf(start)
 	i, _ := simd.SearchPairsLine(t.leafLine(b, c), start)
-	return &regularCursor[K]{t: t, leaf: b, pos: c*t.ppl + i}
+	cur := &regularCursor[K]{t: t, leaf: b, pos: c*t.ppl + i, scanLeaf: nilRef}
+	if t.leafMeta[b].ndelta > 0 {
+		t.buildLeafScan(b, &cur.scan)
+		cur.scanLeaf = b
+		for cur.di < cur.scan.n && cur.scan.keys[cur.di] < start {
+			cur.di++
+		}
+	}
+	return cur
 }
 
 // Next implements Cursor.
 func (c *regularCursor[K]) Next() (keys.Pair[K], bool) {
+	t := c.t
 	for c.leaf != nilRef {
-		np := int(c.t.leafMeta[c.leaf].npairs)
-		if c.pos < np {
-			data := c.t.leafPairs(c.leaf)
-			p := keys.Pair[K]{Key: data[2*c.pos], Value: data[2*c.pos+1]}
-			c.pos++
-			return p, true
+		m := &t.leafMeta[c.leaf]
+		np := int(m.npairs)
+		if m.ndelta == 0 {
+			if c.pos < np {
+				data := t.leafPairs(c.leaf)
+				p := keys.Pair[K]{Key: data[2*c.pos], Value: data[2*c.pos+1]}
+				c.pos++
+				return p, true
+			}
+		} else {
+			if c.scanLeaf != c.leaf {
+				t.buildLeafScan(c.leaf, &c.scan)
+				c.scanLeaf = c.leaf
+				c.di = 0
+			}
+			data := t.leafPairs(c.leaf)
+			for c.pos < np || c.di < c.scan.n {
+				haveB, haveD := c.pos < np, c.di < c.scan.n
+				if haveD && (!haveB || c.scan.keys[c.di] <= data[2*c.pos]) {
+					if haveB && c.scan.keys[c.di] == data[2*c.pos] {
+						c.pos++
+					}
+					j := c.di
+					c.di++
+					if c.scan.tomb[j] {
+						continue
+					}
+					return keys.Pair[K]{Key: c.scan.keys[j], Value: c.scan.vals[j]}, true
+				}
+				p := keys.Pair[K]{Key: data[2*c.pos], Value: data[2*c.pos+1]}
+				c.pos++
+				return p, true
+			}
 		}
-		c.leaf = c.t.leafMeta[c.leaf].next
+		c.leaf = m.next
 		c.pos = 0
 	}
 	return keys.Pair[K]{}, false

@@ -1,0 +1,381 @@
+package cpubtree
+
+import (
+	"hbtree/internal/keys"
+)
+
+// Gapped delta leaves: the in-place batch-apply path that kills the
+// clone-on-write amplification of the snapshot serving layer. A bulk
+// load with LeafFill < 1 leaves slack pair slots at the tail of every
+// big leaf; this file turns that slack into a per-leaf append-only
+// delta region so a small batch can be applied without copying the
+// tree.
+//
+// Layout. A big leaf's pairs stay packed and sorted in [0, npairs); the
+// delta region starts at the first cache-line boundary past the base
+// pairs (deltaStart) and holds up to deltaCap append-only (key, value)
+// entries, newest last. A delete is an appended entry whose bit in the
+// leafMeta.tomb mask is set — a tombstone shadowing the key below it.
+// Line alignment matters: readers pinned on an older epoch probe base
+// lines with SIMD line loads, and a delta entry sharing a line with
+// base pairs would tear those loads. Line 0 is always base-reserved so
+// an empty leaf's probes never touch delta state. The mask bounds
+// deltaCap at 64 entries.
+//
+// Epoch discipline. ForkDelta produces a view that shares every node
+// pool with its parent and deep-copies only the per-leaf metadata
+// (npairs/ndelta/tomb/nlive — a few int32s per leaf). The fork appends
+// delta entries into leafData slots at indices >= every ancestor's
+// ndelta: addresses no pinned reader of an older epoch ever loads,
+// because each epoch's reads are bounded by its own leafMeta snapshot.
+// A slot is therefore never reused while an epoch that could see it is
+// pinned, and publication through the epoch registry's atomic swap
+// orders the appends before any new-epoch read. Everything structural —
+// splits, merges, base-region shifts — is forbidden on a fork
+// (sharedPools guards panic) and falls back to the clone-and-swap path,
+// whose Clone() first compacts every delta into the base region.
+
+// deltaStart returns the first pair slot of the delta region for a leaf
+// holding np base pairs: the next leaf-line boundary, with line 0
+// always reserved for the base region.
+func (t *RegularTree[K]) deltaStart(np int) int {
+	lines := (np + t.ppl - 1) / t.ppl
+	if lines < 1 {
+		lines = 1
+	}
+	return lines * t.ppl
+}
+
+// deltaCap returns how many delta entries fit behind np base pairs
+// (bounded by the 64-bit tombstone mask).
+func (t *RegularTree[K]) deltaCap(np int) int {
+	c := t.leafCap - t.deltaStart(np)
+	if c > 64 {
+		c = 64
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// DeltaLeaves reports how many big leaves currently carry uncompacted
+// delta entries.
+func (t *RegularTree[K]) DeltaLeaves() int { return t.deltaLeaves }
+
+// Shared reports whether this tree is a delta fork sharing node pools
+// with its ancestors (structural mutation is forbidden on it).
+func (t *RegularTree[K]) Shared() bool { return t.sharedPools }
+
+// ensurePrivate guards every mutation that shifts base pairs or changes
+// tree structure: running one on a fork would corrupt the pools other
+// epochs still read.
+func (t *RegularTree[K]) ensurePrivate() {
+	if t.sharedPools {
+		panic("cpubtree: structural mutation on a delta fork; Clone() first")
+	}
+}
+
+// deltaLookup resolves q against leaf b's delta region, newest entry
+// first (the latest append for a key wins). ok reports whether the key
+// has a delta entry at all; tombstoned reports a delete shadow.
+func (t *RegularTree[K]) deltaLookup(b int32, m *leafMeta, q K) (v K, tombstoned, ok bool) {
+	ds := t.deltaStart(int(m.npairs))
+	data := t.leafPairs(b)
+	for j := int(m.ndelta) - 1; j >= 0; j-- {
+		if data[2*(ds+j)] == q {
+			return data[2*(ds+j)+1], m.tomb&(1<<uint(j)) != 0, true
+		}
+	}
+	return 0, false, false
+}
+
+// Per-op plan actions.
+const (
+	actSkip      uint8 = iota // reserved key; not applied, not counted
+	actInsert                 // append; net live +1
+	actOverwrite              // append shadowing an existing value
+	actDelete                 // append tombstone; net live -1
+	actNotFound               // delete of an absent key; no append
+)
+
+// DeltaPlan is the reusable classification scratch of PlanDelta. A plan
+// is valid for exactly the (tree, ops) pair it was computed from and is
+// consumed by ApplyPlannedDelta on a fork of that tree.
+type DeltaPlan[K keys.Key] struct {
+	leaves []int32 // target leaf per op
+	acts   []uint8 // action per op
+	prev   []int32 // previous pending op on the same leaf (batch-local chain)
+
+	heads map[int32]int32 // leaf -> index of its newest pending op
+
+	dirty    []int32 // distinct leaves the batch appends to
+	applied  int
+	notFound int
+}
+
+// PlanDelta classifies ops against t per target leaf and reports
+// whether the whole batch fits the existing gaps: every touched leaf
+// must absorb its appends within deltaCap and keep at least one live
+// pair. Any violation fails the whole batch (the caller falls back to
+// clone-and-swap); a feasible plan never triggers structural change.
+// The plan only reads t; it does not mutate it.
+func (t *RegularTree[K]) PlanDelta(ops []Op[K], p *DeltaPlan[K]) bool {
+	if cap(p.leaves) < len(ops) {
+		p.leaves = make([]int32, len(ops))
+		p.acts = make([]uint8, len(ops))
+		p.prev = make([]int32, len(ops))
+	}
+	p.leaves = p.leaves[:len(ops)]
+	p.acts = p.acts[:len(ops)]
+	p.prev = p.prev[:len(ops)]
+	if p.heads == nil {
+		p.heads = make(map[int32]int32)
+	} else {
+		clear(p.heads)
+	}
+	p.dirty = p.dirty[:0]
+	p.applied, p.notFound = 0, 0
+
+	// Per-leaf pending-append and live-delta accounting, chained off the
+	// heads map so one pass suffices.
+	type leafAcc struct {
+		pend int32
+		live int32
+	}
+	accs := make(map[int32]*leafAcc, 16)
+
+	maxK := keys.Max[K]()
+	for i, op := range ops {
+		if op.Key == maxK {
+			if op.Delete {
+				p.acts[i] = actNotFound
+				p.notFound++
+			} else {
+				p.acts[i] = actSkip
+			}
+			p.leaves[i] = nilRef
+			p.prev[i] = nilRef
+			continue
+		}
+		b := t.descendUpper(op.Key)
+		p.leaves[i] = b
+
+		// Presence: newest pending append in this batch wins, then the
+		// tree's own delta region, then the packed base.
+		present := false
+		decided := false
+		head, chained := p.heads[b]
+		for j := head; chained && j != nilRef; j = p.prev[j] {
+			if ops[j].Key == op.Key {
+				present = p.acts[j] != actDelete
+				decided = true
+				break
+			}
+		}
+		if !decided {
+			m := &t.leafMeta[b]
+			if m.ndelta > 0 {
+				if _, tomb, ok := t.deltaLookup(b, m, op.Key); ok {
+					present = !tomb
+					decided = true
+				}
+			}
+			if !decided {
+				present = t.contains(b, op.Key)
+			}
+		}
+
+		if op.Delete && !present {
+			p.acts[i] = actNotFound
+			p.prev[i] = nilRef
+			p.notFound++
+			continue
+		}
+
+		acc := accs[b]
+		if acc == nil {
+			acc = &leafAcc{}
+			accs[b] = acc
+			p.dirty = append(p.dirty, b)
+		}
+		m := &t.leafMeta[b]
+		if int(m.ndelta)+int(acc.pend)+1 > t.deltaCap(int(m.npairs)) {
+			return false // gap exhausted: whole batch takes the clone path
+		}
+		switch {
+		case op.Delete:
+			p.acts[i] = actDelete
+			acc.live--
+			if int(m.npairs)+int(m.nlive)+int(acc.live) <= 0 {
+				return false // leaf would empty: structural, clone path
+			}
+		case present:
+			p.acts[i] = actOverwrite
+		default:
+			p.acts[i] = actInsert
+			acc.live++
+		}
+		acc.pend++
+		p.applied++
+		if chained {
+			p.prev[i] = head
+		} else {
+			p.prev[i] = nilRef
+		}
+		p.heads[b] = int32(i)
+	}
+	return true
+}
+
+// ForkDelta returns a view of t that shares every node pool (upper,
+// last, leaf data, free lists) and deep-copies only the per-leaf
+// metadata, so ApplyPlannedDelta can publish new per-leaf slot counts
+// without disturbing readers of t. The fork refuses structural
+// mutation; Clone() it to obtain a private tree.
+func (t *RegularTree[K]) ForkDelta() *RegularTree[K] {
+	c := *t
+	c.leafMeta = append([]leafMeta(nil), t.leafMeta...)
+	c.sharedPools = true
+	return &c
+}
+
+// ApplyPlannedDelta applies a batch classified by PlanDelta to t — a
+// fork of the tree the plan was computed from. Every op appends into
+// its leaf's delta region at slots past the parent's ndelta, so readers
+// of any ancestor epoch keep seeing their exact pre-batch images. The
+// inner pools are untouched: no separator, node or device state
+// changes.
+func (t *RegularTree[K]) ApplyPlannedDelta(ops []Op[K], p *DeltaPlan[K]) BatchResult {
+	var res BatchResult
+	for i, op := range ops {
+		switch p.acts[i] {
+		case actSkip:
+			continue
+		case actNotFound:
+			res.NotFound++
+			continue
+		}
+		b := p.leaves[i]
+		m := &t.leafMeta[b]
+		j := int(m.ndelta)
+		pos := t.deltaStart(int(m.npairs)) + j
+		data := t.leafPairs(b)
+		data[2*pos] = op.Key
+		data[2*pos+1] = op.Value
+		switch p.acts[i] {
+		case actDelete:
+			m.tomb |= 1 << uint(j)
+			m.nlive--
+			t.numPairs--
+		case actInsert:
+			m.nlive++
+			t.numPairs++
+		}
+		if j == 0 {
+			t.deltaLeaves++
+		}
+		m.ndelta = int32(j + 1)
+		res.Applied++
+	}
+	res.DirtyLast = append(res.DirtyLast, p.dirty...)
+	return res
+}
+
+// leafScan is one leaf's delta region deduplicated (newest entry per
+// key wins) and sorted ascending — the merge input for ordered scans
+// and compaction. Tombstoned keys are kept with tomb set so the merge
+// can suppress the shadowed base pair.
+type leafScan[K keys.Key] struct {
+	keys [64]K
+	vals [64]K
+	tomb [64]bool
+	n    int
+}
+
+// buildLeafScan fills s from leaf b's delta region.
+func (t *RegularTree[K]) buildLeafScan(b int32, s *leafScan[K]) {
+	m := &t.leafMeta[b]
+	s.n = 0
+	ds := t.deltaStart(int(m.npairs))
+	data := t.leafPairs(b)
+	for j := int(m.ndelta) - 1; j >= 0; j-- {
+		k := data[2*(ds+j)]
+		dup := false
+		for x := 0; x < s.n; x++ {
+			if s.keys[x] == k {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		s.keys[s.n] = k
+		s.vals[s.n] = data[2*(ds+j)+1]
+		s.tomb[s.n] = m.tomb&(1<<uint(j)) != 0
+		s.n++
+	}
+	for i := 1; i < s.n; i++ {
+		k, v, tb := s.keys[i], s.vals[i], s.tomb[i]
+		j := i - 1
+		for j >= 0 && s.keys[j] > k {
+			s.keys[j+1], s.vals[j+1], s.tomb[j+1] = s.keys[j], s.vals[j], s.tomb[j]
+			j--
+		}
+		s.keys[j+1], s.vals[j+1], s.tomb[j+1] = k, v, tb
+	}
+}
+
+// compactDeltas merges every leaf's delta region into its base pairs.
+// Only called on a private deep copy (from Clone): compaction shifts
+// base pairs and refreshes separators, which a shared fork must never
+// do. A compacted leaf always fits: base + delta <= leafCap by the
+// deltaCap bound, so compaction never splits.
+func (t *RegularTree[K]) compactDeltas() {
+	if t.deltaLeaves == 0 {
+		return
+	}
+	t.ensurePrivate()
+	var s leafScan[K]
+	scratch := make([]K, 0, 2*t.leafCap)
+	maxK := keys.Max[K]()
+	for b := int32(0); int(b) < len(t.leafMeta); b++ {
+		m := &t.leafMeta[b]
+		if m.ndelta == 0 {
+			continue
+		}
+		t.buildLeafScan(b, &s)
+		np := int(m.npairs)
+		ds := t.deltaStart(np)
+		data := t.leafPairs(b)
+		merged := scratch[:0]
+		bi, di := 0, 0
+		for bi < np || di < s.n {
+			haveB, haveD := bi < np, di < s.n
+			if haveD && (!haveB || s.keys[di] <= data[2*bi]) {
+				if haveB && s.keys[di] == data[2*bi] {
+					bi++
+				}
+				if !s.tomb[di] {
+					merged = append(merged, s.keys[di], s.vals[di])
+				}
+				di++
+				continue
+			}
+			merged = append(merged, data[2*bi], data[2*bi+1])
+			bi++
+		}
+		out := len(merged) / 2
+		copy(data, merged)
+		clearTo := ds + int(m.ndelta)
+		for pos := out; pos < clearTo; pos++ {
+			data[2*pos] = maxK
+			data[2*pos+1] = 0
+		}
+		m.npairs = int32(out)
+		m.ndelta, m.tomb, m.nlive = 0, 0, 0
+		t.refreshLastKeys(b)
+	}
+	t.deltaLeaves = 0
+}

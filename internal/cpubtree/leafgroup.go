@@ -19,6 +19,7 @@ import (
 // triggered inside the group are handled locally: the group's keys can
 // only fall into b or the leaves split off from b's range.
 func (t *RegularTree[K]) ApplyOpsToLeaf(b int32, ops []Op[K]) BatchResult {
+	t.ensurePrivate()
 	var res BatchResult
 	maxK := keys.Max[K]()
 

@@ -55,6 +55,13 @@ type RegularTree[K keys.Key] struct {
 
 	headLeaf, tailLeaf int32 // leaf-chain ends for ordered scans
 
+	// sharedPools marks a delta fork (ForkDelta): the node pools belong
+	// to the ancestor chain and structural mutation must panic.
+	// deltaLeaves counts big leaves with uncompacted delta entries;
+	// Clone() compacts and resets it.
+	sharedPools bool
+	deltaLeaves int
+
 	upperSeg, lastSeg, leafSeg mem.Segment
 }
 
@@ -67,11 +74,20 @@ type nodeMeta struct {
 }
 
 // leafMeta is the big leaf's info line: pair count and sibling links for
-// the sorted leaf chain.
+// the sorted leaf chain, plus the gapped-delta state (delta.go): ndelta
+// append-only entries behind the base pairs, a tombstone bitmask over
+// them, and the net live-pair adjustment they carry. The delta fields
+// are per-epoch — ForkDelta deep-copies this slice — which is what lets
+// an in-place batch publish new slot counts while older epochs keep
+// their own.
 type leafMeta struct {
 	npairs int32
 	next   int32
 	prev   int32
+
+	ndelta int32  // delta entries appended behind the base pairs
+	nlive  int32  // net live-pair delta: live(b) = npairs + nlive
+	tomb   uint64 // bit j set: delta entry j is a tombstone
 }
 
 const nilRef = int32(-1)
@@ -371,8 +387,19 @@ func (t *RegularTree[K]) SearchToLeafFrom(q K, height int, nodeIdx int32) (leaf 
 	return idx, t.searchNode(t.last, idx, q)
 }
 
-// SearchLeafLine finishes a lookup within line c of big leaf b.
+// SearchLeafLine finishes a lookup within line c of big leaf b. The
+// leaf's delta region is consulted first — the newest append for a key
+// wins, and a tombstone is a definitive miss — before the base line's
+// SIMD probe.
 func (t *RegularTree[K]) SearchLeafLine(b int32, c int, q K) (K, bool) {
+	if m := &t.leafMeta[b]; m.ndelta > 0 {
+		if v, tomb, ok := t.deltaLookup(b, m, q); ok {
+			if tomb {
+				return 0, false
+			}
+			return v, true
+		}
+	}
 	line := t.leafLine(b, c)
 	i, found := simd.SearchPairsLine(line, q)
 	if !found {
@@ -426,26 +453,59 @@ func (t *RegularTree[K]) LookupInstrumented(q K, h mem.Toucher) (K, bool) {
 }
 
 // RangeQuery returns up to count pairs with key >= start in key order,
-// scanning the packed big leaves through the sibling chain.
+// scanning the packed big leaves through the sibling chain. Leaves
+// carrying delta entries are merged on the fly (delta.go), so the scan
+// stays globally ordered with tombstones suppressed.
 func (t *RegularTree[K]) RangeQuery(start K, count int, out []keys.Pair[K]) []keys.Pair[K] {
 	b, c := t.SearchToLeaf(start)
-	line := t.leafLine(b, c)
-	i, _ := simd.SearchPairsLine(line, start)
+	return t.rangeFrom(b, c, start, count, out)
+}
+
+// rangeFrom is the shared leaf-chain walk of RangeQuery and
+// RangeFromRef, starting at leaf line c of big leaf b.
+func (t *RegularTree[K]) rangeFrom(b int32, c int, start K, count int, out []keys.Pair[K]) []keys.Pair[K] {
+	i, _ := simd.SearchPairsLine(t.leafLine(b, c), start)
 	pos := c*t.ppl + i
-	for len(out) < count {
-		np := int(t.leafMeta[b].npairs)
+	first := true
+	var s leafScan[K]
+	for b != nilRef && len(out) < count {
+		m := &t.leafMeta[b]
+		np := int(m.npairs)
 		data := t.leafPairs(b)
-		for ; pos < np && len(out) < count; pos++ {
-			out = append(out, keys.Pair[K]{Key: data[2*pos], Value: data[2*pos+1]})
+		if m.ndelta == 0 {
+			for ; pos < np && len(out) < count; pos++ {
+				out = append(out, keys.Pair[K]{Key: data[2*pos], Value: data[2*pos+1]})
+			}
+		} else {
+			t.buildLeafScan(b, &s)
+			di := 0
+			if first {
+				for di < s.n && s.keys[di] < start {
+					di++
+				}
+			}
+			for len(out) < count && (pos < np || di < s.n) {
+				haveB, haveD := pos < np, di < s.n
+				if haveD && (!haveB || s.keys[di] <= data[2*pos]) {
+					if haveB && s.keys[di] == data[2*pos] {
+						pos++
+					}
+					if !s.tomb[di] {
+						out = append(out, keys.Pair[K]{Key: s.keys[di], Value: s.vals[di]})
+					}
+					di++
+					continue
+				}
+				out = append(out, keys.Pair[K]{Key: data[2*pos], Value: data[2*pos+1]})
+				pos++
+			}
+			if pos < np || di < s.n {
+				return out // count reached mid-leaf
+			}
 		}
-		if len(out) == count {
-			return out
-		}
-		b = t.leafMeta[b].next
-		if b == nilRef {
-			return out
-		}
+		b = m.next
 		pos = 0
+		first = false
 	}
 	return out
 }
@@ -563,23 +623,5 @@ func (t *RegularTree[K]) RangeFromRef(b int32, c int, start K, count int, out []
 	if b < 0 || int(b) >= len(t.leafMeta) || c < 0 || c >= t.fanout {
 		return out
 	}
-	line := t.leafLine(b, c)
-	i, _ := simd.SearchPairsLine(line, start)
-	pos := c*t.ppl + i
-	for len(out) < count {
-		np := int(t.leafMeta[b].npairs)
-		data := t.leafPairs(b)
-		for ; pos < np && len(out) < count; pos++ {
-			out = append(out, keys.Pair[K]{Key: data[2*pos], Value: data[2*pos+1]})
-		}
-		if len(out) == count {
-			return out
-		}
-		b = t.leafMeta[b].next
-		if b == nilRef {
-			return out
-		}
-		pos = 0
-	}
-	return out
+	return t.rangeFrom(b, c, start, count, out)
 }

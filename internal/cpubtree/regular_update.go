@@ -27,6 +27,7 @@ var ErrSentinelKey = fmt.Errorf("cpubtree: key MAX is reserved as sentinel")
 // inner-node split), which the HB+-tree uses to decide how much of the
 // I-segment must be re-synchronised to the GPU.
 func (t *RegularTree[K]) Insert(k, v K) (structural bool, err error) {
+	t.ensurePrivate()
 	if k == keys.Max[K]() {
 		return false, ErrSentinelKey
 	}
@@ -53,6 +54,7 @@ func (t *RegularTree[K]) Insert(k, v K) (structural bool, err error) {
 // Delete removes k. It reports whether the key was found and whether the
 // removal changed the tree structure (an emptied leaf was unlinked).
 func (t *RegularTree[K]) Delete(k K) (found, structural bool) {
+	t.ensurePrivate()
 	b, c := t.SearchToLeaf(k)
 	found, emptied := t.leafDelete(b, c, k)
 	if !found {
@@ -355,6 +357,7 @@ const lockStripes = 256
 // thread. The result lists every modified last-level node so the caller
 // can re-synchronise the GPU replica.
 func (t *RegularTree[K]) ApplyBatchParallel(ops []Op[K], threads int) BatchResult {
+	t.ensurePrivate()
 	if threads <= 0 {
 		threads = t.cfg.Threads
 	}
@@ -504,6 +507,7 @@ func (t *RegularTree[K]) contains(b int32, k K) bool {
 // ApplyBatchSequential executes a batch with a single thread, the
 // baseline of Figure 13(a).
 func (t *RegularTree[K]) ApplyBatchSequential(ops []Op[K]) BatchResult {
+	t.ensurePrivate()
 	var res BatchResult
 	dirty := make(map[int32]struct{})
 	for _, op := range ops {

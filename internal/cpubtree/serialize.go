@@ -231,6 +231,12 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 // WriteTo serialises the regular tree (node pools, metadata, free lists
 // and the leaf chain); it returns the bytes written.
 func (t *RegularTree[K]) WriteTo(w io.Writer) (int64, error) {
+	if t.deltaLeaves > 0 {
+		// The image format stores packed leaves only: compact the delta
+		// regions on a private copy first. The clone has no deltas, so
+		// this recurses at most once.
+		return t.Clone().WriteTo(w)
+	}
 	cw := &countingWriter{w: w}
 	bw := bufio.NewWriter(cw)
 	if err := writeHeader[K](bw, kindRegular); err != nil {

@@ -89,6 +89,14 @@ type Server[K keys.Key] struct {
 	opt       core.Options
 	pointCost vclock.Duration // modelled cost of one per-request lookup
 
+	// In-place delta updates (DESIGN §10): batches whose footprint fits
+	// the gapped leaves publish a shared-pool fork instead of a deep
+	// clone. deltaOff disables the fast path (the -no-delta-leaves A/B
+	// baseline); plan is writer-owned planning scratch (guarded by wsem)
+	// so steady-state classification allocates nothing.
+	deltaOff bool
+	plan     cpubtree.DeltaPlan[K]
+
 	// Resilience: the circuit breaker over GPU-sim faults and the
 	// bounded-retry policy. The breaker lives here, not on the tree —
 	// snapshot swaps replace trees but error history must survive them.
@@ -114,6 +122,10 @@ type Server[K keys.Key] struct {
 	fbQueries   atomic.Int64 // queries answered by the CPU fallback
 	deadlines   atomic.Int64 // requests failed with ErrDeadlineExceeded
 	repairs     atomic.Int64 // background replica repairs completed
+	inplace     atomic.Int64 // batches applied in place (delta fast path)
+	cloneFB     atomic.Int64 // batches that fell back to clone-and-swap
+	clonedNodes atomic.Int64 // inner nodes copied by the clone path
+	clonedBytes atomic.Int64 // host bytes copied by the clone path
 }
 
 // pin is the registry reference type every snapshot-mode read holds.
@@ -275,6 +287,14 @@ type Metrics struct {
 	BreakerTrips    int64         // closed/half-open -> open transitions
 	BreakerState    breaker.State // current breaker state
 
+	// Write-path amplification accounting (DESIGN §10): batches applied
+	// in place on a gapped-leaf fork vs batches that fell back to the
+	// clone-and-swap path, with the clone path's host copy footprint.
+	InPlaceApplied int64
+	CloneFallbacks int64
+	ClonedNodes    int64
+	ClonedBytes    int64
+
 	// VirtualTime is the accumulated virtual serving time: per-request
 	// lookups charge the modelled serial descent, batches charge their
 	// simulated makespan.
@@ -297,6 +317,10 @@ func (s *Server[K]) Metrics() Metrics {
 		FallbackQueries: s.fbQueries.Load(),
 		Deadlines:       s.deadlines.Load(),
 		Repairs:         s.repairs.Load(),
+		InPlaceApplied:  s.inplace.Load(),
+		CloneFallbacks:  s.cloneFB.Load(),
+		ClonedNodes:     s.clonedNodes.Load(),
+		ClonedBytes:     s.clonedBytes.Load(),
 		BreakerTrips:    s.brk.Counters().Trips,
 		BreakerState:    s.brk.State(),
 		VirtualTime:     vclock.Duration(s.vtimeNs.Load()),
@@ -321,6 +345,10 @@ func (s *Server[K]) ResetMetrics() {
 	s.fbQueries.Store(0)
 	s.deadlines.Store(0)
 	s.repairs.Store(0)
+	s.inplace.Store(0)
+	s.cloneFB.Store(0)
+	s.clonedNodes.Store(0)
+	s.clonedBytes.Store(0)
 }
 
 // VirtualTime returns the accumulated virtual serving time.
@@ -523,7 +551,29 @@ func (s *Server[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method 
 		return core.UpdateStats{}, err
 	}
 	defer s.releaseWriter()
-	clone, err := s.reg.Current(int(s.slot.Load())).Clone()
+	cur := s.reg.Current(int(s.slot.Load()))
+
+	// Fast path: a batch that fits the gapped leaves lands in place on a
+	// shared-pool fork of the current epoch — no deep clone, no device
+	// transfer. Readers pinned to older epochs keep their exact slot
+	// images (the fork only appends to gap slots no published epoch
+	// reads), so publication is the same epoch swap as the clone path.
+	if !s.deltaOff {
+		if fork, stats, ok := cur.ApplyDelta(ops, &s.plan); ok {
+			s.publish(fork)
+			s.inplace.Add(1)
+			s.noteUpdate(len(ops), stats, nil)
+			return stats, nil
+		}
+		if s.opt.Variant == core.Regular {
+			// The batch needed structural work (split/merge or gap
+			// overflow) — the clone path below is the fallback.
+			s.cloneFB.Add(1)
+		}
+	}
+
+	cn, cb := cur.CloneFootprint()
+	clone, err := cur.Clone()
 	if err != nil {
 		return core.UpdateStats{}, err
 	}
@@ -533,10 +583,19 @@ func (s *Server[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method 
 		clone.Close()
 		return stats, err
 	}
+	stats.ClonedNodes, stats.ClonedBytes = cn, cb
+	s.clonedNodes.Add(int64(cn))
+	s.clonedBytes.Add(cb)
 	s.publish(clone)
 	s.noteUpdate(len(ops), stats, err)
 	return stats, nil
 }
+
+// SetDeltaLeaves toggles the in-place gapped-leaf fast path (on by
+// default). Disabled, every batch takes the clone-and-swap path — the
+// A/B baseline the wall benchmark's -no-delta-leaves flag selects. Not
+// concurrency-safe with in-flight updates; set it before serving.
+func (s *Server[K]) SetDeltaLeaves(on bool) { s.deltaOff = !on }
 
 // Rebuild replaces the implicit variant's contents. In snapshot mode
 // the replacement tree is built aside and atomically published; in

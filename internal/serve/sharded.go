@@ -133,7 +133,16 @@ type ShardedServer[K keys.Key] struct {
 	polSet     bool
 	polBrk     breaker.Options
 	polRetry   RetryOptions
+	polDelta   bool // delta-leaves fast path disabled (polMu)
 	forcedOpen atomic.Bool
+
+	// updScratch pools UpdateCtx's per-flush routing scratch (the
+	// per-shard op groups and the job list), so the steady-state update
+	// pump allocates nothing at the dispatch layer. Scratch is returned
+	// to the pool only after every outcome was collected — an abandoned
+	// dispatch leaves its jobs (which alias the scratch's op groups)
+	// running on the pumps.
+	updScratch sync.Pool
 
 	// Rebalancing state (rebalance.go). rbMu serialises the detector
 	// and the manual split/merge entry points.
@@ -367,6 +376,7 @@ func (s *ShardedServer[K]) dispatch(ctx context.Context, build func(m *shardMeta
 	s.pumpMu.RUnlock()
 	var agg core.UpdateStats
 	var firstErr error
+	okJobs, inplaceJobs := 0, 0
 	maxDur := func(a, b vclock.Duration) vclock.Duration {
 		if b > a {
 			return b
@@ -394,11 +404,19 @@ func (s *ShardedServer[K]) dispatch(ctx context.Context, build func(m *shardMeta
 		agg.NotFound += d.stats.NotFound
 		agg.Structural += d.stats.Structural
 		agg.DirtyNodes += d.stats.DirtyNodes
+		agg.ClonedNodes += d.stats.ClonedNodes
+		agg.ClonedBytes += d.stats.ClonedBytes
 		agg.HostTime = maxDur(agg.HostTime, d.stats.HostTime)
 		agg.SyncTime = maxDur(agg.SyncTime, d.stats.SyncTime)
 		agg.LSegBuild = maxDur(agg.LSegBuild, d.stats.LSegBuild)
 		agg.ISegBuild = maxDur(agg.ISegBuild, d.stats.ISegBuild)
+		okJobs++
+		if d.stats.InPlace {
+			inplaceJobs++
+		}
 	}
+	// The aggregate is in-place only when every touched shard was.
+	agg.InPlace = okJobs > 0 && inplaceJobs == okJobs
 	if expired {
 		s.deadlines.Add(1)
 		if firstErr == nil {
@@ -418,24 +436,48 @@ func (s *ShardedServer[K]) Update(ops []cpubtree.Op[K], method core.UpdateMethod
 	return s.UpdateCtx(context.Background(), ops, method)
 }
 
+// updateScratch is the pooled routing scratch of one UpdateCtx flush.
+type updateScratch[K keys.Key] struct {
+	groups [][]cpubtree.Op[K]
+	jobs   []shardJob[K]
+}
+
 // UpdateCtx is Update with a caller deadline over the whole dispatch:
 // pump hand-off, per-shard writer waits, and outcome collection.
 func (s *ShardedServer[K]) UpdateCtx(ctx context.Context, ops []cpubtree.Op[K], method core.UpdateMethod) (core.UpdateStats, error) {
-	return s.dispatch(ctx, func(m *shardMeta[K]) ([]shardJob[K], error) {
-		groups := make([][]cpubtree.Op[K], len(m.subs))
+	sc, _ := s.updScratch.Get().(*updateScratch[K])
+	if sc == nil {
+		sc = &updateScratch[K]{}
+	}
+	stats, err := s.dispatch(ctx, func(m *shardMeta[K]) ([]shardJob[K], error) {
+		if cap(sc.groups) < len(m.subs) {
+			sc.groups = make([][]cpubtree.Op[K], len(m.subs))
+		}
+		groups := sc.groups[:len(m.subs)]
+		for i := range groups {
+			groups[i] = groups[i][:0]
+		}
 		for _, op := range ops {
 			i := m.route(op.Key)
 			groups[i] = append(groups[i], op)
 		}
-		jobs := make([]shardJob[K], 0, len(m.subs))
+		sc.groups = groups
+		jobs := sc.jobs[:0]
 		for i, g := range groups {
 			if len(g) == 0 {
 				continue
 			}
 			jobs = append(jobs, shardJob[K]{sub: m.subs[i], pump: i, ops: g, method: method})
 		}
+		sc.jobs = jobs
 		return jobs, nil
 	})
+	if err == nil {
+		// Error-free means every pump delivered its outcome, so nothing
+		// aliases the scratch any more; abandoned dispatches drop theirs.
+		s.updScratch.Put(sc)
+	}
+	return stats, err
 }
 
 // Rebuild partitions the sorted replacement pairs by the current shard
@@ -658,6 +700,10 @@ func addMetrics(m *Metrics, o Metrics) {
 	m.FallbackQueries += o.FallbackQueries
 	m.Deadlines += o.Deadlines
 	m.Repairs += o.Repairs
+	m.InPlaceApplied += o.InPlaceApplied
+	m.CloneFallbacks += o.CloneFallbacks
+	m.ClonedNodes += o.ClonedNodes
+	m.ClonedBytes += o.ClonedBytes
 	m.BreakerTrips += o.BreakerTrips
 	m.VirtualTime += o.VirtualTime
 }
@@ -711,12 +757,28 @@ func (s *ShardedServer[K]) ForceBreakerOpen(on bool) {
 	}
 }
 
-// applyPolicy stamps the recorded resilience policy and forced-open
-// state onto a shard server created during a rebalance.
+// SetDeltaLeaves toggles the in-place gapped-leaf fast path on every
+// shard server, and records the setting for shards created by later
+// rebalances. Not concurrency-safe with in-flight updates.
+func (s *ShardedServer[K]) SetDeltaLeaves(on bool) {
+	s.polMu.Lock()
+	s.polDelta = !on
+	s.polMu.Unlock()
+	for _, sub := range s.members() {
+		sub.SetDeltaLeaves(on)
+	}
+}
+
+// applyPolicy stamps the recorded resilience policy, delta-leaves
+// setting and forced-open state onto a shard server created during a
+// rebalance.
 func (s *ShardedServer[K]) applyPolicy(sub *Server[K]) {
 	s.polMu.Lock()
 	if s.polSet {
 		sub.SetResilience(s.polBrk, s.polRetry)
+	}
+	if s.polDelta {
+		sub.SetDeltaLeaves(false)
 	}
 	s.polMu.Unlock()
 	if s.forcedOpen.Load() {

@@ -75,6 +75,13 @@ type WallOptions struct {
 	// UpdateBatch is the update pump's batch size (4096 default).
 	UpdateBatch int
 
+	// NoDeltaLeaves disables the in-place gapped-leaf update path, so
+	// every batch takes the clone-and-swap route — the A/B baseline for
+	// measuring what the delta leaves buy in wall-clock terms. Both arms
+	// build with the same leaf fill (see RunWall), so the layout is
+	// identical and only the apply path differs.
+	NoDeltaLeaves bool
+
 	// UpdateSkew, when positive, draws this fraction of the update
 	// operations from the hottest quarter of the key space (the lowest
 	// keys) instead of uniformly — the skewed write stream that
@@ -156,6 +163,18 @@ type WallResult struct {
 	// WriteTime is the total wall time spent inside write spans.
 	WriteTime time.Duration
 
+	// UpdateMQPS is the sustained update throughput: Updates / Elapsed,
+	// in millions/s. The write-path A/B headline number.
+	UpdateMQPS float64
+
+	// Write-path amplification accounting (DESIGN §10): batches the
+	// pump landed in place on gapped-leaf forks vs batches that fell
+	// back to clone-and-swap, and the clone path's host copy footprint.
+	InPlaceBatches int64
+	CloneFallbacks int64
+	ClonedNodes    int64
+	ClonedBytes    int64
+
 	Batches  int64 // coalescer batches flushed
 	Swaps    int64 // snapshot publications (0 for the locked baseline)
 	Rebuilds int64 // full rebuilds executed (RebuildEvery runs)
@@ -181,6 +200,10 @@ func (r WallResult) String() string {
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.DuringWriteP50.Round(time.Microsecond), r.DuringWriteP99.Round(time.Microsecond),
 		r.DuringWriteSamples, r.WriteTime.Round(time.Millisecond), r.Batches, r.Swaps)
+	if r.Updates > 0 {
+		s += fmt.Sprintf(", %.2f update MQPS (%d in-place, %d clone fallbacks, %d nodes / %s cloned)",
+			r.UpdateMQPS, r.InPlaceBatches, r.CloneFallbacks, r.ClonedNodes, fmtBytes(r.ClonedBytes))
+	}
 	if r.NodeProbes > 0 {
 		s += fmt.Sprintf(", %d folded, probes %d (saved %d, %.1f%%)",
 			r.Folded, r.NodeProbes, r.ProbesSaved,
@@ -196,6 +219,19 @@ func (r WallResult) String() string {
 	return s
 }
 
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
 // maxWallSamples caps the per-client latency record so a long run's
 // sample storage stays bounded; throughput counters are exact.
 const maxWallSamples = 1 << 17
@@ -205,6 +241,7 @@ const maxWallSamples = 1 << 17
 type wallBackend[K keys.Key] interface {
 	Update([]cpubtree.Op[K], core.UpdateMethod) (core.UpdateStats, error)
 	Rebuild([]keys.Pair[K]) (core.UpdateStats, error)
+	SetDeltaLeaves(on bool)
 	Swaps() int64
 	Close()
 }
@@ -234,6 +271,13 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	}
 	if opt.Rebalance != nil && opt.Shards <= 1 {
 		return WallResult{}, fmt.Errorf("serve: Rebalance requires a sharded configuration (Shards > 1)")
+	}
+	if opt.UpdateFrac > 0 && treeOpt.LeafFill == 0 {
+		// Write-heavy runs build with leaf slack so batches can land in
+		// place. Applied to BOTH A/B arms (the -no-delta-leaves baseline
+		// included): the layout must be identical for the comparison to
+		// isolate the apply path.
+		treeOpt.LeafFill = 0.875
 	}
 
 	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed, Unsorted: opt.Unsorted}
@@ -269,6 +313,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		metricsFn = srv.Metrics
 		co = NewCoalescer(srv, coOpt)
 	}
+	if opt.NoDeltaLeaves {
+		backend.SetDeltaLeaves(false)
+	}
 	defer backend.Close()
 	defer co.Close()
 
@@ -287,6 +334,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	pumpWG.Add(1)
 	go func() {
 		defer pumpWG.Done()
+		// One backing array for the pump's whole life: flush() truncates
+		// to len 0 and refills in place, so the steady-state pump
+		// allocates nothing per batch.
 		batch := make([]cpubtree.Op[K], 0, opt.UpdateBatch)
 		var stale int
 		flush := func() {
@@ -469,11 +519,16 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	if res.Lookups > 0 {
 		res.AllocsPerLookup = float64(ms1.Mallocs-ms0.Mallocs) / float64(res.Lookups)
 	}
+	res.UpdateMQPS = float64(res.Updates) / elapsed.Seconds() / 1e6
 	res.Batches = co.Batches()
 	res.Folded = co.Folded()
 	m := metricsFn()
 	res.NodeProbes = m.NodeProbes
 	res.ProbesSaved = m.ProbesSaved
+	res.InPlaceBatches = m.InPlaceApplied
+	res.CloneFallbacks = m.CloneFallbacks
+	res.ClonedNodes = m.ClonedNodes
+	res.ClonedBytes = m.ClonedBytes
 	res.Swaps = backend.Swaps()
 	res.Rebuilds = rebuilds
 	if sharded != nil {

@@ -1,0 +1,79 @@
+// Wall-clock acceptance gate for the gapped-delta write path (DESIGN
+// §10): under a sustained 30% update mix, the in-place batch-apply
+// path must not apply fewer updates per second than the clone-only
+// baseline it replaces. Both arms run with the identical gapped
+// layout (LeafFill 0.875 is defaulted by RunWall whenever UpdateFrac
+// is set), so the comparison isolates the apply path — shared-pool
+// forks that land batches in leaf gaps versus clone-and-swap of the
+// whole pool on every flush. The clone arm re-copies every leaf byte
+// per batch; the delta arm copies only per-leaf metadata until gaps
+// fill and a compaction clone runs, so on any host with a spare core
+// for the pump the delta arm's update throughput is a superset of the
+// baseline's. Below 4 CPUs the pump and the clients contend for the
+// same core and the comparison drowns in scheduling noise, so the
+// gate skips there; the byte-identical A/B oracles in
+// internal/serve and internal/cpubtree still run everywhere.
+package hbtree_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hbtree"
+	"hbtree/internal/serve"
+)
+
+func TestWallDeltaLeavesBeatCloneOnlyUpdates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("needs ≥4 CPUs for a stable update-throughput comparison, have %d", runtime.GOMAXPROCS(0))
+	}
+	pairs := hbtree.GeneratePairs[uint64](1<<18, 42)
+	opt := serve.WallOptions{
+		Clients:     8,
+		Duration:    time.Second,
+		UpdateFrac:  0.3,
+		UpdateBatch: 4096,
+	}
+	cloneOpt := opt
+	cloneOpt.NoDeltaLeaves = true
+	clone, err := serve.RunWall(pairs, hbtree.Options{Variant: hbtree.Regular}, cloneOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := serve.RunWall(pairs, hbtree.Options{Variant: hbtree.Regular}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clone-only: %s", clone)
+	t.Logf("delta:      %s", delta)
+
+	// The metrics must prove the two arms took different apply paths.
+	if delta.InPlaceBatches == 0 {
+		t.Errorf("delta arm applied no batch in place: %+v", delta)
+	}
+	if clone.InPlaceBatches != 0 || clone.CloneFallbacks != 0 {
+		t.Errorf("clone-only arm took the delta path: %+v", clone)
+	}
+	if clone.ClonedBytes == 0 {
+		t.Errorf("clone-only arm recorded no clone footprint: %+v", clone)
+	}
+	// Amplification: in-place applies must shed most of the per-batch
+	// byte copying the clone-only baseline pays.
+	if delta.ClonedBytes >= clone.ClonedBytes {
+		t.Errorf("delta arm cloned as much as the baseline: %d vs %d bytes",
+			delta.ClonedBytes, clone.ClonedBytes)
+	}
+	if clone.Updates < 4096 || delta.Updates < 4096 {
+		t.Skipf("host too slow for a meaningful sample (clone %d, delta %d updates)",
+			clone.Updates, delta.Updates)
+	}
+	// The wall-clock gate: sustained update throughput must not regress.
+	if delta.UpdateMQPS < clone.UpdateMQPS {
+		t.Errorf("delta leaves %.3f update MQPS below clone-only baseline %.3f",
+			delta.UpdateMQPS, clone.UpdateMQPS)
+	}
+}
