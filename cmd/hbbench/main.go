@@ -61,6 +61,12 @@ func main() {
 		coalesceB  = flag.Int("coalesce-batch", 0, "coalescer flush size (-wall; 0 = the 1024 default)")
 		unsorted   = flag.Bool("unsorted", false, "serve every -wall configuration through the unsorted flush path (skips the sorted/unsorted A/B pair)")
 		noDelta    = flag.Bool("no-delta-leaves", false, "disable the in-place gapped-leaf update path in every -wall configuration (skips the delta/clone A/B pair)")
+		scenario   = flag.String("wall-scenario", "", "overload scenario instead of the steady -wall mix: flash | diurnal | hot-shift (per-phase latency rows)")
+		targetP99  = flag.Duration("target-p99", 0, "adaptive admission latency target (-wall / -wall-scenario; 0 = static admission)")
+		minPend    = flag.Int("coalesce-min", 0, "adaptive admission window floor (0 = pending/64)")
+		pending    = flag.Int("coalesce-pending", 0, "admission window ceiling (-wall / -wall-scenario; 0 = unbounded / scenario default)")
+		staticAdm  = flag.Bool("static-admission", false, "force the static admission arm (A/B switch: overrides -target-p99 to 0)")
+		flushStall = flag.Duration("flush-stall", 0, "serialized per-flush stall pinning coalescer capacity for reproducible overload runs")
 		benchJSON  = flag.String("bench-json", "", "directory to write one machine-readable BENCH_<name>.json per -wall configuration")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -111,7 +117,16 @@ func main() {
 			maxBatch:     *coalesceB,
 			unsorted:     *unsorted,
 			noDelta:      *noDelta,
+			scenario:     *scenario,
+			targetP99:    *targetP99,
+			minPending:   *minPend,
+			maxPending:   *pending,
+			staticAdm:    *staticAdm,
+			flushStall:   *flushStall,
 			jsonDir:      *benchJSON,
+		}
+		if p.staticAdm {
+			p.targetP99 = 0
 		}
 		if err := runWall(p); err != nil {
 			fmt.Fprintln(os.Stderr, "hbbench:", err)
@@ -203,6 +218,12 @@ type wallParams struct {
 	maxBatch     int
 	unsorted     bool
 	noDelta      bool
+	scenario     string
+	targetP99    time.Duration
+	minPending   int
+	maxPending   int
+	staticAdm    bool
+	flushStall   time.Duration
 	jsonDir      string
 }
 
@@ -238,6 +259,31 @@ type benchRecord struct {
 	ClonedNodes     int64   `json:"cloned_nodes,omitempty"`
 	ClonedBytes     int64   `json:"cloned_bytes,omitempty"`
 	DuringWriteP99N int64   `json:"during_write_p99_ns,omitempty"`
+
+	// Admission-control telemetry (non-zero only with shedding or an
+	// adaptive -target-p99 arm; omitted otherwise so static records are
+	// byte-identical to the pre-adaptive format).
+	Shed        int64   `json:"shed,omitempty"`
+	ShedRate    float64 `json:"shed_rate,omitempty"`
+	AdmitWindow int     `json:"admit_window,omitempty"`
+	TargetP99Ns int64   `json:"target_p99_ns,omitempty"`
+
+	// Scenario runs (-wall-scenario) add the traffic shape, which
+	// admission arm ran, and the per-phase latency rows.
+	Scenario        string        `json:"scenario,omitempty"`
+	StaticAdmission bool          `json:"static_admission,omitempty"`
+	Phases          []phaseRecord `json:"phases,omitempty"`
+}
+
+// phaseRecord is one scenario phase's slice of a benchRecord.
+type phaseRecord struct {
+	Name    string `json:"name"`
+	Lookups int64  `json:"lookups"`
+	Shed    int64  `json:"shed"`
+	Updates int64  `json:"updates"`
+	P50Ns   int64  `json:"p50_ns"`
+	P95Ns   int64  `json:"p95_ns"`
+	P99Ns   int64  `json:"p99_ns"`
 }
 
 // writeBenchJSON writes one configuration's record as
@@ -261,6 +307,9 @@ func writeBenchJSON(dir string, rec benchRecord) error {
 // sharded run. With -bench-json each row is also written as
 // BENCH_<name>.json.
 func runWall(p wallParams) error {
+	if p.scenario != "" {
+		return runScenario(p)
+	}
 	if p.updateFrac > 0 && p.rebuildEvery > 0 {
 		return fmt.Errorf("-update-frac and -rebuild-every are mutually exclusive")
 	}
@@ -310,6 +359,11 @@ func runWall(p wallParams) error {
 			MaxBatch:      p.maxBatch,
 			Unsorted:      cfg.unsorted,
 			NoDeltaLeaves: cfg.noDelta,
+			MaxPending:    p.maxPending,
+			Shed:          p.maxPending > 0 && p.targetP99 == 0 && p.staticAdm,
+			TargetP99:     p.targetP99,
+			MinPending:    p.minPending,
+			FlushStall:    p.flushStall,
 		}
 		if p.rebalance && cfg.shards > 1 {
 			// Defaults except the poll period: a benchmark-length run
@@ -354,6 +408,104 @@ func runWall(p wallParams) error {
 				ClonedNodes:     res.ClonedNodes,
 				ClonedBytes:     res.ClonedBytes,
 				DuringWriteP99N: res.DuringWriteP99.Nanoseconds(),
+				Shed:            res.Shed,
+				ShedRate:        res.ShedRate,
+				AdmitWindow:     res.AdmitWindow,
+				TargetP99Ns:     res.TargetP99.Nanoseconds(),
+				StaticAdmission: p.staticAdm,
+			}
+			if err := writeBenchJSON(p.jsonDir, rec); err != nil {
+				return fmt.Errorf("%s: writing bench json: %w", cfg.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// runScenario drives one overload scenario (-wall-scenario) against the
+// locked baseline, the snapshot fast path and (with -shards > 1) the
+// sharded server, printing per-phase latency rows per configuration.
+// The same command line with -static-admission added replays identical
+// offered traffic through a fixed admission window — the A/B pair the
+// adaptive controller is judged against.
+func runScenario(p wallParams) error {
+	if p.rebuildEvery > 0 {
+		return fmt.Errorf("-rebuild-every does not apply to -wall-scenario")
+	}
+	treeOpt := hbtree.Options{}
+	if p.updateFrac > 0 || p.scenario == serve.ScenarioHotShift {
+		// Hot-shift defaults to a write mix (migration without writes is
+		// just a read skew), and any write mix needs the regular variant.
+		treeOpt.Variant = hbtree.Regular
+	}
+	arm := "adaptive"
+	if p.targetP99 <= 0 {
+		arm = "static"
+	}
+	fmt.Printf("overload scenario %q (%s admission): %d tuples, base clients %d, %s per run, shards %d, target-p99 %v, flush-stall %v, GOMAXPROCS %d\n",
+		p.scenario, arm, p.n, p.clients, p.dur, p.shards, p.targetP99, p.flushStall, runtime.GOMAXPROCS(0))
+	pairs := hbtree.GeneratePairs[uint64](p.n, p.seed)
+	type scenCfg struct {
+		name   string
+		locked bool
+		shards int
+	}
+	cfgs := []scenCfg{{"locked", true, 0}, {"fast", false, 0}}
+	if p.shards > 1 {
+		cfgs = append(cfgs, scenCfg{"sharded", false, p.shards})
+	}
+	for _, cfg := range cfgs {
+		opt := serve.ScenarioOptions{
+			Kind:        p.scenario,
+			BaseClients: p.clients,
+			Duration:    p.dur,
+			Locked:      cfg.locked,
+			Shards:      cfg.shards,
+			MaxBatch:    p.maxBatch,
+			MaxPending:  p.maxPending,
+			MinPending:  p.minPending,
+			TargetP99:   p.targetP99,
+			FlushStall:  p.flushStall,
+			Unsorted:    p.unsorted,
+			UpdateFrac:  p.updateFrac,
+			Seed:        int64(p.seed),
+		}
+		res, err := serve.RunWallScenario(pairs, treeOpt, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		fmt.Printf("  %-8s %s\n", cfg.name, res)
+		if p.jsonDir != "" {
+			rec := benchRecord{
+				Name:            p.scenario + "-" + cfg.name + "-" + arm,
+				Unsorted:        p.unsorted,
+				Tuples:          p.n,
+				Clients:         p.clients,
+				MaxBatch:        p.maxBatch,
+				GOMAXPROCS:      runtime.GOMAXPROCS(0),
+				ElapsedNs:       res.Elapsed.Nanoseconds(),
+				Lookups:         res.Lookups,
+				Updates:         res.Updates,
+				MQPS:            res.MQPS,
+				Batches:         res.Batches,
+				Shards:          cfg.shards,
+				Shed:            res.Shed,
+				ShedRate:        res.ShedRate,
+				AdmitWindow:     res.AdmitFinal,
+				TargetP99Ns:     res.TargetP99.Nanoseconds(),
+				Scenario:        p.scenario,
+				StaticAdmission: p.targetP99 <= 0,
+			}
+			for _, ph := range res.Phases {
+				rec.Phases = append(rec.Phases, phaseRecord{
+					Name:    ph.Name,
+					Lookups: ph.Lookups,
+					Shed:    ph.Shed,
+					Updates: ph.Updates,
+					P50Ns:   ph.P50.Nanoseconds(),
+					P95Ns:   ph.P95.Nanoseconds(),
+					P99Ns:   ph.P99.Nanoseconds(),
+				})
 			}
 			if err := writeBenchJSON(p.jsonDir, rec); err != nil {
 				return fmt.Errorf("%s: writing bench json: %w", cfg.name, err)

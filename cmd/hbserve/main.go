@@ -126,6 +126,10 @@ type coalescer interface {
 	Lookup(uint64) (uint64, bool, error)
 	LookupCtx(context.Context, uint64) (uint64, bool, error)
 	Shed() int64
+	ShedRate() float64
+	AdmitWindow() int
+	TargetP99() time.Duration
+	NoteSpan(time.Duration)
 	Deadlines() int64
 	Folded() int64
 	Close()
@@ -137,11 +141,13 @@ type coalescer interface {
 // shutdown.
 type server struct {
 	srv     backend
-	co      coalescer                     // nil when -coalesce is off
-	sharded *hbtree.ShardedServer[uint64] // non-nil in sharded mode
-	dur     *hbtree.Durable[uint64]       // non-nil with -data-dir; all writes route through it
+	co      coalescer                        // nil when -coalesce is off
+	shco    *hbtree.ShardedCoalescer[uint64] // non-nil when the coalescer is the sharded group (SHARDSTATS view)
+	sharded *hbtree.ShardedServer[uint64]    // non-nil in sharded mode
+	dur     *hbtree.Durable[uint64]          // non-nil with -data-dir; all writes route through it
 
 	deadline      time.Duration // per-request budget for GET/PUT/DEL (0 = none)
+	targetP99     time.Duration // adaptive admission target (0 = static)
 	overloadReply string        // precomputed "ERR OVERLOADED retry-after-ms=<n>\n"
 
 	mu    sync.Mutex
@@ -160,12 +166,14 @@ type serveConfig struct {
 	shed       bool          // fail fast with ERR OVERLOADED instead of blocking
 	unsorted   bool          // flush through the plain (unsorted) batch path
 	deadline   time.Duration // per-request budget for GET/PUT/DEL (0 = none)
+	targetP99  time.Duration // adaptive admission latency target (0 = static)
+	minPending int           // adaptive window floor (0 = maxPending/64)
 }
 
 // newServerShell builds the connection-tracking shell shared by both
 // serving constructors.
 func newServerShell(cfg serveConfig) *server {
-	s := &server{conns: make(map[net.Conn]struct{}), deadline: cfg.deadline}
+	s := &server{conns: make(map[net.Conn]struct{}), deadline: cfg.deadline, targetP99: cfg.targetP99}
 	// A shed request was refused before queueing; the soonest the next
 	// window can have room is one coalescing window away, so that is the
 	// retry hint (floored at 1ms, the practical client-side resolution).
@@ -184,6 +192,8 @@ func coalescerOptions(cfg serveConfig) hbtree.CoalescerOptions {
 		MaxPending: cfg.maxPending,
 		Shed:       cfg.shed,
 		Unsorted:   cfg.unsorted,
+		TargetP99:  cfg.targetP99,
+		MinPending: cfg.minPending,
 	}
 }
 
@@ -201,7 +211,8 @@ func newServer(tree *hbtree.Tree[uint64], cfg serveConfig) (*server, error) {
 		tree.Close()
 		s.srv, s.sharded = sh, sh
 		if cfg.coalesce {
-			s.co = sh.Coalesce(coOpt)
+			s.shco = sh.Coalesce(coOpt)
+			s.co = s.shco
 		}
 		return s, nil
 	}
@@ -224,7 +235,8 @@ func newDurableServer(dur *hbtree.Durable[uint64], cfg serveConfig) *server {
 	if sh := dur.Sharded(); sh != nil {
 		s.srv, s.sharded = sh, sh
 		if cfg.coalesce {
-			s.co = sh.Coalesce(coOpt)
+			s.shco = sh.Coalesce(coOpt)
+			s.co = s.shco
 		}
 		return s
 	}
@@ -589,21 +601,25 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			shards = s.sharded.Shards()
 		}
 		shed, deadlines, folded := int64(0), m.Deadlines, int64(0)
+		shedRate, admitWindow, targetP99 := 0.0, 0, time.Duration(0)
 		if s.co != nil {
 			shed = s.co.Shed()
 			deadlines += s.co.Deadlines()
 			folded = s.co.Folded()
+			shedRate = s.co.ShedRate()
+			admitWindow = s.co.AdmitWindow()
+			targetP99 = s.co.TargetP99()
 		}
 		var rebalances int64
 		if s.sharded != nil {
 			rebalances = s.sharded.RebalanceStats().Rebalances
 		}
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d inplace=%d clonefb=%d clonednodes=%d clonedbytes=%d\n",
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d shed_rate=%.2f admit_window=%d target_p99=%s trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d inplace=%d clonefb=%d clonednodes=%d clonedbytes=%d\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
 			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime,
 			m.GPUFaults, m.Retries, m.FallbackBatches, m.FallbackQueries,
-			deadlines, shed, m.BreakerTrips, m.BreakerState,
+			deadlines, shed, shedRate, admitWindow, targetP99, m.BreakerTrips, m.BreakerState,
 			s.srv.Epoch(), m.Repairs, rebalances,
 			m.NodeProbes, m.ProbesSaved, folded,
 			m.InPlaceApplied, m.CloneFallbacks, m.ClonedNodes, m.ClonedBytes)
@@ -620,10 +636,15 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			if i > 0 {
 				lo = bounds[i-1]
 			}
-			fmt.Fprintf(w, "SHARD %d low=%d pairs=%d height=%d lookups=%d batched=%d updates=%d swaps=%d gpufaults=%d fallbacks=%d trips=%d breaker=%s\n",
+			fmt.Fprintf(w, "SHARD %d low=%d pairs=%d height=%d lookups=%d batched=%d updates=%d swaps=%d gpufaults=%d fallbacks=%d trips=%d breaker=%s",
 				i, lo, stats[i].NumPairs, stats[i].Height,
 				metrics[i].Lookups, metrics[i].BatchedQueries, metrics[i].Updates, metrics[i].Swaps,
 				metrics[i].GPUFaults, metrics[i].FallbackBatches, metrics[i].BreakerTrips, metrics[i].BreakerState)
+			if s.shco != nil {
+				om := s.shco.GroupOverload(i)
+				fmt.Fprintf(w, " shed=%d shed_rate=%.2f admit_window=%d", om.Shed, om.ShedRate, om.AdmitWindow)
+			}
+			io.WriteString(w, "\n")
 		}
 		io.WriteString(w, "END\n")
 	case cmdIs(cmd, "PERSIST"):
@@ -707,6 +728,16 @@ func (s *server) handleRebalance(w io.Writer, fields []string) {
 func (s *server) errReply(err error) string {
 	switch {
 	case errors.Is(err, hbtree.ErrServerOverloaded):
+		if s.targetP99 > 0 {
+			var oe *hbtree.OverloadError
+			if errors.As(err, &oe) {
+				ms := oe.RetryAfter.Milliseconds()
+				if ms < 1 {
+					ms = 1
+				}
+				return fmt.Sprintf("ERR OVERLOADED retry-after-ms=%d\n", ms)
+			}
+		}
 		return s.overloadReply
 	case errors.Is(err, hbtree.ErrDeadlineExceeded):
 		return "ERR DEADLINE\n"
@@ -720,6 +751,13 @@ func (s *server) errReply(err error) string {
 // group-commit fsynced before it is applied, so the OK the client sees
 // survives a crash.
 func (s *server) update(ops []hbtree.Op[uint64]) (hbtree.UpdateStats, error) {
+	// In single-tree mode the adaptive controller only sees lookup flush
+	// spans; feed it update wall time too, so window sizing reflects the
+	// writer's share of capacity. Sharded mode gets pump spans natively.
+	if s.targetP99 > 0 && s.sharded == nil && s.co != nil {
+		t0 := time.Now()
+		defer func() { s.co.NoteSpan(time.Since(t0)) }()
+	}
 	if s.deadline <= 0 {
 		if s.dur != nil {
 			return s.dur.Update(ops, hbtree.Synchronized)
@@ -771,19 +809,21 @@ func parseRange(w io.Writer, fields []string, cmd string) (start uint64, count i
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		n        = flag.Int("n", 1<<20, "tuples to bulk-load")
-		seed     = flag.Uint64("seed", 42, "dataset seed")
-		once     = flag.Bool("once", false, "serve a single connection and exit (for tests)")
-		variant  = flag.String("variant", "implicit", "tree organisation: implicit | regular (regular enables PUT/DEL)")
-		leafFill = flag.Float64("leaf-fill", 0, "regular-variant leaf occupancy at build, in (0,1]; <1 leaves per-leaf gaps so batched updates can apply in place (0 = full leaves, every batch clones)")
-		coalesce = flag.Bool("coalesce", false, "coalesce concurrent GETs into heterogeneous batch searches")
-		window   = flag.Duration("coalesce-window", 100*time.Microsecond, "max time a GET waits for batch companions")
-		maxBatch = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
-		pending  = flag.Int("coalesce-pending", 0, "max in-flight GETs per coalescer window (0 = unbounded)")
-		shed     = flag.Bool("coalesce-shed", false, "past -coalesce-pending, fail GETs with ERR overloaded instead of blocking")
-		unsorted = flag.Bool("unsorted", false, "flush coalesced batches through the plain (unsorted) search path")
-		shards   = flag.Int("shards", 1, "key-space shards, each with its own snapshot pointer and update pump (1 = single tree)")
+		addr      = flag.String("addr", "127.0.0.1:7070", "listen address")
+		n         = flag.Int("n", 1<<20, "tuples to bulk-load")
+		seed      = flag.Uint64("seed", 42, "dataset seed")
+		once      = flag.Bool("once", false, "serve a single connection and exit (for tests)")
+		variant   = flag.String("variant", "implicit", "tree organisation: implicit | regular (regular enables PUT/DEL)")
+		leafFill  = flag.Float64("leaf-fill", 0, "regular-variant leaf occupancy at build, in (0,1]; <1 leaves per-leaf gaps so batched updates can apply in place (0 = full leaves, every batch clones)")
+		coalesce  = flag.Bool("coalesce", false, "coalesce concurrent GETs into heterogeneous batch searches")
+		window    = flag.Duration("coalesce-window", 100*time.Microsecond, "max time a GET waits for batch companions")
+		maxBatch  = flag.Int("coalesce-batch", 0, "coalesced batch size (0 = the tree's bucket size)")
+		pending   = flag.Int("coalesce-pending", 0, "max in-flight GETs per coalescer window (0 = unbounded)")
+		shed      = flag.Bool("coalesce-shed", false, "past -coalesce-pending, fail GETs with ERR overloaded instead of blocking")
+		targetP99 = flag.Duration("target-p99", 0, "adaptive admission: hold coalesced flush latency at this p99 target by resizing the pending window online (0 = static -coalesce-pending)")
+		minPend   = flag.Int("coalesce-min", 0, "adaptive admission window floor (0 = -coalesce-pending/64)")
+		unsorted  = flag.Bool("unsorted", false, "flush coalesced batches through the plain (unsorted) search path")
+		shards    = flag.Int("shards", 1, "key-space shards, each with its own snapshot pointer and update pump (1 = single tree)")
 
 		rebalance   = flag.Bool("rebalance", false, "start the online shard rebalancer: split hot shards / merge cold neighbours as the update stream skews (requires -shards > 1)")
 		rbInterval  = flag.Duration("rebalance-interval", 100*time.Millisecond, "rebalance detector poll period")
@@ -846,6 +886,8 @@ func main() {
 		shards:     *shards,
 		maxPending: *pending,
 		shed:       *shed,
+		targetP99:  *targetP99,
+		minPending: *minPend,
 		unsorted:   *unsorted,
 		deadline:   *deadline,
 	}

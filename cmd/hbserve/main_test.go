@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -737,5 +738,90 @@ func TestRebalanceNotSharded(t *testing.T) {
 	}
 	if got := sendLine(t, conn, r, "EPOCH"); !strings.HasPrefix(got, "EPOCH ") {
 		t.Fatalf("EPOCH unsharded = %q", got)
+	}
+}
+
+// TestAdaptiveRetryHintDynamic: with -target-p99 the adaptive admission
+// path sheds without -coalesce-shed, the OVERLOADED reply carries the
+// controller's computed retry hint, and STATS exposes the overload
+// telemetry (windowed shed rate, live admission window, the target).
+func TestAdaptiveRetryHintDynamic(t *testing.T) {
+	tree, pairs := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{
+		coalesce: true, window: time.Hour, maxBatch: 64, maxPending: 1,
+		targetP99: 20 * time.Millisecond,
+	})
+	dial := startServer(t, s)
+
+	// First GET takes the lone admission slot and parks behind the
+	// hour-long window; it is failed by the shutdown at cleanup.
+	conn1, _ := dial()
+	if _, err := fmt.Fprintf(conn1, "GET %d\n", pairs[0].Key); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	conn2, r2 := dial()
+	got := sendLine(t, conn2, r2, fmt.Sprintf("GET %d", pairs[1].Key))
+	if !strings.HasPrefix(got, "ERR OVERLOADED retry-after-ms=") {
+		t.Fatalf("adaptive shed GET = %q", got)
+	}
+	ms, err := strconv.Atoi(strings.TrimPrefix(got, "ERR OVERLOADED retry-after-ms="))
+	if err != nil || ms < 1 {
+		t.Fatalf("retry hint not a positive integer: %q", got)
+	}
+	stats := sendLine(t, conn2, r2, "STATS")
+	for _, field := range []string{"shed=1", "admit_window=1", "target_p99=20ms"} {
+		if !strings.Contains(stats, field) {
+			t.Fatalf("STATS missing %q: %q", field, stats)
+		}
+	}
+	if strings.Contains(stats, "shed_rate=0.00") || !strings.Contains(stats, "shed_rate=") {
+		t.Fatalf("STATS shed_rate not windowed-positive after shed: %q", stats)
+	}
+}
+
+// TestStatsOverloadFieldsStatic: the overload telemetry fields are
+// present (zeroed) on a plain static server, so dashboards can scrape
+// them unconditionally.
+func TestStatsOverloadFieldsStatic(t *testing.T) {
+	tree, _ := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{})
+	dial := startServer(t, s)
+	conn, r := dial()
+	got := sendLine(t, conn, r, "STATS")
+	for _, field := range []string{"shed_rate=0.00", "admit_window=0", "target_p99=0s"} {
+		if !strings.Contains(got, field) {
+			t.Fatalf("STATS missing %q: %q", field, got)
+		}
+	}
+}
+
+// TestShardStatsOverloadMirror: per-shard SHARDSTATS lines mirror the
+// admission telemetry when the sharded coalescer is serving.
+func TestShardStatsOverloadMirror(t *testing.T) {
+	tree, _ := newTestTree(t, hbtree.Implicit, 13)
+	s := mustServer(t, tree, serveConfig{
+		coalesce: true, window: 100 * time.Microsecond, maxBatch: 64,
+		maxPending: 8, shards: 2, targetP99: 50 * time.Millisecond,
+	})
+	dial := startServer(t, s)
+	conn, r := dial()
+	if _, err := fmt.Fprintln(conn, "SHARDSTATS"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, field := range []string{" shed=0", " shed_rate=0.00", " admit_window=8"} {
+			if !strings.Contains(line, field) {
+				t.Fatalf("SHARDSTATS line %d missing %q: %q", i, field, line)
+			}
+		}
+	}
+	if line, _ := r.ReadString('\n'); strings.TrimSpace(line) != "END" {
+		t.Fatalf("SHARDSTATS terminator = %q", line)
 	}
 }

@@ -81,8 +81,37 @@ type Options struct {
 	// the queue the bound exists to prevent. Zero selects MaxPending/2
 	// (minimum 1); ignored when MaxPending is zero (an unbounded
 	// coalescer has no window to shrink). The full MaxPending window is
-	// restored the moment the backend recovers.
+	// restored the moment the backend recovers. Under adaptive admission
+	// (TargetP99 set) the degraded bound is a clamp on the controller's
+	// window, not a second mechanism: the effective window is
+	// min(adaptive, DegradedPending) while the backend is degraded.
 	DegradedPending int
+
+	// TargetP99, when positive, turns on adaptive admission (DESIGN
+	// §11): a closed-loop controller measures per-flush spans (first
+	// enqueue to result delivery) and resizes each queue's admission
+	// window online — AIMD, clamped to [MinPending, MaxPending] — to
+	// hold this latency target. Adaptive admission always sheds at the
+	// window (fail-fast with a typed OverloadError carrying a
+	// retry-after hint) regardless of Shed: backpressure would hide the
+	// very signal the controller regulates. Zero (the default) keeps
+	// the static MaxPending/Shed behaviour exactly as before. When set
+	// with MaxPending zero, MaxPending defaults to 4096.
+	TargetP99 time.Duration
+
+	// MinPending is the adaptive window's floor: the controller never
+	// shrinks below it, so a transient latency spike cannot collapse
+	// admission entirely. Zero selects MaxPending/64 (minimum 1).
+	// Ignored without TargetP99.
+	MinPending int
+
+	// FlushStall, when positive, sleeps this long under a
+	// coalescer-wide mutex before every flush's backend call — a
+	// serialized stall modelling device occupancy, which gives the
+	// coalescer a deterministic capacity of MaxBatch/FlushStall
+	// requests per second regardless of host speed. Benchmark and test
+	// hook only; zero (the default) is a no-op.
+	FlushStall time.Duration
 }
 
 // Result is the outcome of one coalesced lookup.
@@ -109,6 +138,11 @@ type pending[K keys.Key] struct {
 	// through perm, so no second key array is needed.
 	perm []int32
 	uref []int32
+
+	// t0 is the batch's first-enqueue time, armed only under adaptive
+	// admission: the flush span time.Since(t0) is the latency the
+	// batch's oldest request observed, the controller's input signal.
+	t0 time.Time
 }
 
 // shard is one independent pending queue with its own deadline timer.
@@ -172,6 +206,19 @@ type Coalescer[K keys.Key] struct {
 	shed      atomic.Int64 // requests refused with ErrOverloaded
 	degShed   atomic.Int64 // of those, refused by fault-aware admission
 	deadlines atomic.Int64 // requests abandoned with ErrDeadlineExceeded
+
+	// Adaptive admission state (DESIGN §11). ctl is nil when TargetP99
+	// is unset, which keeps the static admission path untouched.
+	// overload caches the current typed shed error so the shed path
+	// hands out an immutable value instead of allocating per request;
+	// shedRate is the windowed sheds/sec tracker behind ShedRate().
+	ctl      *controller
+	overload atomic.Pointer[OverloadError]
+	shedRate rateTracker
+
+	// stallMu serializes Options.FlushStall sleeps across all shards so
+	// the stall models one shared device, not one per queue.
+	stallMu sync.Mutex
 }
 
 // NewCoalescer starts a coalescer over a backend — a Server or a
@@ -186,6 +233,21 @@ func NewCoalescer[K keys.Key](be Backend[K], opt Options) *Coalescer[K] {
 	}
 	if opt.Shards <= 0 {
 		opt.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opt.TargetP99 > 0 {
+		// Adaptive admission needs a bounded window to resize.
+		if opt.MaxPending <= 0 {
+			opt.MaxPending = 4096
+		}
+		if opt.MinPending <= 0 {
+			opt.MinPending = opt.MaxPending / 64
+		}
+		if opt.MinPending < 1 {
+			opt.MinPending = 1
+		}
+		if opt.MinPending > opt.MaxPending {
+			opt.MinPending = opt.MaxPending
+		}
 	}
 	if opt.MaxPending > 0 {
 		if opt.DegradedPending <= 0 {
@@ -202,6 +264,17 @@ func NewCoalescer[K keys.Key](be Backend[K], opt Options) *Coalescer[K] {
 		shards:     make([]shard[K], opt.Shards),
 		done:       make(chan struct{}),
 	}
+	if opt.TargetP99 > 0 {
+		c.ctl = newController(opt)
+	}
+	// The cached shed error: static coalescers hint one coalescing
+	// window (the pre-adaptive retry advice); adaptive steps refresh it
+	// with the live drain estimate.
+	ra := opt.Window
+	if ra < time.Millisecond {
+		ra = time.Millisecond
+	}
+	c.overload.Store(&OverloadError{RetryAfter: ra})
 	c.batchPool.New = func() any {
 		p := &pending[K]{
 			keys:    make([]K, 0, opt.MaxBatch),
@@ -234,6 +307,7 @@ func (c *Coalescer[K]) getBatch() *pending[K] {
 	p := c.batchPool.Get().(*pending[K])
 	p.keys = p.keys[:0]
 	p.replies = p.replies[:0]
+	p.t0 = time.Time{}
 	return p
 }
 
@@ -303,7 +377,39 @@ func (c *Coalescer[K]) submit(key K, reply chan Result[K]) error {
 // channel makes the extra select case free for undeadlined callers).
 func (c *Coalescer[K]) submitCtx(ctx context.Context, key K, reply chan Result[K]) error {
 	sh := &c.shards[c.next.Add(1)%uint64(len(c.shards))]
-	if sh.slots != nil {
+	if sh.slots != nil && c.ctl != nil {
+		// Adaptive admission: the effective window is the controller's
+		// live value, clamped to DegradedPending while the backend is
+		// degraded (the breaker path composes as a clamp on the same
+		// window, not a second mechanism). Past the window the request
+		// always fails fast with the cached typed error — backpressure
+		// would hide the latency signal the controller regulates. The
+		// length check is soft (a racing submitter can land one past
+		// it), but the token channel's MaxPending capacity stays the
+		// hard cap.
+		w := int(c.ctl.window.Load())
+		eff := w
+		clamped := false
+		if eff > c.degPending && len(sh.slots) >= c.degPending && c.be.Degraded() {
+			eff = c.degPending
+			clamped = true
+		}
+		if n := len(sh.slots); n >= eff {
+			c.shed.Add(1)
+			if clamped && n < w {
+				c.degShed.Add(1)
+			}
+			c.noteShed()
+			return c.overloadErr()
+		}
+		select {
+		case sh.slots <- struct{}{}:
+		default:
+			c.shed.Add(1)
+			c.noteShed()
+			return c.overloadErr()
+		}
+	} else if sh.slots != nil {
 		// Fault-aware admission: while the backend is degraded, the
 		// effective window shrinks to DegradedPending and the excess
 		// fails fast — even in backpressure mode, since queueing against
@@ -313,7 +419,8 @@ func (c *Coalescer[K]) submitCtx(ctx context.Context, key K, reply chan Result[K
 		if len(sh.slots) >= c.degPending && c.be.Degraded() {
 			c.shed.Add(1)
 			c.degShed.Add(1)
-			return ErrOverloaded
+			c.noteShed()
+			return c.overloadErr()
 		}
 		// Admission: take a window token before the shard lock so a
 		// blocked submitter never holds the lock the flusher needs.
@@ -322,7 +429,8 @@ func (c *Coalescer[K]) submitCtx(ctx context.Context, key K, reply chan Result[K
 			case sh.slots <- struct{}{}:
 			default:
 				c.shed.Add(1)
-				return ErrOverloaded
+				c.noteShed()
+				return c.overloadErr()
 			}
 		} else {
 			select {
@@ -357,6 +465,9 @@ func (c *Coalescer[K]) submitCtx(ctx context.Context, key K, reply chan Result[K
 		return nil
 	}
 	if len(p.keys) == 1 {
+		if c.ctl != nil {
+			p.t0 = time.Now()
+		}
 		sh.timer.Reset(c.opt.Window)
 	}
 	sh.mu.Unlock()
@@ -399,6 +510,15 @@ func (c *Coalescer[K]) flusher(sh *shard[K]) {
 // that submitted that key.
 func (c *Coalescer[K]) flush(sh *shard[K], p *pending[K]) {
 	n := len(p.keys)
+	t0 := p.t0
+	if c.opt.FlushStall > 0 {
+		// The serialized stall models device occupancy: one flush at a
+		// time holds the "device" for FlushStall, so the coalescer's
+		// capacity is exactly MaxBatch/FlushStall regardless of host.
+		c.stallMu.Lock()
+		time.Sleep(c.opt.FlushStall)
+		c.stallMu.Unlock()
+	}
 	values, found := p.values[:n], p.found[:n]
 	if c.opt.Unsorted {
 		_, err := c.be.LookupBatchInto(p.keys, values, found)
@@ -413,6 +533,7 @@ func (c *Coalescer[K]) flush(sh *shard[K], p *pending[K]) {
 		c.queries.Add(int64(n))
 		c.releaseSlots(sh, n)
 		c.batchPool.Put(p)
+		c.noteFlushSpan(t0)
 		return
 	}
 
@@ -449,15 +570,20 @@ func (c *Coalescer[K]) flush(sh *shard[K], p *pending[K]) {
 	c.folded.Add(int64(n - u))
 	c.releaseSlots(sh, n)
 	c.batchPool.Put(p)
+	c.noteFlushSpan(t0)
 }
 
-// fail delivers err to every caller in the batch and recycles it.
+// fail delivers err to every caller in the batch and recycles it. The
+// span still feeds the controller: a failed flush occupied the pipeline
+// just the same.
 func (c *Coalescer[K]) fail(sh *shard[K], p *pending[K], err error) {
+	t0 := p.t0
 	for _, reply := range p.replies {
 		reply <- Result[K]{Err: err}
 	}
 	c.releaseSlots(sh, len(p.replies))
 	c.batchPool.Put(p)
+	c.noteFlushSpan(t0)
 }
 
 // releaseSlots returns n admission tokens to the shard's window once

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hbtree/internal/breaker"
 	"hbtree/internal/core"
@@ -125,6 +126,12 @@ type ShardedServer[K keys.Key] struct {
 	// deadlines counts writes abandoned at the dispatch layer (pump send
 	// or outcome wait); per-shard waits are counted by the sub-servers.
 	deadlines atomic.Int64
+
+	// spanSink, when armed, receives the wall time of every pump-applied
+	// write job — the write-path latency feed for adaptive admission
+	// (Coalesce wires it to the coalescer controller when TargetP99 is
+	// set). nil costs the pump nothing.
+	spanSink atomic.Pointer[func(time.Duration)]
 
 	// Recorded resilience policy, inherited by shard servers created
 	// during a rebalance (fresh breaker instances — shared ones would
@@ -316,13 +323,33 @@ func (s *ShardedServer[K]) pumpLoop(ch chan shardJob[K]) {
 			continue
 		}
 		var d shardDone
-		if job.rebuild {
+		if sink := s.spanSink.Load(); sink != nil {
+			t0 := time.Now()
+			if job.rebuild {
+				d.stats, d.err = job.sub.RebuildCtx(job.ctx, job.pairs)
+			} else {
+				d.stats, d.err = job.sub.UpdateCtx(job.ctx, job.ops, job.method)
+			}
+			(*sink)(time.Since(t0))
+		} else if job.rebuild {
 			d.stats, d.err = job.sub.RebuildCtx(job.ctx, job.pairs)
 		} else {
 			d.stats, d.err = job.sub.UpdateCtx(job.ctx, job.ops, job.method)
 		}
 		job.done <- d
 	}
+}
+
+// SetSpanSink arms (or, with nil, disarms) the pump span feed: fn
+// receives the wall time of every subsequent pump-applied write job.
+// Used by adaptive admission so write-path cost shifts (delta vs clone
+// lanes, rebuilds) move the read-side window.
+func (s *ShardedServer[K]) SetSpanSink(fn func(time.Duration)) {
+	if fn == nil {
+		s.spanSink.Store(nil)
+		return
+	}
+	s.spanSink.Store(&fn)
 }
 
 // dispatch routes one write batch: build receives the pinned shard
@@ -1042,7 +1069,14 @@ func (s *ShardedServer[K]) Coalesce(opt Options) *ShardedCoalescer[K] {
 	for i := range cos {
 		cos[i] = NewCoalescer[K](be, opt)
 	}
-	return &ShardedCoalescer[K]{s: s, cos: cos}
+	c := &ShardedCoalescer[K]{s: s, cos: cos}
+	if opt.TargetP99 > 0 {
+		// Wire the update pumps' spans into every group's controller:
+		// the device is shared, so a write-path slowdown anywhere is a
+		// latency signal for every shard's read window.
+		s.SetSpanSink(c.NoteSpan)
+	}
+	return c
 }
 
 // group picks the coalescer group for a key: the owning shard under the
@@ -1133,9 +1167,87 @@ func (c *ShardedCoalescer[K]) Deadlines() int64 {
 	return n
 }
 
-// Close closes every shard's coalescer, failing their pending requests
-// with ErrClosed.
+// ShedRate returns the sheds/sec over the last second across all
+// shards.
+func (c *ShardedCoalescer[K]) ShedRate() float64 {
+	var r float64
+	for _, co := range c.cos {
+		r += co.ShedRate()
+	}
+	return r
+}
+
+// AdmitWindow returns the summed per-queue admission windows across all
+// shard groups — the server-wide live admission budget.
+func (c *ShardedCoalescer[K]) AdmitWindow() int {
+	var n int
+	for _, co := range c.cos {
+		n += co.AdmitWindow()
+	}
+	return n
+}
+
+// TargetP99 returns the configured latency target (0 = static
+// admission).
+func (c *ShardedCoalescer[K]) TargetP99() time.Duration {
+	if len(c.cos) == 0 {
+		return 0
+	}
+	return c.cos[0].TargetP99()
+}
+
+// RetryAfter returns the worst (longest) retry hint across the shard
+// groups — the conservative advice for a client that cannot tell which
+// shard shed it.
+func (c *ShardedCoalescer[K]) RetryAfter() time.Duration {
+	var ra time.Duration
+	for _, co := range c.cos {
+		if r := co.RetryAfter(); r > ra {
+			ra = r
+		}
+	}
+	return ra
+}
+
+// NoteSpan feeds an externally measured span into every shard group's
+// admission controller (no-op on static groups).
+func (c *ShardedCoalescer[K]) NoteSpan(d time.Duration) {
+	for _, co := range c.cos {
+		co.NoteSpan(d)
+	}
+}
+
+// OverloadMetrics returns the aggregate admission-control snapshot:
+// counters and rates summed, the window summed, and the worst retry
+// hint.
+func (c *ShardedCoalescer[K]) OverloadMetrics() OverloadMetrics {
+	return OverloadMetrics{
+		Shed:         c.Shed(),
+		DegradedShed: c.DegradedShed(),
+		ShedRate:     c.ShedRate(),
+		AdmitWindow:  c.AdmitWindow(),
+		TargetP99:    c.TargetP99(),
+		RetryAfter:   c.RetryAfter(),
+	}
+}
+
+// GroupOverload returns the admission-control snapshot of one shard's
+// coalescer group (clamped for layouts that grew past the group count
+// after a split). The per-shard view behind SHARDSTATS.
+func (c *ShardedCoalescer[K]) GroupOverload(i int) OverloadMetrics {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.cos) {
+		i = len(c.cos) - 1
+	}
+	return c.cos[i].OverloadMetrics()
+}
+
+// Close unhooks the pump span feed and closes every shard's coalescer,
+// failing their pending requests with ErrClosed.
 func (c *ShardedCoalescer[K]) Close() {
+	c.s.SetSpanSink(nil)
 	for _, co := range c.cos {
 		co.Close()
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -53,6 +54,19 @@ type WallOptions struct {
 	// Options); zero MaxPending leaves the windows unbounded.
 	MaxPending int
 	Shed       bool
+
+	// TargetP99 turns on adaptive admission (Options.TargetP99): the
+	// coalescer resizes its window online to hold this latency target
+	// and sheds the excess with retry hints, which the wall clients
+	// honour by backing off. Zero keeps static admission.
+	TargetP99 time.Duration
+
+	// MinPending is the adaptive window's floor (Options.MinPending).
+	MinPending int
+
+	// FlushStall is the serialized per-flush stall (Options.FlushStall):
+	// a deterministic capacity model for overload experiments.
+	FlushStall time.Duration
 
 	// Unsorted makes coalescer flushes take the plain batch path instead
 	// of the default sorted shared-descent one — the A/B baseline for
@@ -175,6 +189,17 @@ type WallResult struct {
 	ClonedNodes    int64
 	ClonedBytes    int64
 
+	// Overload accounting: requests shed by admission control over the
+	// run, the shed rate at the end of the run, the admission window at
+	// the end of the run (summed across queues on a sharded coalescer),
+	// and the configured latency target (0 = static admission). Shed
+	// requests are not lookups and record no latency sample; wall
+	// clients back off by each shed's retry-after hint.
+	Shed        int64
+	ShedRate    float64
+	AdmitWindow int
+	TargetP99   time.Duration
+
 	Batches  int64 // coalescer batches flushed
 	Swaps    int64 // snapshot publications (0 for the locked baseline)
 	Rebuilds int64 // full rebuilds executed (RebuildEvery runs)
@@ -203,6 +228,10 @@ func (r WallResult) String() string {
 	if r.Updates > 0 {
 		s += fmt.Sprintf(", %.2f update MQPS (%d in-place, %d clone fallbacks, %d nodes / %s cloned)",
 			r.UpdateMQPS, r.InPlaceBatches, r.CloneFallbacks, r.ClonedNodes, fmtBytes(r.ClonedBytes))
+	}
+	if r.Shed > 0 || r.TargetP99 > 0 {
+		s += fmt.Sprintf(", shed %d (%.0f/s, window %d, target %v)",
+			r.Shed, r.ShedRate, r.AdmitWindow, r.TargetP99)
 	}
 	if r.NodeProbes > 0 {
 		s += fmt.Sprintf(", %d folded, probes %d (saved %d, %.1f%%)",
@@ -252,6 +281,10 @@ type wallCoalescer[K keys.Key] interface {
 	Submit(K) <-chan Result[K]
 	Batches() int64
 	Folded() int64
+	Shed() int64
+	ShedRate() float64
+	AdmitWindow() int
+	NoteSpan(time.Duration)
 	Close()
 }
 
@@ -280,7 +313,8 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		treeOpt.LeafFill = 0.875
 	}
 
-	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed, Unsorted: opt.Unsorted}
+	coOpt := Options{MaxBatch: opt.MaxBatch, Window: opt.Window, MaxPending: opt.MaxPending, Shed: opt.Shed, Unsorted: opt.Unsorted,
+		TargetP99: opt.TargetP99, MinPending: opt.MinPending, FlushStall: opt.FlushStall}
 	var backend wallBackend[K]
 	var co wallCoalescer[K]
 	var sharded *ShardedServer[K]
@@ -348,8 +382,12 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 			writing.Store(true)
 			w0 := time.Now()
 			_, err := backend.Update(batch, core.AsyncParallel)
-			writeNs += time.Since(w0).Nanoseconds()
+			wd := time.Since(w0)
+			writeNs += wd.Nanoseconds()
 			writing.Store(false)
+			// Feed the write span into adaptive admission (no-op when
+			// static): a clone-heavy batch shrinks the read window.
+			co.NoteSpan(wd)
 			if err != nil {
 				updateErr = err
 			}
@@ -412,6 +450,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	type clientStats struct {
 		lookups   int64
 		updates   int64
+		shed      int64
 		lats      []time.Duration
 		writeLats []time.Duration
 		err       error
@@ -448,6 +487,18 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 				n--
 				res := <-fl.ch
 				if res.Err != nil {
+					// A shed is an overload signal, not a run failure:
+					// count it and honour the retry-after hint (capped so
+					// one conservative hint cannot idle a client for a
+					// whole phase).
+					if errors.Is(res.Err, ErrOverloaded) {
+						st.shed++
+						var oe *OverloadError
+						if errors.As(res.Err, &oe) && oe.RetryAfter > 0 {
+							time.Sleep(min(oe.RetryAfter, 20*time.Millisecond))
+						}
+						return true
+					}
 					st.err = res.Err
 					return false
 				}
@@ -512,6 +563,10 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		writeLats = append(writeLats, st.writeLats...)
 	}
 	res.MQPS = float64(res.Lookups) / elapsed.Seconds() / 1e6
+	res.Shed = co.Shed()
+	res.ShedRate = co.ShedRate()
+	res.AdmitWindow = co.AdmitWindow()
+	res.TargetP99 = opt.TargetP99
 	res.P50, res.P95, res.P99 = percentiles(lats)
 	res.DuringWriteP50, _, res.DuringWriteP99 = percentiles(writeLats)
 	res.DuringWriteSamples = len(writeLats)

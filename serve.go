@@ -29,12 +29,25 @@ var ErrServerOverloaded = serve.ErrOverloaded
 // server refused the work; the request simply ran out of time.
 var ErrDeadlineExceeded = serve.ErrDeadlineExceeded
 
+// OverloadError is the typed shed error: every ErrServerOverloaded
+// response unwraps to it (errors.As), and it carries the retry-after
+// hint — the estimated admission-window drain time inflated by the
+// current shed rate — that clients should back off by before retrying.
+type OverloadError = serve.OverloadError
+
+// OverloadMetrics is the admission-control view of a coalescer: shed
+// counters, the windowed shed rate, the live admission window, and the
+// adaptive controller's target (zero under static admission).
+type OverloadMetrics = serve.OverloadMetrics
+
 // RetryOptions bounds the GPU-path retry loop a Server runs before a
 // faulted batch degrades to the CPU-only fallback (Server.SetResilience).
 type RetryOptions = serve.RetryOptions
 
 // CoalescerOptions configures Server.Coalesce: the size-or-deadline
-// flush window and the shard count across which submissions spread.
+// flush window, the shard count across which submissions spread, the
+// admission window (MaxPending/Shed), and the adaptive latency-target
+// controller (TargetP99/MinPending) that resizes the window online.
 type CoalescerOptions = serve.Options
 
 // ServerMetrics is a snapshot of a Server's serving counters, including
