@@ -60,6 +60,7 @@ func main() {
 		rebalance  = flag.Bool("rebalance", false, "run the sharded configuration with the online rebalancer armed (-wall; requires -shards > 1)")
 		coalesceB  = flag.Int("coalesce-batch", 0, "coalescer flush size (-wall; 0 = the 1024 default)")
 		unsorted   = flag.Bool("unsorted", false, "serve every -wall configuration through the unsorted flush path (skips the sorted/unsorted A/B pair)")
+		layout     = flag.String("layout", "tuned", "inner-node layout for -wall implicit runs: tuned (cost-model per-level widths) | uniform (classic one line per node)")
 		noDelta    = flag.Bool("no-delta-leaves", false, "disable the in-place gapped-leaf update path in every -wall configuration (skips the delta/clone A/B pair)")
 		scenario   = flag.String("wall-scenario", "", "overload scenario instead of the steady -wall mix: flash | diurnal | hot-shift (per-phase latency rows)")
 		targetP99  = flag.Duration("target-p99", 0, "adaptive admission latency target (-wall / -wall-scenario; 0 = static admission)")
@@ -116,6 +117,7 @@ func main() {
 			rebalance:    *rebalance,
 			maxBatch:     *coalesceB,
 			unsorted:     *unsorted,
+			layout:       *layout,
 			noDelta:      *noDelta,
 			scenario:     *scenario,
 			targetP99:    *targetP99,
@@ -217,6 +219,7 @@ type wallParams struct {
 	rebalance    bool
 	maxBatch     int
 	unsorted     bool
+	layout       string
 	noDelta      bool
 	scenario     string
 	targetP99    time.Duration
@@ -249,6 +252,15 @@ type benchRecord struct {
 	Folded          int64   `json:"folded"`
 	NodeProbes      int64   `json:"node_probes"`
 	ProbesSaved     int64   `json:"probes_saved"`
+
+	// Layout names the inner-node geometry the run was built with
+	// ("uniform" or "tuned"), LevelWidths is the realised per-level
+	// key-slot table (root first), and LineBytes the probe-weighted
+	// device-line traffic (NodeProbes × 64) — the layout A/B gate's
+	// inputs.
+	Layout      string `json:"layout,omitempty"`
+	LevelWidths []int  `json:"level_widths,omitempty"`
+	LineBytes   int64  `json:"line_bytes,omitempty"`
 	Shards          int     `json:"shards,omitempty"`
 
 	// Write-path accounting (non-zero only with -update-frac > 0).
@@ -316,12 +328,15 @@ func runWall(p wallParams) error {
 	if p.rebalance && p.shards <= 1 {
 		return fmt.Errorf("-rebalance requires -shards > 1")
 	}
+	if p.layout != "tuned" && p.layout != "uniform" {
+		return fmt.Errorf("-layout must be tuned or uniform, got %q", p.layout)
+	}
 	treeOpt := hbtree.Options{}
 	if p.updateFrac > 0 {
 		treeOpt.Variant = hbtree.Regular
 	}
-	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, shards %d, coalesce-batch %d, GOMAXPROCS %d\n",
-		p.n, p.clients, p.dur, p.updateFrac, p.rebuildEvery, p.shards, p.maxBatch, runtime.GOMAXPROCS(0))
+	fmt.Printf("wall-clock serving: %d tuples, %d clients, %s per run, update-frac %.2f, rebuild-every %v, shards %d, coalesce-batch %d, layout %s, GOMAXPROCS %d\n",
+		p.n, p.clients, p.dur, p.updateFrac, p.rebuildEvery, p.shards, p.maxBatch, p.layout, runtime.GOMAXPROCS(0))
 	pairs := hbtree.GeneratePairs[uint64](p.n, p.seed)
 	type wallCfg struct {
 		name     string
@@ -358,6 +373,7 @@ func runWall(p wallParams) error {
 			Shards:        cfg.shards,
 			MaxBatch:      p.maxBatch,
 			Unsorted:      cfg.unsorted,
+			UniformLayout: p.layout == "uniform",
 			NoDeltaLeaves: cfg.noDelta,
 			MaxPending:    p.maxPending,
 			Shed:          p.maxPending > 0 && p.targetP99 == 0 && p.staticAdm,
@@ -400,6 +416,9 @@ func runWall(p wallParams) error {
 				Folded:          res.Folded,
 				NodeProbes:      res.NodeProbes,
 				ProbesSaved:     res.ProbesSaved,
+				Layout:          res.Layout,
+				LevelWidths:     res.LevelWidths,
+				LineBytes:       res.LineBytes,
 				Shards:          res.Shards,
 				NoDeltaLeaves:   cfg.noDelta,
 				UpdateMQPS:      res.UpdateMQPS,

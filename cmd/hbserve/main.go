@@ -98,6 +98,22 @@ import (
 // fence; the update path silently skips it, so the protocol rejects it.
 const sentinelKey = ^uint64(0)
 
+// joinInts renders an int slice as a comma-joined STATS field value
+// ("none" when empty, so the key=value grammar never emits spaces).
+func joinInts(xs []int) string {
+	if len(xs) == 0 {
+		return "none"
+	}
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
 // maxCount bounds RANGE/SCAN result sizes.
 const maxCount = 1 << 20
 
@@ -115,6 +131,8 @@ type backend interface {
 	Metrics() hbtree.ServerMetrics
 	DeviceCounters() gpusim.Counters
 	Options() hbtree.Options
+	LevelWidths() []int
+	LayoutAdvice() []int
 	Swaps() int64
 	Epoch() uint64
 	Close()
@@ -614,7 +632,7 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 		if s.sharded != nil {
 			rebalances = s.sharded.RebalanceStats().Rebalances
 		}
-		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d shed_rate=%.2f admit_window=%d target_p99=%s trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d inplace=%d clonefb=%d clonednodes=%d clonedbytes=%d\n",
+		fmt.Fprintf(w, "STATS pairs=%d height=%d iseg=%d lseg=%d h2d=%d d2h=%d kernels=%d lookups=%d batches=%d batched=%d updates=%d swaps=%d shards=%d vtime=%s gpufaults=%d retries=%d fallbacks=%d fbqueries=%d deadlines=%d shed=%d shed_rate=%.2f admit_window=%d target_p99=%s trips=%d breaker=%s epoch=%d repairs=%d rebalances=%d probes=%d saved=%d folded=%d inplace=%d clonefb=%d clonednodes=%d clonedbytes=%d layout=%s widths=%s advice=%s\n",
 			st.NumPairs, st.Height, st.InnerBytes, st.LeafBytes,
 			c.BytesH2D, c.BytesD2H, c.Kernels,
 			m.Lookups, m.Batches, m.BatchedQueries, m.Updates, s.srv.Swaps(), shards, m.VirtualTime,
@@ -622,7 +640,8 @@ func (s *server) handleLine(w io.Writer, line string) (quit bool) {
 			deadlines, shed, shedRate, admitWindow, targetP99, m.BreakerTrips, m.BreakerState,
 			s.srv.Epoch(), m.Repairs, rebalances,
 			m.NodeProbes, m.ProbesSaved, folded,
-			m.InPlaceApplied, m.CloneFallbacks, m.ClonedNodes, m.ClonedBytes)
+			m.InPlaceApplied, m.CloneFallbacks, m.ClonedNodes, m.ClonedBytes,
+			s.srv.Options().Layout, joinInts(s.srv.LevelWidths()), joinInts(s.srv.LayoutAdvice()))
 	case cmdIs(cmd, "SHARDSTATS"):
 		if s.sharded == nil {
 			io.WriteString(w, "ERR not sharded (-shards > 1)\n")
@@ -823,6 +842,7 @@ func main() {
 		targetP99 = flag.Duration("target-p99", 0, "adaptive admission: hold coalesced flush latency at this p99 target by resizing the pending window online (0 = static -coalesce-pending)")
 		minPend   = flag.Int("coalesce-min", 0, "adaptive admission window floor (0 = -coalesce-pending/64)")
 		unsorted  = flag.Bool("unsorted", false, "flush coalesced batches through the plain (unsorted) search path")
+		uniform   = flag.Bool("uniform-layout", false, "build with the classic one-line-per-node geometry instead of the cost-model-tuned per-level layout (tuned is the default for coalesced sorted serving on the implicit variant)")
 		shards    = flag.Int("shards", 1, "key-space shards, each with its own snapshot pointer and update pump (1 = single tree)")
 
 		rebalance   = flag.Bool("rebalance", false, "start the online shard rebalancer: split hot shards / merge cold neighbours as the update stream skews (requires -shards > 1)")
@@ -877,6 +897,13 @@ func main() {
 			log.Fatalf("hbserve: -leaf-fill requires -variant regular")
 		}
 		opt.LeafFill = *leafFill
+	}
+	if opt.Variant == hbtree.Implicit && *coalesce && !*unsorted && !*uniform {
+		// Tuned layouts pay off only when lookups arrive as sorted
+		// shared-descent batches; per-request GETs and unsorted flushes
+		// keep the uniform geometry.
+		opt.Layout = hbtree.LayoutTuned
+		opt.LayoutBatch = *maxBatch
 	}
 
 	cfg := serveConfig{

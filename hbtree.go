@@ -92,6 +92,21 @@ const (
 	SearchHierarchical = simd.Hierarchical
 )
 
+// Layout selects the implicit variant's inner-node geometry engine
+// (Options.Layout).
+type Layout = core.Layout
+
+// Inner-node layouts.
+const (
+	// LayoutUniform is the classic geometry: every inner node is one
+	// cache line / one coalesced device transaction wide.
+	LayoutUniform = core.LayoutUniform
+	// LayoutTuned lets the cost model widen root-side levels into
+	// multi-line nodes sized for the batch quantum (Options.LayoutBatch),
+	// trading amortised root lines for a shorter tree.
+	LayoutTuned = core.LayoutTuned
+)
+
 // UpdateMethod selects how the regular tree keeps the GPU replica of its
 // I-segment synchronised during batch updates (Section 5.6).
 type UpdateMethod = core.UpdateMethod

@@ -46,6 +46,7 @@ import (
 	"hbtree/internal/cpubtree"
 	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
+	"hbtree/internal/model"
 	"hbtree/internal/platform"
 	"hbtree/internal/simd"
 	"hbtree/internal/vclock"
@@ -96,6 +97,27 @@ func (s Strategy) String() string {
 // sweep of Figure 11.
 const DefaultBucketSize = 16 * 1024
 
+// Layout selects the implicit I-segment's per-level node geometry.
+type Layout int
+
+const (
+	// LayoutUniform is the paper's geometry: every inner node is one
+	// cache line wide at every level.
+	LayoutUniform Layout = iota
+
+	// LayoutTuned lets the cost model widen root-side levels into
+	// multi-line nodes where a shared-descent batch probes few distinct
+	// nodes, shortening the tree without adding probe-weighted lines.
+	LayoutTuned
+)
+
+func (l Layout) String() string {
+	if l == LayoutTuned {
+		return "tuned"
+	}
+	return "uniform"
+}
+
 // Options configures an HB+-tree.
 type Options struct {
 	// Machine is the platform model; the zero value selects M1.
@@ -131,6 +153,19 @@ type Options struct {
 
 	// LeafFill is the regular tree's bulk-load fill factor.
 	LeafFill float64
+
+	// Layout selects the implicit I-segment's node geometry.
+	// LayoutUniform (the zero value) keeps the paper's one-line nodes at
+	// every level; LayoutTuned asks internal/model to cost candidate
+	// per-level widths at build and rebuild time and widens the root-side
+	// levels when that strictly reduces the expected probe-weighted line
+	// count of a shared-descent batch. The regular variant ignores it.
+	Layout Layout
+
+	// LayoutBatch is the coalesced batch size the layout tuner optimises
+	// for (the serving layer's flush window); zero selects BucketSize.
+	// Only read when Layout == LayoutTuned.
+	LayoutBatch int
 
 	// Device, when non-nil, places this tree's I-segment replica on an
 	// existing simulated GPU instead of a private one, so several
@@ -286,6 +321,7 @@ func Build[K keys.Key](pairs []keys.Pair[K], opt Options) (*Tree[K], error) {
 		// count and pins the last key to MAX so one warp team covers
 		// both data access and node search (Section 5.2).
 		cfg.Fanout = keys.PerLine[K]()
+		cfg.RootWidths = tunedWidths[K](opt, len(pairs))
 		t.impl, err = cpubtree.BuildImplicit(pairs, cfg)
 	case Regular:
 		t.reg, err = cpubtree.BuildRegular(pairs, cfg)
@@ -300,6 +336,25 @@ func Build[K keys.Key](pairs []keys.Pair[K], opt Options) (*Tree[K], error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// tunedWidths derives the implicit tree's RootWidths policy from the
+// layout option: nil (uniform) unless LayoutTuned is selected, in which
+// case the cost model picks the per-level widths that minimise the
+// expected probe-weighted line count of a shared-descent batch of
+// LayoutBatch (default BucketSize) queries.
+func tunedWidths[K keys.Key](opt Options, numPairs int) []int {
+	if opt.Layout != LayoutTuned {
+		return nil
+	}
+	kpn := keys.PerLine[K]()
+	pairsLine := kpn / 2
+	numLeaves := (numPairs + pairsLine - 1) / pairsLine
+	batch := opt.LayoutBatch
+	if batch <= 0 {
+		batch = opt.BucketSize
+	}
+	return model.TuneWidths(numLeaves, kpn, kpn, batch)
 }
 
 // mirrorISegment (re)creates the device-resident replica of the
@@ -324,12 +379,27 @@ func (t *Tree[K]) mirrorISegment() error {
 		for i, o := range levelOff {
 			off32[i] = int32(o)
 		}
+		// The descriptor always carries the materialised per-level layout
+		// table so kernels never rebuild it on the serving path; for a
+		// uniform tree the table is exactly the scalar-field geometry and
+		// the kernels behave byte-identically to the uniform arithmetic.
+		geom := t.impl.LevelGeometry()
+		levels := make([]gpusim.LevelGeom, len(geom))
+		for i, g := range geom {
+			levels[i] = gpusim.LevelGeom{
+				Off:    int32(g.Slot),
+				Kpn:    int32(g.Kpn),
+				Fanout: int32(g.Fanout),
+				Lines:  int32(g.Kpn / kpn),
+			}
+		}
 		t.implDesc = gpusim.ImplicitDesc{
 			LevelOff:  off32,
 			Kpn:       kpn,
 			Fanout:    fanout,
 			Height:    t.impl.Height(),
 			NumLeaves: t.impl.NumLeafLines(),
+			Levels:    levels,
 		}
 		t.buildStats.ISegXfer = d
 		t.buildStats.ISegBytes = int64(len(inner)) * sz
@@ -637,8 +707,34 @@ func (t *Tree[K]) Describe() string {
 		float64(t.dev.MemUsed())/(1<<20), float64(t.opt.Machine.GPU.MemBytes)/(1<<20))
 	fmt.Fprintf(&b, "  buckets: %d queries, %s strategy, node search: %s\n",
 		t.opt.BucketSize, t.opt.Strategy, t.opt.NodeSearch)
+	if t.impl != nil {
+		fmt.Fprintf(&b, "  layout: %s, level widths: %v\n", t.opt.Layout, t.impl.LevelWidths())
+	}
 	if t.balanced {
 		fmt.Fprintf(&b, "  load balance: D=%d R=%.2f\n", t.lbD, t.lbR)
 	}
 	return b.String()
+}
+
+// LevelWidths returns the implicit tree's per-level node widths in key
+// slots, root first — the concrete layout the tuner (or the uniform
+// default) chose. nil for the regular variant.
+func (t *Tree[K]) LevelWidths() []int {
+	if t.impl == nil {
+		return nil
+	}
+	return t.impl.LevelWidths()
+}
+
+// LayoutAdvice recommends per-level root widths for this tree from an
+// observed per-level probe histogram (SearchStats.LevelProbes semantics,
+// accumulated across batches), screened through the machine's LLC miss
+// profile. nil means the uniform layout is already the right choice.
+func (t *Tree[K]) LayoutAdvice(levelProbes []int64) []int {
+	if t.impl == nil {
+		return nil
+	}
+	kpn := keys.PerLine[K]()
+	return model.LayoutAdvice(levelProbes, t.impl.LevelWidths(),
+		t.impl.NumLeafLines(), kpn, kpn, t.opt.Machine.CPU.LLCBytes)
 }

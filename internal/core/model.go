@@ -54,11 +54,16 @@ func (t *Tree[K]) lookupProfile() (missProfile, float64) {
 	if t.impl != nil {
 		h := t.impl.Height()
 		st := t.impl.Stats()
+		geom := t.impl.LevelGeometry()
 		bytes := make([]int64, h+1)
 		lines := make([]float64, h+1)
 		for d := 0; d < h; d++ {
-			bytes[d] = int64(t.impl.LevelNodes(d)) * keys.LineBytes
-			lines[d] = 1
+			// A tuned level's wide nodes span several lines; each probe
+			// touches all of them. Uniform levels are the historical
+			// one-line-per-node shape.
+			ln := int64(geom[d].Kpn / keys.PerLine[K]())
+			bytes[d] = int64(geom[d].Nodes) * ln * keys.LineBytes
+			lines[d] = float64(ln)
 		}
 		bytes[h] = st.LeafBytes
 		lines[h] = 1
@@ -115,15 +120,18 @@ func (t *Tree[K]) topLevelsProfile(depth float64) (missProfile, float64) {
 		if d > h {
 			d, fr = h, 0
 		}
+		geom := t.impl.LevelGeometry()
 		bytes := make([]int64, 0, d+1)
 		lines := make([]float64, 0, d+1)
 		for lvl := 0; lvl < d; lvl++ {
-			bytes = append(bytes, int64(t.impl.LevelNodes(lvl))*keys.LineBytes)
-			lines = append(lines, 1)
+			ln := int64(geom[lvl].Kpn / keys.PerLine[K]())
+			bytes = append(bytes, int64(geom[lvl].Nodes)*ln*keys.LineBytes)
+			lines = append(lines, float64(ln))
 		}
 		if fr > 0 && d < h {
-			bytes = append(bytes, int64(t.impl.LevelNodes(d))*keys.LineBytes)
-			lines = append(lines, fr)
+			ln := int64(geom[d].Kpn / keys.PerLine[K]())
+			bytes = append(bytes, int64(geom[d].Nodes)*ln*keys.LineBytes)
+			lines = append(lines, fr*float64(ln))
 		}
 		return profileLevels(bytes, lines, llc), depth
 	}
@@ -218,14 +226,14 @@ func (t *Tree[K]) cpuLeafStageDurationShared(u, lines int) vclock.Duration {
 // gpuStageDurationShared models T2 of the shared-descent kernel: the
 // transaction count the sorted kernel actually issued replaces the
 // per-query descent's n*levels*transPerLevel.
-func (t *Tree[K]) gpuStageDurationShared(n, levels int, trans int64) vclock.Duration {
+func (t *Tree[K]) gpuStageDurationShared(n int, levels float64, trans int64) vclock.Duration {
 	if levels <= 0 {
 		return 0
 	}
 	if t.opt.Variant == Regular {
-		return t.dev.KernelDurationShared(n, float64(levels), trans, 3, t.warpThreads())
+		return t.dev.KernelDurationShared(n, levels, trans, 3, t.warpThreads())
 	}
-	return t.dev.KernelDurationShared(n, float64(levels), trans, 1, t.warpThreads())
+	return t.dev.KernelDurationShared(n, levels, trans, 1, t.warpThreads())
 }
 
 // cpuTopStageDuration models the CPU share of the load-balanced search:

@@ -253,7 +253,10 @@ func (t *Tree[K]) runKernel(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[int32], 
 			qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil); err != nil {
 			return 0, err
 		}
-		return t.gpuStageDuration(bn, t.implDesc.Height), nil
+		// Charge the per-query transaction count of the descriptor's
+		// layout: line-levels, not node-levels, so a tuned tree's wide
+		// nodes cost their extra lines. Uniform layouts reduce to Height.
+		return t.gpuStageDurationF(bn, float64(t.implDesc.TransPerQuery(0))), nil
 	default:
 		out := rbuf.Data()
 		if _, err := gpusim.RegularSearchKernel(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,

@@ -303,7 +303,7 @@ func (t *Tree[K]) perQueryTrans() int64 {
 	if t.opt.Variant == Regular {
 		return int64(t.regDesc.Height) * 3
 	}
-	return int64(t.implDesc.Height)
+	return t.implDesc.TransPerQuery(0)
 }
 
 // runKernelSorted executes the shared-descent traversal on the device
@@ -318,7 +318,7 @@ func (t *Tree[K]) runKernelSorted(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[in
 		if err != nil {
 			return 0, 0, err
 		}
-		return trans, t.gpuStageDurationShared(u, t.implDesc.Height, trans), nil
+		return trans, t.gpuStageDurationShared(u, float64(t.implDesc.TransPerQuery(0)), trans), nil
 	default:
 		out := rbuf.Data()
 		trans, err := gpusim.RegularSearchKernelSorted(t.dev, t.upperBuf.Data(), t.lastBuf.Data(), t.regDesc,
@@ -326,7 +326,7 @@ func (t *Tree[K]) runKernelSorted(qbuf *gpusim.Buffer[K], rbuf *gpusim.Buffer[in
 		if err != nil {
 			return 0, 0, err
 		}
-		return trans, t.gpuStageDurationShared(u, t.regDesc.Height, trans), nil
+		return trans, t.gpuStageDurationShared(u, float64(t.regDesc.Height), trans), nil
 	}
 }
 

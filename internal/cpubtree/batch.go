@@ -48,9 +48,10 @@ func (t *ImplicitTree[K]) lookupPipelined(qs []K, vals []K, fnd []bool) {
 		// hardware the next node line is prefetched while the other
 		// group members are processed.
 		for d := 0; d < t.height; d++ {
+			f := t.levelFanout[d]
 			for i := 0; i < n; i++ {
 				j := simd.Search(t.cfg.NodeSearch, t.node(d, node[i]), grp[i])
-				node[i] = node[i]*t.fanout + j
+				node[i] = node[i]*f + j
 			}
 		}
 		for i := 0; i < n; i++ {

@@ -44,6 +44,15 @@ type Config struct {
 	// node geometry).
 	Fanout int
 
+	// RootWidths widens the top levels of the implicit tree, root first:
+	// entry l is the key-slot width (and fanout) of level l, which must
+	// be a multiple of the keys-per-line count (a wide node spans several
+	// cache lines) and at most 64 slots; zero entries and levels past the
+	// slice keep the base Fanout geometry. The policy is stored, not the
+	// concrete heights, so Rebuild re-derives a valid layout at any data
+	// size. The regular tree ignores it.
+	RootWidths []int
+
 	// NodeSearch selects the in-node search kernel.
 	NodeSearch simd.Algorithm
 

@@ -21,21 +21,33 @@ import (
 type ImplicitTree[K keys.Key] struct {
 	cfg Config
 
-	kpn        int // key slots per inner node (one line: 8 or 16)
-	fanout     int // children per inner node
+	kpn        int // base key slots per inner node (one line: 8 or 16)
+	fanout     int // base children per inner node
 	pairsLine  int // key-value pairs per leaf line (4 or 8)
 	numPairs   int
 	numLeaves  int // leaf lines
 	height     int // H: number of inner levels; leaves at height 0
 	levelNodes []int
-	levelOff   []int // offset (in nodes) of each level, root first
+	levelOff   []int // offset (in nodes of the base width) of each level, root first
 
-	inner  []K // all inner nodes, breadth first, kpn keys each
+	// Per-level layout, root first. For a uniform tree every entry
+	// repeats the base kpn/fanout; Config.RootWidths widens the top
+	// levels into multi-line nodes, shortening the tree.
+	levelKpn    []int // key slots per node at each level
+	levelFanout []int // children per node at each level
+	levelSlot   []int // first key slot of each level within inner
+
+	inner  []K // all inner nodes, breadth first, levelKpn[d] keys each
 	leaves []K // leaf lines, interleaved [k0 v0 k1 v1 ...]
 
 	iseg mem.Segment
 	lseg mem.Segment
 }
+
+// maxImplicitWidth caps a level's node width in key slots; it mirrors
+// the GPU kernels' warp-search bound (gpusim.MaxNodeWidth), which
+// cpubtree cannot import without an inverted dependency.
+const maxImplicitWidth = 64
 
 // BuildImplicit bulk-loads an implicit tree from sorted, distinct pairs.
 func BuildImplicit[K keys.Key](pairs []keys.Pair[K], cfg Config) (*ImplicitTree[K], error) {
@@ -47,6 +59,14 @@ func BuildImplicit[K keys.Key](pairs []keys.Pair[K], cfg Config) (*ImplicitTree[
 	}
 	if fanout < 2 || fanout > kpn+1 {
 		return nil, fmt.Errorf("cpubtree: implicit fanout %d out of range [2, %d]", fanout, kpn+1)
+	}
+	for i, w := range cfg.RootWidths {
+		if w == 0 {
+			continue // base geometry for this level
+		}
+		if w < kpn || w%kpn != 0 || w > maxImplicitWidth {
+			return nil, fmt.Errorf("cpubtree: root width %d at level %d must be a multiple of %d in [%d, %d]", w, i, kpn, kpn, maxImplicitWidth)
+		}
 	}
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("cpubtree: empty dataset")
@@ -97,31 +117,66 @@ func (t *ImplicitTree[K]) build(pairs []keys.Pair[K]) {
 		lineMax[l] = maxKeyOf(pairs[start:end])
 	}
 
-	// Inner levels, bottom-up. Level l has ceil(prev/fanout) nodes; the
-	// keys of node i are the subtree maxima of its children, MAX for
-	// absent children. The loop stops at a single root node; a dataset
-	// small enough to fit one leaf line still gets one inner level so
-	// that search code is uniform.
+	// Per-level geometry, root first. The height is the smallest H whose
+	// per-level fanouts multiply to at least the leaf count — for uniform
+	// fanouts this reproduces the classic bottom-up repeated-ceil count
+	// (by ceil(ceil(a/b)/c) = ceil(a/(b*c))), so uniform trees are
+	// byte-identical to the historical layout. A dataset small enough to
+	// fit one leaf line still gets one inner level so that search code is
+	// uniform. Config.RootWidths overrides the top levels' width/fanout.
+	levelGeom := func(l int) (kpn, fanout int) {
+		if l < len(t.cfg.RootWidths) && t.cfg.RootWidths[l] > 0 {
+			w := t.cfg.RootWidths[l]
+			return w, w
+		}
+		return t.kpn, t.fanout
+	}
+	t.height = 1
+	for {
+		cap := 1
+		for l := 0; l < t.height && cap < t.numLeaves; l++ {
+			_, f := levelGeom(l)
+			cap *= f
+		}
+		if cap >= t.numLeaves {
+			break
+		}
+		t.height++
+	}
+	t.levelKpn = make([]int, t.height)
+	t.levelFanout = make([]int, t.height)
+	t.levelNodes = make([]int, t.height)
+	for l := 0; l < t.height; l++ {
+		t.levelKpn[l], t.levelFanout[l] = levelGeom(l)
+	}
+	// Node counts bottom-up: level l packs level l+1 (or the leaves)
+	// fanout-of-l at a time; the height choice guarantees one root node.
+	n := t.numLeaves
+	for l := t.height - 1; l >= 0; l-- {
+		n = (n + t.levelFanout[l] - 1) / t.levelFanout[l]
+		t.levelNodes[l] = n
+	}
+
+	// Inner levels, bottom-up. The keys of node i are the subtree maxima
+	// of its children, MAX for absent children.
 	type level struct {
 		nodes []K
 		maxes []K
 	}
-	var levels []level
+	levels := make([]level, t.height)
 	childMax := lineMax
-	for {
-		n := (len(childMax) + t.fanout - 1) / t.fanout
-		if n < 1 {
-			n = 1
-		}
-		lv := level{nodes: make([]K, n*t.kpn), maxes: make([]K, n)}
+	for l := t.height - 1; l >= 0; l-- {
+		kpn, fanout := t.levelKpn[l], t.levelFanout[l]
+		n := t.levelNodes[l]
+		lv := level{nodes: make([]K, n*kpn), maxes: make([]K, n)}
 		for i := range lv.nodes {
 			lv.nodes[i] = maxK
 		}
 		for i := 0; i < n; i++ {
-			first := i * t.fanout
+			first := i * fanout
 			nch := len(childMax) - first
-			if nch > t.fanout {
-				nch = t.fanout
+			if nch > fanout {
+				nch = fanout
 			}
 			// Slot j holds the separator between children j and j+1 —
 			// the subtree maximum of child j. The last child needs no
@@ -130,38 +185,35 @@ func (t *ImplicitTree[K]) build(pairs []keys.Pair[K]) {
 			// (the paper pins trailing slots, including K_8 of the
 			// fanout-8 HB+ nodes, to the maximum value).
 			for j := 0; j < nch-1; j++ {
-				lv.nodes[i*t.kpn+j] = childMax[first+j]
+				lv.nodes[i*kpn+j] = childMax[first+j]
 			}
 			lv.maxes[i] = childMax[first+nch-1]
 		}
-		levels = append(levels, lv)
+		levels[l] = lv
 		childMax = lv.maxes
-		if n == 1 {
-			break
-		}
 	}
 
 	// Concatenate root-first.
-	t.height = len(levels)
-	t.levelNodes = make([]int, t.height)
 	t.levelOff = make([]int, t.height)
-	total := 0
+	t.levelSlot = make([]int, t.height)
+	totalNodes, totalSlots := 0, 0
 	for d := 0; d < t.height; d++ {
-		lv := levels[t.height-1-d] // root first
-		t.levelOff[d] = total
-		t.levelNodes[d] = len(lv.nodes) / t.kpn
-		total += t.levelNodes[d]
+		t.levelOff[d] = totalNodes
+		t.levelSlot[d] = totalSlots
+		totalNodes += t.levelNodes[d]
+		totalSlots += t.levelNodes[d] * t.levelKpn[d]
 	}
-	t.inner = make([]K, total*t.kpn)
+	t.inner = make([]K, totalSlots)
 	for d := 0; d < t.height; d++ {
-		copy(t.inner[t.levelOff[d]*t.kpn:], levels[t.height-1-d].nodes)
+		copy(t.inner[t.levelSlot[d]:], levels[d].nodes)
 	}
 }
 
-// node returns the key line of node i at level d (root is level 0).
+// node returns the key slots of node i at level d (root is level 0).
 func (t *ImplicitTree[K]) node(d, i int) []K {
-	off := (t.levelOff[d] + i) * t.kpn
-	return t.inner[off : off+t.kpn]
+	kpn := t.levelKpn[d]
+	off := t.levelSlot[d] + i*kpn
+	return t.inner[off : off+kpn]
 }
 
 // leafLine returns leaf line l as interleaved pairs.
@@ -176,7 +228,7 @@ func (t *ImplicitTree[K]) SearchInner(q K) int {
 	idx := 0
 	for d := 0; d < t.height; d++ {
 		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
-		idx = idx*t.fanout + j
+		idx = idx*t.levelFanout[d] + j
 	}
 	if idx >= t.numLeaves {
 		idx = t.numLeaves - 1
@@ -191,7 +243,7 @@ func (t *ImplicitTree[K]) SearchInnerFrom(q K, level, nodeIdx int) int {
 	idx := nodeIdx
 	for d := level; d < t.height; d++ {
 		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
-		idx = idx*t.fanout + j
+		idx = idx*t.levelFanout[d] + j
 	}
 	if idx >= t.numLeaves {
 		idx = t.numLeaves - 1
@@ -221,9 +273,14 @@ func (t *ImplicitTree[K]) LookupInstrumented(q K, h mem.Toucher) (K, bool) {
 	sz := int64(keys.Size[K]())
 	idx := 0
 	for d := 0; d < t.height; d++ {
-		h.Touch(t.iseg.Addr(int64(t.levelOff[d]+idx)*int64(t.kpn)*sz), t.iseg.Kind)
+		// One touch per cache line of the node: wide tuned nodes span
+		// several lines, uniform nodes exactly one.
+		slot := int64(t.levelSlot[d] + idx*t.levelKpn[d])
+		for ln := 0; ln < t.levelKpn[d]; ln += t.kpn {
+			h.Touch(t.iseg.Addr((slot+int64(ln))*sz), t.iseg.Kind)
+		}
 		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
-		idx = idx*t.fanout + j
+		idx = idx*t.levelFanout[d] + j
 	}
 	if idx >= t.numLeaves {
 		idx = t.numLeaves - 1
@@ -296,10 +353,53 @@ func (t *ImplicitTree[K]) NumLeafLines() int { return t.numLeaves }
 func (t *ImplicitTree[K]) LevelNodes(d int) int { return t.levelNodes[d] }
 
 // InnerArray exposes the raw breadth-first I-segment together with the
-// per-level node offsets; the HB+-tree mirrors exactly these bytes into
-// GPU memory (Figure 4).
+// per-level node offsets and the base geometry; the HB+-tree mirrors
+// exactly these bytes into GPU memory (Figure 4). Tuned trees must also
+// consult LevelGeometry — the node offsets alone cannot address levels
+// whose width differs from the base.
 func (t *ImplicitTree[K]) InnerArray() (inner []K, levelOff []int, kpn, fanout int) {
 	return t.inner, t.levelOff, t.kpn, t.fanout
+}
+
+// LevelGeomEntry describes one inner level's node geometry, root first.
+type LevelGeomEntry struct {
+	Nodes  int // node count
+	Kpn    int // key slots per node
+	Fanout int // children per node
+	Slot   int // first key slot of the level within the inner array
+}
+
+// LevelGeometry returns the per-level layout table the device descriptor
+// is built from. The slice is freshly allocated; callers may keep it.
+func (t *ImplicitTree[K]) LevelGeometry() []LevelGeomEntry {
+	g := make([]LevelGeomEntry, t.height)
+	for d := 0; d < t.height; d++ {
+		g[d] = LevelGeomEntry{
+			Nodes:  t.levelNodes[d],
+			Kpn:    t.levelKpn[d],
+			Fanout: t.levelFanout[d],
+			Slot:   t.levelSlot[d],
+		}
+	}
+	return g
+}
+
+// UniformLayout reports whether every level uses the base geometry — the
+// compatibility invariant under which the device descriptor, the
+// serialized image and the transaction accounting are byte-identical to
+// the historical uniform code.
+func (t *ImplicitTree[K]) UniformLayout() bool {
+	for d := 0; d < t.height; d++ {
+		if t.levelKpn[d] != t.kpn || t.levelFanout[d] != t.fanout {
+			return false
+		}
+	}
+	return true
+}
+
+// LevelWidths returns the per-level key-slot widths, root first.
+func (t *ImplicitTree[K]) LevelWidths() []int {
+	return append([]int(nil), t.levelKpn...)
 }
 
 // Segments returns the simulated address ranges of the I- and L-segment.
@@ -319,7 +419,7 @@ func (t *ImplicitTree[K]) WalkToLevel(q K, depth int) int {
 	idx := 0
 	for d := 0; d < depth; d++ {
 		j := simd.Search(t.cfg.NodeSearch, t.node(d, idx), q)
-		idx = idx*t.fanout + j
+		idx = idx*t.levelFanout[d] + j
 	}
 	if depth == t.height && idx >= t.numLeaves {
 		idx = t.numLeaves - 1

@@ -1,0 +1,125 @@
+package cpubtree
+
+import (
+	"bytes"
+	"testing"
+
+	"hbtree/internal/workload"
+)
+
+// TestTunedImplicitRoundTrip: a tuned-layout implicit tree survives
+// WriteTo/ReadImplicit with its full per-level geometry — widths,
+// fanouts, slot offsets — and the RootWidths policy, so a Rebuild of
+// the loaded tree re-derives a tuned layout instead of silently going
+// uniform. Re-serialising the loaded tree must reproduce the image
+// byte for byte.
+func TestTunedImplicitRoundTrip(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 60000, 42)
+	tr, err := BuildImplicit(pairs, Config{Fanout: 8, RootWidths: []int{16, 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UniformLayout() {
+		t.Fatal("RootWidths produced a uniform tree; test is vacuous")
+	}
+	var buf bytes.Buffer
+	written, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", written, buf.Len())
+	}
+	image := append([]byte(nil), buf.Bytes()...)
+
+	// The base fanout is caller policy (core.Load passes it down from
+	// Options); only the per-level width table travels in the image.
+	rt, err := ReadImplicit[uint64](&buf, Config{Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.UniformLayout() {
+		t.Fatal("loaded tree lost its tuned layout")
+	}
+	if rt.Height() != tr.Height() || rt.Stats() != tr.Stats() {
+		t.Fatalf("geometry diverges: %+v vs %+v", rt.Stats(), tr.Stats())
+	}
+	wg, rg := tr.LevelGeometry(), rt.LevelGeometry()
+	if len(wg) != len(rg) {
+		t.Fatalf("level count diverges: %d vs %d", len(wg), len(rg))
+	}
+	for d := range wg {
+		if wg[d] != rg[d] {
+			t.Fatalf("level %d geometry diverges: %+v vs %+v", d, wg[d], rg[d])
+		}
+	}
+	// The reconstructed RootWidths policy must rebuild the same shape.
+	reb, err := BuildImplicit(pairs, rt.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reb.Height() != tr.Height() {
+		t.Fatalf("rebuild from loaded config got height %d, want %d", reb.Height(), tr.Height())
+	}
+	for d, g := range reb.LevelGeometry() {
+		if g != wg[d] {
+			t.Fatalf("rebuild level %d geometry %+v, want %+v", d, g, wg[d])
+		}
+	}
+
+	// Lookups and inner search agree with the original.
+	for i := 0; i < len(pairs); i += 1 + len(pairs)/500 {
+		p := pairs[i]
+		if v, ok := rt.Lookup(p.Key); !ok || v != p.Value {
+			t.Fatalf("loaded tuned tree Lookup(%d) failed", p.Key)
+		}
+		if rt.SearchInner(p.Key) != tr.SearchInner(p.Key) {
+			t.Fatalf("loaded tuned tree SearchInner(%d) diverges", p.Key)
+		}
+	}
+
+	// Round-tripping is idempotent at the byte level.
+	var buf2 bytes.Buffer
+	if _, err := rt.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(image, buf2.Bytes()) {
+		t.Fatal("re-serialised tuned image differs from the original")
+	}
+}
+
+// TestUniformImageHasNoLayoutTable: a uniform tree must keep the
+// historical serialised format — no sentinel, no per-level table — so
+// images written before the layout engine and after it are
+// byte-compatible in both directions. The tuned image for the same
+// data is necessarily longer (it carries the geometry table).
+func TestUniformImageHasNoLayoutTable(t *testing.T) {
+	pairs := workload.Dataset[uint64](workload.Uniform, 20000, 7)
+	uni, err := BuildImplicit(pairs, Config{Fanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RootWidths of all zeros is the base geometry: still uniform, and
+	// the image must be identical to the plain build's.
+	zeros, err := BuildImplicit(pairs, Config{Fanout: 8, RootWidths: []int{0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ub, zb bytes.Buffer
+	if _, err := uni.WriteTo(&ub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zeros.WriteTo(&zb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ub.Bytes(), zb.Bytes()) {
+		t.Fatal("zero RootWidths changed the uniform serialised image")
+	}
+	rt, err := ReadImplicit[uint64](bytes.NewReader(ub.Bytes()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.UniformLayout() || rt.Config().RootWidths != nil {
+		t.Fatalf("uniform image loaded as tuned: widths %v", rt.Config().RootWidths)
+	}
+}

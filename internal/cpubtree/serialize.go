@@ -137,8 +137,24 @@ func (t *ImplicitTree[K]) WriteTo(w io.Writer) (int64, error) {
 	if err := writeHeader[K](bw, kindImplicit); err != nil {
 		return cw.n, err
 	}
-	if err := writeInts(bw, uint64(t.fanout), uint64(t.numPairs), uint64(t.numLeaves), uint64(t.height)); err != nil {
-		return cw.n, err
+	if t.UniformLayout() {
+		if err := writeInts(bw, uint64(t.fanout), uint64(t.numPairs), uint64(t.numLeaves), uint64(t.height)); err != nil {
+			return cw.n, err
+		}
+	} else {
+		// Tuned layouts write a fanout=0 sentinel (invalid as a real
+		// fanout, so old readers reject rather than misread the image)
+		// followed by the base fanout and the per-level geometry table.
+		// Uniform trees take the branch above and stay byte-identical to
+		// the historical format.
+		if err := writeInts(bw, 0, uint64(t.numPairs), uint64(t.numLeaves), uint64(t.height), uint64(t.fanout)); err != nil {
+			return cw.n, err
+		}
+		for d := 0; d < t.height; d++ {
+			if err := writeInts(bw, uint64(t.levelKpn[d]), uint64(t.levelFanout[d])); err != nil {
+				return cw.n, err
+			}
+		}
 	}
 	lv := make([]uint64, t.height)
 	for i, n := range t.levelNodes {
@@ -172,6 +188,12 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 		return nil, err
 	}
 	kpn := keys.PerLine[K]()
+	tuned := fanout == 0 // sentinel: per-level geometry table follows
+	if tuned {
+		if err := readInts(br, &fanout); err != nil {
+			return nil, err
+		}
+	}
 	if fanout < 2 || fanout > uint64(kpn+1) || height == 0 || height > 64 {
 		return nil, corruptf("implicit geometry (fanout %d, height %d)", fanout, height)
 	}
@@ -187,18 +209,48 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 		numLeaves: int(numLeaves),
 		height:    int(height),
 	}
+	t.levelKpn = make([]int, height)
+	t.levelFanout = make([]int, height)
+	for i := range t.levelKpn {
+		t.levelKpn[i], t.levelFanout[i] = kpn, int(fanout)
+	}
+	if tuned {
+		var widths []int
+		for i := 0; i < int(height); i++ {
+			var lk, lf uint64
+			if err := readInts(br, &lk, &lf); err != nil {
+				return nil, err
+			}
+			if lk < uint64(kpn) || lk%uint64(kpn) != 0 || lk > maxImplicitWidth || lf < 2 || lf > lk+1 {
+				return nil, corruptf("implicit level %d geometry (kpn %d, fanout %d)", i, lk, lf)
+			}
+			t.levelKpn[i], t.levelFanout[i] = int(lk), int(lf)
+			if int(lk) != kpn || int(lf) != int(fanout) {
+				for len(widths) < i {
+					widths = append(widths, 0) // base geometry for this level
+				}
+				widths = append(widths, int(lk))
+			}
+		}
+		// Preserve the layout policy so a Rebuild of the loaded tree
+		// re-derives a tuned layout rather than silently going uniform.
+		t.cfg.RootWidths = widths
+	}
 	lv := make([]uint64, height)
 	if err := binary.Read(br, binary.LittleEndian, lv); err != nil {
 		return nil, readErr(err)
 	}
 	t.levelNodes = make([]int, height)
 	t.levelOff = make([]int, height)
-	total := uint64(0)
+	t.levelSlot = make([]int, height)
+	total, slots := uint64(0), uint64(0)
 	for i, n := range lv {
 		t.levelOff[i] = int(total)
+		t.levelSlot[i] = int(slots)
 		t.levelNodes[i] = int(n)
 		total += n
-		if n == 0 || total > sliceLimit {
+		slots += n * uint64(t.levelKpn[i])
+		if n == 0 || slots > sliceLimit {
 			return nil, corruptf("implicit level %d holds %d nodes (total %d)", i, n, total)
 		}
 	}
@@ -209,7 +261,7 @@ func ReadImplicit[K keys.Key](r io.Reader, cfg Config) (*ImplicitTree[K], error)
 	if t.leaves, err = readSliceK[K](br, sliceLimit); err != nil {
 		return nil, err
 	}
-	if uint64(len(t.inner)) != total*uint64(kpn) {
+	if uint64(len(t.inner)) != slots {
 		return nil, corruptf("inner array %d keys for %d nodes", len(t.inner), total)
 	}
 	if len(t.leaves) != t.numLeaves*kpn {

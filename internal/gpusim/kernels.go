@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -17,12 +18,21 @@ import (
 // predecessor test, shared result — and fans warps out across host
 // goroutines standing in for the SM array.
 
+// MaxNodeWidth is the widest node (in key slots) any layout descriptor
+// may declare. It bounds warpSearch's flag array; the historical
+// implementation hard-coded 16 and would silently mis-search wider
+// nodes, so the limit is now explicit and enforced.
+const MaxNodeWidth = 64
+
 // warpSearch executes the parallel node search of Snippet 3 on one node
 // line. It requires the node's last slot to be reachable (the HB+-tree
 // pins trailing separators to MAX), guaranteeing a valid result for any
 // query.
 func warpSearch[K keys.Key](node []K, q K) int {
-	var flag [17]bool // flag[0] is the implicit predecessor of thread 0
+	if len(node) > MaxNodeWidth {
+		panic(fmt.Sprintf("gpusim: node width %d exceeds MaxNodeWidth %d", len(node), MaxNodeWidth))
+	}
+	var flag [MaxNodeWidth + 1]bool // flag[0] is the implicit predecessor of thread 0
 	for j, k := range node {
 		flag[j+1] = q <= k // each team thread's comparison
 	}
@@ -38,14 +48,68 @@ func warpSearch[K keys.Key](node []K, q K) int {
 	return res
 }
 
+// LevelGeom is one level's node geometry in the layout descriptor: the
+// kernels read it instead of assuming a uniform key-per-node count, so a
+// tree may use wide multi-line nodes near the root and packed one-line
+// nodes near the leaves.
+type LevelGeom struct {
+	Off    int32 // first key slot of the level within the I-segment
+	Kpn    int32 // key slots per node at this level
+	Fanout int32 // children per node at this level
+	Lines  int32 // coalesced 64-byte transactions per node probe
+}
+
 // ImplicitDesc describes the implicit HB+-tree I-segment resident in
-// device memory.
+// device memory. The scalar Kpn/Fanout fields describe the base
+// (uniform) geometry; a non-nil Levels table overrides them per level.
 type ImplicitDesc struct {
-	LevelOff  []int32 // offset of each level in nodes, root first
-	Kpn       int     // key slots per node (threads per query, T)
-	Fanout    int     // children per node (8 / 16 for the HB+ layout)
+	LevelOff  []int32 // offset of each level in nodes of the base width, root first
+	Kpn       int     // base key slots per node (threads per query, T)
+	Fanout    int     // base children per node (8 / 16 for the HB+ layout)
 	Height    int     // inner levels
 	NumLeaves int     // leaf lines (for final clamping)
+
+	// Levels, when non-nil, is the per-level layout table the kernels
+	// traverse by. nil means uniform geometry derived from the scalar
+	// fields; callers on the allocation-free serving path should
+	// populate it once via Geom so kernels never materialise it.
+	Levels []LevelGeom
+}
+
+// Geom returns the descriptor's per-level layout table, materialising
+// the uniform table from the scalar fields when Levels is nil. For a
+// uniform descriptor the returned geometry is exactly the historical
+// arithmetic: level l starts at slot LevelOff[l]*Kpn, every node holds
+// Kpn slots, fans out Fanout ways, and costs one transaction per probe.
+func (d ImplicitDesc) Geom() []LevelGeom {
+	if d.Levels != nil {
+		return d.Levels
+	}
+	g := make([]LevelGeom, d.Height)
+	for l := range g {
+		g[l] = LevelGeom{
+			Off:    d.LevelOff[l] * int32(d.Kpn),
+			Kpn:    int32(d.Kpn),
+			Fanout: int32(d.Fanout),
+			Lines:  1,
+		}
+	}
+	return g
+}
+
+// TransPerQuery returns the device transactions one query descending
+// from startLevel issues: the per-level line counts summed over the
+// remaining levels. Uniform descriptors reduce to Height-startLevel,
+// the historical per-query cost.
+func (d ImplicitDesc) TransPerQuery(startLevel int) int64 {
+	if d.Levels == nil {
+		return int64(d.Height - startLevel)
+	}
+	var t int64
+	for l := startLevel; l < d.Height; l++ {
+		t += int64(d.Levels[l].Lines)
+	}
+	return t
 }
 
 // ImplicitSearchKernel traverses the device-resident implicit I-segment
@@ -62,34 +126,36 @@ func ImplicitSearchKernel[K keys.Key](d *Device, iseg []K, desc ImplicitDesc, qu
 	}
 	// The small-batch path runs inline without constructing the fan-out
 	// closure, keeping the steady-state serving pipeline allocation-free.
+	geom := desc.Geom()
 	if d.runsInline(len(queries)) {
-		implicitSearchRange(iseg, desc, queries, out, startLevel, startIdx, 0, len(queries))
+		implicitSearchRange(iseg, geom, desc.Height, desc.NumLeaves, queries, out, startLevel, startIdx, 0, len(queries))
 	} else {
 		d.fanOut(len(queries), func(lo, hi int) {
-			implicitSearchRange(iseg, desc, queries, out, startLevel, startIdx, lo, hi)
+			implicitSearchRange(iseg, geom, desc.Height, desc.NumLeaves, queries, out, startLevel, startIdx, lo, hi)
 		})
 	}
-	levels := desc.Height - startLevel
-	return int64(len(queries)) * int64(levels), nil
+	return int64(len(queries)) * desc.TransPerQuery(startLevel), nil
 }
 
 // implicitSearchRange resolves queries[lo:hi] against the implicit
 // I-segment; the kernel body shared by the inline and fanned-out paths.
-func implicitSearchRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, out []int32, startLevel int, startIdx []int32, lo, hi int) {
+// All geometry comes from the per-level layout table.
+func implicitSearchRange[K keys.Key](iseg []K, geom []LevelGeom, height, numLeaves int, queries []K, out []int32, startLevel int, startIdx []int32, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		q := queries[i]
 		idx := int32(0)
 		if startIdx != nil {
 			idx = startIdx[i]
 		}
-		for lvl := startLevel; lvl < desc.Height; lvl++ {
-			off := (int(desc.LevelOff[lvl]) + int(idx)) * desc.Kpn
-			node := iseg[off : off+desc.Kpn]
+		for lvl := startLevel; lvl < height; lvl++ {
+			g := geom[lvl]
+			off := int(g.Off) + int(idx)*int(g.Kpn)
+			node := iseg[off : off+int(g.Kpn)]
 			res := warpSearch(node, q)
-			idx = idx*int32(desc.Fanout) + int32(res)
+			idx = idx*g.Fanout + int32(res)
 		}
-		if int(idx) >= desc.NumLeaves {
-			idx = int32(desc.NumLeaves - 1)
+		if int(idx) >= numLeaves {
+			idx = int32(numLeaves - 1)
 		}
 		out[i] = idx
 	}
@@ -183,28 +249,31 @@ func ImplicitSearchKernelSorted[K keys.Key](d *Device, iseg []K, desc ImplicitDe
 	if err := d.check(fault.OpKernel); err != nil {
 		return 0, err
 	}
+	geom := desc.Geom()
 	if d.runsInline(len(queries)) {
-		return implicitSortedRange(iseg, desc, queries, out, lvl, 0, len(queries)), nil
+		return implicitSortedRange(iseg, geom, desc.Height, desc.NumLeaves, queries, out, lvl, 0, len(queries)), nil
 	}
 	// Each chunk is itself a sorted contiguous range, so sharing still
 	// applies within it; only the chunk-boundary nodes are re-probed.
 	var trans atomic.Int64
 	d.fanOut(len(queries), func(lo, hi int) {
-		trans.Add(implicitSortedRange(iseg, desc, queries, out, lvl, lo, hi))
+		trans.Add(implicitSortedRange(iseg, geom, desc.Height, desc.NumLeaves, queries, out, lvl, lo, hi))
 	})
 	return trans.Load(), nil
 }
 
 // implicitSortedRange descends queries[lo:hi] level by level, using out
 // as the frontier (the node index each query sits at), and returns the
-// distinct-node transaction count.
-func implicitSortedRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, out []int32, lvl []int64, lo, hi int) int64 {
+// distinct-node transaction count. A fresh node probe at level l costs
+// geom[l].Lines transactions (a wide node spans several coalesced
+// lines); followers inside the resident node cost none.
+func implicitSortedRange[K keys.Key](iseg []K, geom []LevelGeom, height, numLeaves int, queries []K, out []int32, lvl []int64, lo, hi int) int64 {
 	var trans int64
 	for i := lo; i < hi; i++ {
 		out[i] = 0
 	}
-	for l := 0; l < desc.Height; l++ {
-		base := int(desc.LevelOff[l])
+	for l := 0; l < height; l++ {
+		g := geom[l]
 		prevIdx := int32(-1)
 		var node []K
 		res := 0
@@ -213,11 +282,11 @@ func implicitSortedRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, o
 			idx := out[i]
 			q := queries[i]
 			if idx != prevIdx {
-				off := (base + int(idx)) * desc.Kpn
-				node = iseg[off : off+desc.Kpn]
+				off := int(g.Off) + int(idx)*int(g.Kpn)
+				node = iseg[off : off+int(g.Kpn)]
 				prevIdx = idx
 				res = warpSearch(node, q)
-				lt++
+				lt += int64(g.Lines)
 			} else if q > node[res] {
 				// Monotone advance: a later sorted query's lower bound
 				// never moves backwards within the resident node.
@@ -225,7 +294,7 @@ func implicitSortedRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, o
 					res++
 				}
 			}
-			out[i] = idx*int32(desc.Fanout) + int32(res)
+			out[i] = idx*g.Fanout + int32(res)
 		}
 		trans += lt
 		if l < len(lvl) {
@@ -234,8 +303,8 @@ func implicitSortedRange[K keys.Key](iseg []K, desc ImplicitDesc, queries []K, o
 		}
 	}
 	for i := lo; i < hi; i++ {
-		if int(out[i]) >= desc.NumLeaves {
-			out[i] = int32(desc.NumLeaves - 1)
+		if int(out[i]) >= numLeaves {
+			out[i] = int32(numLeaves - 1)
 		}
 	}
 	return trans

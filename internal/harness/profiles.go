@@ -21,11 +21,13 @@ import (
 func implicitProfile[K keys.Key](t *cpubtree.ImplicitTree[K], cpu platform.CPU) (model.MissProfile, float64) {
 	h := t.Height()
 	st := t.Stats()
+	geom := t.LevelGeometry()
 	bytes := make([]int64, h+1)
 	lines := make([]float64, h+1)
 	for d := 0; d < h; d++ {
-		bytes[d] = int64(t.LevelNodes(d)) * keys.LineBytes
-		lines[d] = 1
+		ln := int64(geom[d].Kpn / keys.PerLine[K]())
+		bytes[d] = int64(geom[d].Nodes) * ln * keys.LineBytes
+		lines[d] = float64(ln)
 	}
 	bytes[h] = st.LeafBytes
 	lines[h] = 1

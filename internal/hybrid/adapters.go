@@ -5,6 +5,7 @@ import (
 
 	"hbtree/internal/cpubtree"
 	"hbtree/internal/csstree"
+	"hbtree/internal/gpusim"
 	"hbtree/internal/keys"
 )
 
@@ -26,6 +27,24 @@ func WrapBPlus[K keys.Key](t *cpubtree.ImplicitTree[K]) *BPlus[K] {
 func (b *BPlus[K]) DeviceImage() (image []K, levelOff []int, kpn, fanout, numLeaves int) {
 	inner, off, kpn, fanout := b.t.InnerArray()
 	return inner, off, kpn, fanout, b.t.NumLeafLines()
+}
+
+// LevelLayout implements LayoutIndex: trees built with tuned RootWidths
+// hand the engine their per-level geometry so the device descriptor
+// addresses the wide root levels correctly.
+func (b *BPlus[K]) LevelLayout() []gpusim.LevelGeom {
+	geom := b.t.LevelGeometry()
+	kpn := keys.PerLine[K]()
+	levels := make([]gpusim.LevelGeom, len(geom))
+	for i, g := range geom {
+		levels[i] = gpusim.LevelGeom{
+			Off:    int32(g.Slot),
+			Kpn:    int32(g.Kpn),
+			Fanout: int32(g.Fanout),
+			Lines:  int32(g.Kpn / kpn),
+		}
+	}
+	return levels
 }
 
 // SearchLeaf implements Index.

@@ -58,6 +58,18 @@ type Index[K keys.Key] interface {
 	LeafSearches() float64
 }
 
+// LayoutIndex is an optional extension of Index for directories with
+// per-level node geometry: an index whose root-side levels use wide
+// multi-line nodes implements it to describe each level (slot offset,
+// key slots, fanout, lines per node, root first). The engine then builds
+// a per-level device descriptor instead of assuming the uniform scalar
+// geometry; indexes that only ever emit uniform directories need not
+// implement it.
+type LayoutIndex[K keys.Key] interface {
+	Index[K]
+	LevelLayout() []gpusim.LevelGeom
+}
+
 // Options configures an engine.
 type Options struct {
 	Machine    platform.Machine
@@ -103,7 +115,11 @@ type Engine[K keys.Key] struct {
 	// so lookups can complete without the device when the breaker over
 	// injected GPU faults is open — the framework's degraded mode.
 	image []K
-	brk   *breaker.Breaker
+	// geom is the materialised per-level layout table (uniform when the
+	// index does not implement LayoutIndex), shared by the host walk and
+	// the profile so they stay in lockstep with the device kernel.
+	geom []gpusim.LevelGeom
+	brk  *breaker.Breaker
 
 	gpuFaults atomic.Int64
 	fallbacks atomic.Int64
@@ -145,6 +161,22 @@ func NewEngine[K keys.Key](idx Index[K], opt Options) (*Engine[K], error) {
 		Height:    len(levelOff),
 		NumLeaves: numLeaves,
 	}
+	if li, ok := idx.(LayoutIndex[K]); ok {
+		levels := li.LevelLayout()
+		if len(levels) != e.desc.Height {
+			return nil, fmt.Errorf("hybrid: layout table has %d levels, directory has %d", len(levels), e.desc.Height)
+		}
+		for l, g := range levels {
+			if g.Kpn < int32(kpn) || int(g.Kpn)%kpn != 0 || g.Kpn > gpusim.MaxNodeWidth {
+				return nil, fmt.Errorf("hybrid: level %d width %d is not a line multiple within [%d, %d]", l, g.Kpn, kpn, gpusim.MaxNodeWidth)
+			}
+			if g.Fanout < 2 || g.Fanout > g.Kpn+1 {
+				return nil, fmt.Errorf("hybrid: level %d fanout %d outside [2, %d]", l, g.Fanout, g.Kpn+1)
+			}
+		}
+		e.desc.Levels = levels
+	}
+	e.geom = e.desc.Geom()
 	return e, nil
 }
 
@@ -254,7 +286,7 @@ func (e *Engine[K]) lookupBatchGPU(queries []K, values []K, found []bool) (stats
 		if _, kErr := gpusim.ImplicitSearchKernel(e.dev, e.iseg.Data(), e.desc, qbuf.Data()[:bn], rbuf.Data()[:bn], 0, nil); kErr != nil {
 			return stats, kErr
 		}
-		d2 := e.dev.KernelDuration(bn, float64(e.desc.Height), 1, e.desc.Kpn, 1)
+		d2 := e.dev.KernelDuration(bn, float64(e.desc.TransPerQuery(0)), 1, e.desc.Kpn, 1)
 		tl.Schedule(stream, vclock.ResGPU, "kernel", d2)
 
 		d3 := e.dev.CopyDuration(int64(bn) * 4)
@@ -310,18 +342,20 @@ func (e *Engine[K]) lookupBatchHost(queries []K, values []K, found []bool, stats
 }
 
 // directoryProfile returns the byte footprint of each directory level
-// (root first) and one access per level, for the host-walk cost model.
+// (root first) and its line touches per query, for the host-walk cost
+// model; a wide tuned level costs every line of its node per probe.
 func (e *Engine[K]) directoryProfile() ([]int64, []float64) {
-	sz := int64(keys.Size[K]()) * int64(e.desc.Kpn)
+	sz := int64(keys.Size[K]())
 	bytes := make([]int64, e.desc.Height)
 	accesses := make([]float64, e.desc.Height)
 	for lvl := 0; lvl < e.desc.Height; lvl++ {
-		endNode := len(e.image) / e.desc.Kpn
-		if lvl+1 < len(e.desc.LevelOff) {
-			endNode = int(e.desc.LevelOff[lvl+1])
+		g := e.geom[lvl]
+		endSlot := len(e.image)
+		if lvl+1 < len(e.geom) {
+			endSlot = int(e.geom[lvl+1].Off)
 		}
-		bytes[lvl] = int64(endNode-int(e.desc.LevelOff[lvl])) * sz
-		accesses[lvl] = 1
+		bytes[lvl] = int64(endSlot-int(g.Off)) * sz
+		accesses[lvl] = float64(g.Lines)
 	}
 	return bytes, accesses
 }
@@ -331,10 +365,10 @@ func (e *Engine[K]) directoryProfile() ([]int64, []float64) {
 // for every node line), so fallback answers match GPU answers.
 func (e *Engine[K]) searchInnerHost(q K) int32 {
 	idx := int32(0)
-	kpn := e.desc.Kpn
 	for lvl := 0; lvl < e.desc.Height; lvl++ {
-		off := (int(e.desc.LevelOff[lvl]) + int(idx)) * kpn
-		node := e.image[off : off+kpn]
+		g := e.geom[lvl]
+		off := int(g.Off) + int(idx)*int(g.Kpn)
+		node := e.image[off : off+int(g.Kpn)]
 		res := len(node) - 1
 		for j, k := range node {
 			if q <= k {
@@ -342,7 +376,7 @@ func (e *Engine[K]) searchInnerHost(q K) int32 {
 				break
 			}
 		}
-		idx = idx*int32(e.desc.Fanout) + int32(res)
+		idx = idx*g.Fanout + int32(res)
 	}
 	if int(idx) >= e.desc.NumLeaves {
 		idx = int32(e.desc.NumLeaves - 1)

@@ -1,0 +1,201 @@
+package model
+
+import "math"
+
+// This file is the layout tuner: it costs candidate per-level node
+// widths for the implicit I-segment so the core can pick wide multi-line
+// nodes near the root (probed once per sorted batch, so their extra
+// lines amortise across the batch while shortening the tree) and packed
+// one-line nodes near the leaves (probed nearly once per query, where
+// every extra line is paid in full). The cost is the expected
+// probe-weighted line count of one shared-descent batch — exactly the
+// transaction count the sorted kernels report — so "the tuner's metric"
+// and "the CI gate's metric" are the same number.
+
+// lineBytes is the coalesced transaction size shared with keys.LineBytes
+// (restated here to keep the model dependency-free).
+const lineBytes = 64
+
+// maxTunedLevels bounds how many root-side levels TuneWidths may widen;
+// deeper levels hold too many distinct nodes per batch for wide lines to
+// ever pay off.
+const maxTunedLevels = 3
+
+// maxLayoutWidth caps a level's key-slot width, mirroring the GPU
+// kernels' warp-search bound (gpusim.MaxNodeWidth).
+const maxLayoutWidth = 64
+
+// ExpectedDistinct returns the expected number of distinct nodes a
+// sorted batch of `batch` independent uniform queries probes at a level
+// of `nodes` nodes: n*(1-(1-1/n)^B). This is the per-level transaction
+// count of the shared-descent kernel, which pays one probe per distinct
+// node and nothing for followers.
+func ExpectedDistinct(nodes, batch int) float64 {
+	if nodes <= 0 || batch <= 0 {
+		return 0
+	}
+	if nodes == 1 {
+		return 1
+	}
+	n := float64(nodes)
+	return n * (1 - math.Pow(1-1/n, float64(batch)))
+}
+
+// ImplicitLayout derives the per-level geometry of an implicit tree over
+// numLeaves leaf lines for a candidate RootWidths assignment (entry l
+// widens level l to that many key slots and children; zero entries and
+// levels past the slice use the base geometry). It mirrors
+// cpubtree.BuildImplicit's height rule — the smallest height whose
+// per-level fanouts multiply to at least the leaf count — so the costed
+// candidate and the built tree always agree.
+func ImplicitLayout(numLeaves int, widths []int, baseKpn, baseFanout int) (nodes, kpns, fanouts []int) {
+	geom := func(l int) (kpn, fanout int) {
+		if l < len(widths) && widths[l] > 0 {
+			return widths[l], widths[l]
+		}
+		return baseKpn, baseFanout
+	}
+	h := 1
+	for {
+		cp := 1
+		for l := 0; l < h && cp < numLeaves; l++ {
+			_, f := geom(l)
+			cp *= f
+		}
+		if cp >= numLeaves {
+			break
+		}
+		h++
+	}
+	nodes = make([]int, h)
+	kpns = make([]int, h)
+	fanouts = make([]int, h)
+	n := numLeaves
+	for l := h - 1; l >= 0; l-- {
+		kpns[l], fanouts[l] = geom(l)
+		n = (n + fanouts[l] - 1) / fanouts[l]
+		nodes[l] = n
+	}
+	return nodes, kpns, fanouts
+}
+
+// LayoutLineCost returns the expected probe-weighted line count of one
+// shared-descent batch over the given per-level geometry: each level
+// contributes its expected distinct probes times the lines per node
+// (kpn/baseKpn). For a uniform layout this is the classic per-batch
+// distinct-node count.
+func LayoutLineCost(nodes, kpns []int, baseKpn, batch int) float64 {
+	var c float64
+	for l := range nodes {
+		c += ExpectedDistinct(nodes[l], batch) * float64(kpns[l]/baseKpn)
+	}
+	return c
+}
+
+// layoutLevelBytes returns each level's total footprint in bytes.
+func layoutLevelBytes(nodes, kpns []int, baseKpn int) []int64 {
+	b := make([]int64, len(nodes))
+	for l := range nodes {
+		b[l] = int64(nodes[l]) * int64(kpns[l]/baseKpn) * lineBytes
+	}
+	return b
+}
+
+// TuneWidths searches candidate root widths for an implicit tree of
+// numLeaves leaf lines serving sorted batches of the given size, and
+// returns the RootWidths assignment minimising the expected
+// probe-weighted line count per batch — nil when the uniform layout is
+// already optimal (in particular for batch <= 1, where every extra line
+// of a wide node is paid per query). A tuned candidate is accepted only
+// if it strictly beats uniform on line cost without deepening the tree,
+// so switching layouts can never lose on both metrics the CI gate
+// checks.
+func TuneWidths(numLeaves, baseKpn, baseFanout, batch int) []int {
+	uNodes, uKpns, _ := ImplicitLayout(numLeaves, nil, baseKpn, baseFanout)
+	bestCost := LayoutLineCost(uNodes, uKpns, baseKpn, batch)
+	uniformHeight := len(uNodes)
+	var best []int
+
+	// Candidate widths per level: base, or a power-of-two multiple of the
+	// line width up to the warp-search cap.
+	cands := []int{0}
+	for w := 2 * baseKpn; w <= maxLayoutWidth; w *= 2 {
+		cands = append(cands, w)
+	}
+	var walk func(prefix []int, level int)
+	walk = func(prefix []int, level int) {
+		for _, w := range cands {
+			trial := append(append([]int(nil), prefix...), w)
+			if w != 0 {
+				nodes, kpns, _ := ImplicitLayout(numLeaves, trial, baseKpn, baseFanout)
+				if len(nodes) <= uniformHeight {
+					if c := LayoutLineCost(nodes, kpns, baseKpn, batch); c < bestCost {
+						bestCost, best = c, trial
+					}
+				}
+			}
+			if level+1 < maxTunedLevels {
+				walk(trial, level+1)
+			}
+		}
+	}
+	walk(nil, 0)
+	// Trim trailing base entries so the policy is canonical.
+	for len(best) > 0 && best[len(best)-1] == 0 {
+		best = best[:len(best)-1]
+	}
+	return best
+}
+
+// LayoutAdvice turns an observed per-level probe histogram (the
+// SearchStats.LevelProbes counters: device transactions per level, root
+// first, accumulated over many batches) into a recommended RootWidths
+// assignment for the current tree. The histogram calibrates the
+// effective batch size — the root level is probed exactly once per
+// batch, so the deepest level's probes-per-batch approximate the
+// distinct keys a batch carries — and the candidate from TuneWidths is
+// then screened through ProfileLevels: a layout whose expected DRAM
+// misses per query exceed the uniform layout's is rejected, keeping the
+// widened root levels cache-resident. nil means "stay uniform".
+func LayoutAdvice(levelProbes []int64, levelKpn []int, numLeaves, baseKpn, baseFanout int, llcBytes int64) []int {
+	if len(levelProbes) == 0 || levelProbes[0] <= 0 {
+		return nil
+	}
+	rootLines := int64(1)
+	if len(levelKpn) > 0 && levelKpn[0] > baseKpn {
+		rootLines = int64(levelKpn[0] / baseKpn)
+	}
+	batches := float64(levelProbes[0]) / float64(rootLines)
+	if batches <= 0 {
+		return nil
+	}
+	batch := 1.0
+	for l, p := range levelProbes {
+		lines := 1.0
+		if l < len(levelKpn) && levelKpn[l] > baseKpn {
+			lines = float64(levelKpn[l] / baseKpn)
+		}
+		if d := float64(p) / lines / batches; d > batch {
+			batch = d
+		}
+	}
+	widths := TuneWidths(numLeaves, baseKpn, baseFanout, int(math.Ceil(batch)))
+	if widths == nil {
+		return nil
+	}
+	tNodes, tKpns, _ := ImplicitLayout(numLeaves, widths, baseKpn, baseFanout)
+	uNodes, uKpns, _ := ImplicitLayout(numLeaves, nil, baseKpn, baseFanout)
+	perLevel := func(n int) []float64 {
+		ls := make([]float64, n)
+		for i := range ls {
+			ls[i] = 1
+		}
+		return ls
+	}
+	tuned := ProfileLevels(layoutLevelBytes(tNodes, tKpns, baseKpn), perLevel(len(tNodes)), llcBytes)
+	uniform := ProfileLevels(layoutLevelBytes(uNodes, uKpns, baseKpn), perLevel(len(uNodes)), llcBytes)
+	if tuned.Miss > uniform.Miss {
+		return nil
+	}
+	return widths
+}

@@ -1,0 +1,224 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedDistinct(t *testing.T) {
+	// Degenerate inputs cost nothing.
+	if ExpectedDistinct(0, 256) != 0 || ExpectedDistinct(100, 0) != 0 || ExpectedDistinct(-1, 5) != 0 {
+		t.Fatal("degenerate inputs should cost 0")
+	}
+	// A single node is probed exactly once per batch.
+	if ExpectedDistinct(1, 1000) != 1 {
+		t.Fatal("single node must cost exactly 1")
+	}
+	// One query touches exactly one node.
+	if got := ExpectedDistinct(500, 1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("one query = %v distinct nodes, want 1", got)
+	}
+	// Monotone in batch size, bounded by the node count.
+	prev := 0.0
+	for _, b := range []int{1, 4, 16, 64, 256, 1024, 1 << 20} {
+		d := ExpectedDistinct(64, b)
+		if d < prev || d > 64 {
+			t.Fatalf("ExpectedDistinct(64, %d) = %v not monotone in [0, 64]", b, d)
+		}
+		prev = d
+	}
+	// A huge batch saturates the level.
+	if d := ExpectedDistinct(64, 1<<20); d < 63.999 {
+		t.Fatalf("saturated level = %v, want ~64", d)
+	}
+}
+
+func TestImplicitLayoutMirrorsHeightRule(t *testing.T) {
+	// Uniform fanout-8 over 16384 leaves: 8^5 >= 16384 > 8^4, height 5.
+	nodes, kpns, fanouts := ImplicitLayout(16384, nil, 8, 8)
+	if len(nodes) != 5 {
+		t.Fatalf("uniform height %d, want 5", len(nodes))
+	}
+	if nodes[0] != 1 {
+		t.Fatalf("root level has %d nodes", nodes[0])
+	}
+	for l := range nodes {
+		if kpns[l] != 8 || fanouts[l] != 8 {
+			t.Fatalf("uniform level %d geometry %d/%d", l, kpns[l], fanouts[l])
+		}
+	}
+	// Widening the root to 32 removes a level: 32*8^3 = 16384.
+	nodes, kpns, _ = ImplicitLayout(16384, []int{32}, 8, 8)
+	if len(nodes) != 4 {
+		t.Fatalf("tuned height %d, want 4", len(nodes))
+	}
+	if kpns[0] != 32 || nodes[0] != 1 {
+		t.Fatalf("tuned root geometry: %d nodes × %d slots", nodes[0], kpns[0])
+	}
+	// Bottom-up node counts must cover the leaves at every level.
+	_, _, fanouts = ImplicitLayout(16384, []int{32}, 8, 8)
+	cover := 1
+	for l := range fanouts {
+		cover *= fanouts[l]
+	}
+	if cover < 16384 {
+		t.Fatalf("tuned fanouts %v cover only %d leaves", fanouts, cover)
+	}
+}
+
+func TestTuneWidthsPointLookupsStayUniform(t *testing.T) {
+	// At batch 1 every line of a wide node is paid per query, so the
+	// tuner must never widen.
+	for _, leaves := range []int{100, 16384, 1 << 20} {
+		if w := TuneWidths(leaves, 8, 8, 1); w != nil {
+			t.Fatalf("batch 1, %d leaves: tuner widened to %v", leaves, w)
+		}
+	}
+}
+
+func TestTuneWidthsNeverDeepens(t *testing.T) {
+	for _, leaves := range []int{1000, 16384, 65536, 1 << 18} {
+		for _, batch := range []int{16, 256, 1024} {
+			w := TuneWidths(leaves, 8, 8, batch)
+			uN, uK, _ := ImplicitLayout(leaves, nil, 8, 8)
+			tN, tK, _ := ImplicitLayout(leaves, w, 8, 8)
+			if len(tN) > len(uN) {
+				t.Fatalf("leaves %d batch %d: tuned %v deepens %d -> %d", leaves, batch, w, len(uN), len(tN))
+			}
+			tc := LayoutLineCost(tN, tK, 8, batch)
+			uc := LayoutLineCost(uN, uK, 8, batch)
+			if w != nil && tc >= uc {
+				t.Fatalf("leaves %d batch %d: tuned %v cost %v not below uniform %v", leaves, batch, w, tc, uc)
+			}
+		}
+	}
+}
+
+func TestTuneWidthsKnownWin(t *testing.T) {
+	// The gate-test configuration: 16384 leaf lines, window 256. Widening
+	// level 1 to 32 slots collapses height 5 to 4 at a strict line win
+	// (~435.5 vs ~439.5 expected lines per batch).
+	w := TuneWidths(16384, 8, 8, 256)
+	if w == nil {
+		t.Fatal("tuner found no win at 16384 leaves, batch 256")
+	}
+	wide := false
+	for _, x := range w {
+		if x > 8 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Fatalf("tuned widths %v contain no wide level", w)
+	}
+	// Canonical form: no trailing base entries.
+	if len(w) > 0 && w[len(w)-1] == 0 {
+		t.Fatalf("tuned widths %v not canonical", w)
+	}
+}
+
+// The ProfileLevels edge cases the layout advisor leans on: zero-byte
+// levels (an empty or metadata-only level must count as a pure hit and
+// not consume budget), a budget exhausted mid-level (partial residency,
+// then all-miss below), and empty input.
+func TestProfileLevelsZeroByteLevels(t *testing.T) {
+	// A zero-footprint level between two real ones: its lines are hits
+	// and the budget flows through untouched.
+	p := ProfileLevels([]int64{64, 0, 64}, []float64{1, 1, 1}, 64)
+	if math.Abs(p.Hit-2) > 1e-9 || math.Abs(p.Miss-1) > 1e-9 {
+		t.Fatalf("zero-byte level profile = %+v, want 2 hits / 1 miss", p)
+	}
+	// All levels zero-footprint: everything hits.
+	p = ProfileLevels([]int64{0, 0}, []float64{1, 3}, 0)
+	if p.Hit != 4 || p.Miss != 0 {
+		t.Fatalf("all-zero profile = %+v", p)
+	}
+}
+
+func TestProfileLevelsBudgetExhaustedMidLevel(t *testing.T) {
+	// 256-byte level against a 64-byte budget: a quarter resident.
+	p := ProfileLevels([]int64{256, 64}, []float64{1, 1}, 64)
+	if math.Abs(p.Hit-0.25) > 1e-9 || math.Abs(p.Miss-1.75) > 1e-9 {
+		t.Fatalf("mid-level exhaustion profile = %+v, want 0.25 hit / 1.75 miss", p)
+	}
+	// Once spent, deeper levels are pure misses even if small.
+	p = ProfileLevels([]int64{128, 1}, []float64{1, 5}, 128)
+	if math.Abs(p.Hit-1) > 1e-9 || math.Abs(p.Miss-5) > 1e-9 {
+		t.Fatalf("post-exhaustion profile = %+v, want 1 hit / 5 miss", p)
+	}
+}
+
+func TestProfileLevelsEmptyInput(t *testing.T) {
+	p := ProfileLevels(nil, nil, 1<<20)
+	if p.Hit != 0 || p.Miss != 0 || p.Lines() != 0 {
+		t.Fatalf("empty profile = %+v", p)
+	}
+}
+
+func TestLayoutAdviceNoSignalStaysUniform(t *testing.T) {
+	// No histogram, or a histogram with no root probes, gives no advice.
+	if w := LayoutAdvice(nil, []int{8, 8, 8}, 16384, 8, 8, 1<<20); w != nil {
+		t.Fatalf("empty histogram advised %v", w)
+	}
+	if w := LayoutAdvice([]int64{0, 0, 0}, []int{8, 8, 8}, 16384, 8, 8, 1<<20); w != nil {
+		t.Fatalf("zero histogram advised %v", w)
+	}
+}
+
+func TestLayoutAdviceRecommendsForBatchedTraffic(t *testing.T) {
+	// A uniform height-5 tree over 16384 leaves serving 256-query
+	// batches: root probed once per batch, deepest level ~saturated.
+	uN, _, _ := ImplicitLayout(16384, nil, 8, 8)
+	batches := int64(1000)
+	probes := make([]int64, len(uN))
+	kpn := make([]int, len(uN))
+	for l := range uN {
+		kpn[l] = 8
+		probes[l] = int64(float64(batches) * ExpectedDistinct(uN[l], 256))
+	}
+	w := LayoutAdvice(probes, kpn, 16384, 8, 8, 25<<20)
+	if w == nil {
+		t.Fatal("batched traffic histogram produced no advice")
+	}
+	wide := false
+	for _, x := range w {
+		if x > 8 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Fatalf("advice %v contains no wide level", w)
+	}
+
+	// The same tree serving point lookups (every level probed once per
+	// "batch" of 1) must get no advice.
+	for l := range probes {
+		probes[l] = batches
+	}
+	if w := LayoutAdvice(probes, kpn, 16384, 8, 8, 25<<20); w != nil {
+		t.Fatalf("point-lookup histogram advised %v", w)
+	}
+}
+
+func TestLayoutAdviceRejectsCacheBusting(t *testing.T) {
+	// With an LLC too small to hold even the uniform upper levels, the
+	// miss screen must reject any widening that adds misses. A zero
+	// budget makes every line a miss for both layouts, so advice is
+	// allowed only if the tuned tree's per-query line count (its height)
+	// does not exceed uniform's — which TuneWidths already guarantees;
+	// the screen must simply not crash and stay consistent.
+	uN, _, _ := ImplicitLayout(16384, nil, 8, 8)
+	probes := make([]int64, len(uN))
+	kpn := make([]int, len(uN))
+	for l := range uN {
+		kpn[l] = 8
+		probes[l] = int64(1000 * ExpectedDistinct(uN[l], 256))
+	}
+	w := LayoutAdvice(probes, kpn, 16384, 8, 8, 0)
+	if w != nil {
+		tN, _, _ := ImplicitLayout(16384, w, 8, 8)
+		if len(tN) > len(uN) {
+			t.Fatalf("zero-LLC advice %v deepens the tree", w)
+		}
+	}
+}

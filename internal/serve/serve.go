@@ -114,6 +114,7 @@ type Server[K keys.Key] struct {
 	batches     atomic.Int64 // LookupBatch calls
 	nodeProbes  atomic.Int64 // inner-node probes issued by sorted batches
 	probesSaved atomic.Int64 // probes the shared descent avoided
+	levelProbes [core.StatLevels]atomic.Int64 // kernel transactions per level, root first
 	updates     atomic.Int64 // update/rebuild operations applied
 	swaps       atomic.Int64 // snapshot publications (snapshot mode)
 	gpuFaults   atomic.Int64 // injected device faults observed
@@ -277,6 +278,10 @@ type Metrics struct {
 	NodeProbes  int64
 	ProbesSaved int64
 
+	// LevelProbes breaks NodeProbes down by tree level (root first) —
+	// the observed histogram core.Tree.LayoutAdvice consumes.
+	LevelProbes [core.StatLevels]int64
+
 	// Degraded-mode counters (see DESIGN §7).
 	GPUFaults       int64         // injected device faults observed
 	Retries         int64         // GPU-path retries after a fault
@@ -303,7 +308,7 @@ type Metrics struct {
 
 // Metrics returns the current counter snapshot.
 func (s *Server[K]) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		Lookups:         s.lookups.Load(),
 		BatchedQueries:  s.batched.Load(),
 		Batches:         s.batches.Load(),
@@ -325,6 +330,10 @@ func (s *Server[K]) Metrics() Metrics {
 		BreakerState:    s.brk.State(),
 		VirtualTime:     vclock.Duration(s.vtimeNs.Load()),
 	}
+	for i := range m.LevelProbes {
+		m.LevelProbes[i] = s.levelProbes[i].Load()
+	}
+	return m
 }
 
 // ResetMetrics zeroes the serving counters (benchmark A/B phases). The
@@ -337,6 +346,9 @@ func (s *Server[K]) ResetMetrics() {
 	s.batches.Store(0)
 	s.nodeProbes.Store(0)
 	s.probesSaved.Store(0)
+	for i := range s.levelProbes {
+		s.levelProbes[i].Store(0)
+	}
 	s.updates.Store(0)
 	s.swaps.Store(0)
 	s.gpuFaults.Store(0)
@@ -368,6 +380,28 @@ func (s *Server[K]) PointLookupCost() vclock.Duration { return s.pointCost }
 
 // Swaps returns how many snapshot versions this server has published.
 func (s *Server[K]) Swaps() int64 { return s.swaps.Load() }
+
+// LevelWidths returns the current tree version's per-level key-slot
+// widths (root first; nil for the regular variant) — the realised
+// layout the STATS surface reports.
+func (s *Server[K]) LevelWidths() []int {
+	tree, p := s.acquire()
+	w := tree.LevelWidths()
+	s.releaseRead(p)
+	return w
+}
+
+// LayoutAdvice recommends per-level root widths for the current tree
+// from the probe histogram this server has accumulated (nil = stay
+// uniform / not enough signal). It is advisory: the serving layer never
+// relayouts online; operators feed it back as a build flag.
+func (s *Server[K]) LayoutAdvice() []int {
+	m := s.Metrics()
+	tree, p := s.acquire()
+	adv := tree.LayoutAdvice(m.LevelProbes[:])
+	s.releaseRead(p)
+	return adv
+}
 
 // Epoch returns the registry's current generation stamp (0 in locked
 // mode, which has no registry).
@@ -469,6 +503,11 @@ func (s *Server[K]) noteBatch(n int, stats core.SearchStats, err error) {
 	if stats.NodeProbes > 0 {
 		s.nodeProbes.Add(stats.NodeProbes)
 		s.probesSaved.Add(stats.ProbesSaved)
+		for i, p := range stats.LevelProbes {
+			if p != 0 {
+				s.levelProbes[i].Add(p)
+			}
+		}
 	}
 }
 

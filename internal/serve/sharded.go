@@ -303,6 +303,15 @@ func (s *ShardedServer[K]) route(k K) int {
 // Shards returns the current shard count T.
 func (s *ShardedServer[K]) Shards() int { return s.reg.Len() }
 
+// LevelWidths returns the first shard tree's per-level key-slot widths
+// (all shards are built from one Options policy, so their layouts agree
+// up to height differences from uneven shard sizes).
+func (s *ShardedServer[K]) LevelWidths() []int { return s.members()[0].LevelWidths() }
+
+// LayoutAdvice recommends per-level root widths from the first shard's
+// probe histogram (see Server.LayoutAdvice).
+func (s *ShardedServer[K]) LayoutAdvice() []int { return s.members()[0].LayoutAdvice() }
+
 // Bounds returns the current shard lower bounds (len T-1).
 func (s *ShardedServer[K]) Bounds() []K { return s.reg.Meta().bounds }
 
@@ -721,6 +730,9 @@ func addMetrics(m *Metrics, o Metrics) {
 	m.Swaps += o.Swaps
 	m.NodeProbes += o.NodeProbes
 	m.ProbesSaved += o.ProbesSaved
+	for i := range o.LevelProbes {
+		m.LevelProbes[i] += o.LevelProbes[i]
+	}
 	m.GPUFaults += o.GPUFaults
 	m.Retries += o.Retries
 	m.FallbackBatches += o.FallbackBatches

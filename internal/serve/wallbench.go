@@ -74,6 +74,13 @@ type WallOptions struct {
 	// sharing buy in wall-clock terms.
 	Unsorted bool
 
+	// UniformLayout builds the tree with the classic one-line-per-node
+	// geometry instead of the default cost-model-tuned per-level layout
+	// (wide multi-line nodes near the root, sized for the coalescer's
+	// MaxBatch) — the A/B baseline for the layout engine. Implicit
+	// variant only; the regular tree has no tuned layout.
+	UniformLayout bool
+
 	// MaxBatch and Window configure the coalescer (1024 and 200µs
 	// defaults: wall-clock serving wants smaller flush quanta than the
 	// 16K virtual-clock bucket).
@@ -162,6 +169,15 @@ type WallResult struct {
 	NodeProbes  int64
 	ProbesSaved int64
 
+	// Layout names the inner-node geometry the run was built with
+	// ("uniform" or "tuned"); LevelWidths is the realised per-level
+	// key-slot table (root first) and LineBytes the probe-weighted
+	// device-line traffic of the run (NodeProbes × the 64-byte line) —
+	// the layout A/B's second metric next to MQPS.
+	Layout      string
+	LevelWidths []int
+	LineBytes   int64
+
 	// DuringWriteP50/P99 are percentiles over lookups issued while a
 	// write (update batch or rebuild) was executing — the reader-stall
 	// measure: under the locked baseline these queue behind the writer;
@@ -238,6 +254,9 @@ func (r WallResult) String() string {
 			r.Folded, r.NodeProbes, r.ProbesSaved,
 			100*float64(r.ProbesSaved)/float64(r.NodeProbes+r.ProbesSaved))
 	}
+	if r.Layout == "tuned" {
+		s += fmt.Sprintf(", tuned layout %v (%s probe lines)", r.LevelWidths, fmtBytes(r.LineBytes))
+	}
 	if r.Shards > 0 {
 		s += fmt.Sprintf(", %d shards (swaps %v)", r.Shards, r.ShardSwaps)
 	}
@@ -305,6 +324,14 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	if opt.Rebalance != nil && opt.Shards <= 1 {
 		return WallResult{}, fmt.Errorf("serve: Rebalance requires a sharded configuration (Shards > 1)")
 	}
+	if treeOpt.Variant == core.Implicit && !opt.UniformLayout && !opt.Unsorted {
+		// Default to the cost-model-tuned layout, sized for the flush
+		// quantum the coalescer will present. Unsorted runs stay uniform:
+		// without the shared descent every query pays a wide root node's
+		// full line count, which the tuner's batch model would never pick.
+		treeOpt.Layout = core.LayoutTuned
+		treeOpt.LayoutBatch = opt.MaxBatch
+	}
 	if opt.UpdateFrac > 0 && treeOpt.LeafFill == 0 {
 		// Write-heavy runs build with leaf slack so batches can land in
 		// place. Applied to BOTH A/B arms (the -no-delta-leaves baseline
@@ -319,6 +346,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	var co wallCoalescer[K]
 	var sharded *ShardedServer[K]
 	var metricsFn func() Metrics
+	var levelWidths []int
 	if opt.Shards > 1 {
 		s, err := BuildSharded(pairs, treeOpt, opt.Shards)
 		if err != nil {
@@ -326,6 +354,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		}
 		backend, sharded = s, s
 		metricsFn = s.Metrics
+		levelWidths = s.members()[0].Tree().LevelWidths()
 		co = s.Coalesce(coOpt)
 		if opt.Rebalance != nil {
 			s.StartRebalancer(*opt.Rebalance)
@@ -335,6 +364,7 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 		if err != nil {
 			return WallResult{}, err
 		}
+		levelWidths = tree.LevelWidths()
 		defer tree.Close()
 		var srv *Server[K]
 		if opt.Locked {
@@ -580,6 +610,9 @@ func RunWall[K keys.Key](pairs []keys.Pair[K], treeOpt core.Options, opt WallOpt
 	m := metricsFn()
 	res.NodeProbes = m.NodeProbes
 	res.ProbesSaved = m.ProbesSaved
+	res.Layout = treeOpt.Layout.String()
+	res.LevelWidths = levelWidths
+	res.LineBytes = m.NodeProbes * keys.LineBytes
 	res.InPlaceBatches = m.InPlaceApplied
 	res.CloneFallbacks = m.CloneFallbacks
 	res.ClonedNodes = m.ClonedNodes
